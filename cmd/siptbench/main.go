@@ -1,0 +1,90 @@
+// Command siptbench regenerates every table and figure of the paper's
+// evaluation from the simulator.
+//
+// Usage:
+//
+//	siptbench [flags] [experiment ...]
+//
+// With no arguments it runs every experiment in paper order. Experiment
+// ids: tab1 fig1 tab2 fig2 fig3 fig5 fig6 fig7 fig9 fig12 fig13 fig14
+// tab3 fig15 fig16 fig17 fig18.
+//
+// Flags:
+//
+//	-records N   per-app trace length (default 300000)
+//	-seed N      deterministic seed (default 1)
+//	-apps list   comma-separated app subset (default: the 26 figure apps)
+//	-csv         emit CSV instead of aligned text
+//	-list        list experiment ids and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sipt/internal/exp"
+)
+
+func main() {
+	records := flag.Uint64("records", exp.DefaultRecords, "per-app trace length")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	apps := flag.String("apps", "", "comma-separated app subset")
+	csv := flag.Bool("csv", false, "emit CSV")
+	markdown := flag.Bool("markdown", false, "emit Markdown tables")
+	list := flag.Bool("list", false, "list experiments and exit")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-6s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := exp.Options{Records: *records, Seed: *seed, Workers: *workers}
+	if *apps != "" {
+		opts.Apps = strings.Split(*apps, ",")
+	}
+	runner := exp.NewRunner(opts)
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		for _, e := range exp.All() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		e, err := exp.Lookup(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		start := time.Now()
+		tables, err := e.Run(runner)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "siptbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			var rerr error
+			switch {
+			case *csv:
+				rerr = t.RenderCSV(os.Stdout)
+			case *markdown:
+				rerr = t.RenderMarkdown(os.Stdout)
+			default:
+				rerr = t.Render(os.Stdout)
+			}
+			if rerr != nil {
+				fmt.Fprintf(os.Stderr, "siptbench: rendering %s: %v\n", id, rerr)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,170 @@
+// Command siptsim runs a single workload on a single simulated system
+// and prints the full statistics: IPC, SIPT outcome breakdown,
+// hit rates, predictor accuracy, TLB behaviour, and the energy split.
+//
+// Usage:
+//
+//	siptsim -app mcf -l1 32K2w -mode combined [-core ooo] [-scenario normal]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sipt/internal/core"
+	"sipt/internal/cpu"
+	"sipt/internal/energy"
+	"sipt/internal/sim"
+	"sipt/internal/trace"
+	"sipt/internal/vm"
+	"sipt/internal/workload"
+)
+
+func parseGeometry(s string) (sizeKiB, ways int, err error) {
+	var n int
+	n, err = fmt.Sscanf(strings.ToUpper(s), "%dK%dW", &sizeKiB, &ways)
+	if err != nil || n != 2 {
+		return 0, 0, fmt.Errorf("bad L1 geometry %q (want e.g. 32K2w)", s)
+	}
+	return sizeKiB, ways, nil
+}
+
+func parseMode(s string) (core.Mode, error) {
+	switch strings.ToLower(s) {
+	case "vipt":
+		return core.ModeVIPT, nil
+	case "ideal":
+		return core.ModeIdeal, nil
+	case "naive":
+		return core.ModeNaive, nil
+	case "bypass":
+		return core.ModeBypass, nil
+	case "combined":
+		return core.ModeCombined, nil
+	}
+	return 0, fmt.Errorf("bad mode %q (vipt|ideal|naive|bypass|combined)", s)
+}
+
+func parseScenario(s string) (vm.Scenario, error) {
+	for _, sc := range vm.Scenarios() {
+		if sc.String() == strings.ToLower(s) {
+			return sc, nil
+		}
+	}
+	return 0, fmt.Errorf("bad scenario %q (normal|fragmented|thp-off|no-contig)", s)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "siptsim:", err)
+	os.Exit(1)
+}
+
+func main() {
+	app := flag.String("app", "h264ref", "workload name (see -listapps)")
+	l1 := flag.String("l1", "32K8w", "L1 geometry, e.g. 32K2w")
+	mode := flag.String("mode", "vipt", "indexing mode: vipt|ideal|naive|bypass|combined")
+	coreKind := flag.String("core", "ooo", "core model: ooo|inorder")
+	scenario := flag.String("scenario", "normal", "memory condition: normal|fragmented|thp-off|no-contig")
+	wayPred := flag.Bool("waypred", false, "enable MRU way prediction")
+	records := flag.Uint64("records", sim.DefaultRecords, "trace length (memory accesses)")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	traceFile := flag.String("trace", "", "replay a binary trace file instead of generating (-app is used as the label)")
+	listApps := flag.Bool("listapps", false, "list workload names and exit")
+	flag.Parse()
+
+	if *listApps {
+		for _, name := range workload.AllApps() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	sizeKiB, ways, err := parseGeometry(*l1)
+	if err != nil {
+		fail(err)
+	}
+	m, err := parseMode(*mode)
+	if err != nil {
+		fail(err)
+	}
+	sc, err := parseScenario(*scenario)
+	if err != nil {
+		fail(err)
+	}
+	var coreCfg cpu.Config
+	switch strings.ToLower(*coreKind) {
+	case "ooo":
+		coreCfg = cpu.OOO()
+	case "inorder":
+		coreCfg = cpu.InOrder()
+	default:
+		fail(fmt.Errorf("bad core %q (ooo|inorder)", *coreKind))
+	}
+
+	cfg := sim.SIPT(coreCfg, sizeKiB, ways, m)
+	cfg.WayPrediction = *wayPred
+	cfg.NoContig = sc == vm.ScenarioNoContig
+
+	var st sim.Stats
+	label := *app
+	if *traceFile != "" {
+		label = *traceFile
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		r, err := trace.NewFileReader(f)
+		if err != nil {
+			fail(err)
+		}
+		st, err = sim.RunTrace(*traceFile, trace.Limit(r, *records), cfg, *seed)
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		prof, err := workload.Lookup(*app)
+		if err != nil {
+			fail(err)
+		}
+		st, err = sim.RunApp(prof, cfg, sc, *seed, *records)
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	fmt.Printf("workload      %s (%s, %s, %s)\n", label, cfg.Label(), coreCfg.Name, sc)
+	fmt.Printf("instructions  %d\n", st.Core.Instructions)
+	fmt.Printf("cycles        %d\n", st.Core.Cycles)
+	fmt.Printf("IPC           %.4f\n", st.IPC())
+	fmt.Printf("loads/stores  %d / %d\n", st.Core.Loads, st.Core.Stores)
+	fmt.Println()
+	fmt.Printf("L1 accesses   %d (hit rate %.4f)\n", st.L1.Accesses, st.L1C.HitRate())
+	fmt.Printf("  fast        %d (%.4f)\n", st.L1.Fast, st.L1.FastFraction())
+	fmt.Printf("  slow        %d (extra accesses %.4f/access)\n", st.L1.Slow, st.L1.ExtraAccessRate())
+	fmt.Printf("  bypassed    %d\n", st.L1.Bypassed)
+	fmt.Printf("  fast-spec   %d, fast-idb %d\n", st.L1.FastSpec, st.L1.FastIDB)
+	if st.Bypass.Predictions > 0 {
+		fmt.Printf("bypass pred   accuracy %.4f (spec %d, bypass %d, oppLoss %d, extra %d)\n",
+			st.Bypass.Accuracy(), st.Bypass.CorrectSpeculate, st.Bypass.CorrectBypass,
+			st.Bypass.OpportunityLoss, st.Bypass.ExtraAccess)
+	}
+	if st.IDB.Lookups > 0 {
+		fmt.Printf("IDB           hit rate %.4f over %d lookups\n", st.IDB.HitRate(), st.IDB.Lookups)
+	}
+	if st.L1.WayProbes > 0 {
+		fmt.Printf("way pred      accuracy %.4f\n", st.L1.WayAccuracy())
+	}
+	fmt.Println()
+	fmt.Printf("L2            accesses %d, hit rate %.4f\n", st.L2.Accesses, st.L2.HitRate())
+	fmt.Printf("TLB           L1 hits %d, L2 hits %d, walks %d\n", st.TLB.L1Hits, st.TLB.L2Hits, st.TLB.Walks)
+	fmt.Println()
+	b := st.Energy
+	fmt.Printf("energy        total %.4g J (dynamic %.4g, static %.4g, predictor %.4g)\n",
+		b.Total(), b.Dynamic(), b.Static(), b.PredictorJ)
+	for _, l := range []energy.Level{energy.L1, energy.L2, energy.LLC} {
+		fmt.Printf("  %-4s        dyn %.4g J, static %.4g J\n", l, b.DynamicJ[l], b.StaticJ[l])
+	}
+}

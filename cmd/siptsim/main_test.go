@@ -1,0 +1,61 @@
+package main
+
+import (
+	"testing"
+
+	"sipt/internal/core"
+	"sipt/internal/vm"
+)
+
+func TestParseGeometry(t *testing.T) {
+	cases := []struct {
+		in      string
+		size, w int
+		ok      bool
+	}{
+		{"32K2w", 32, 2, true},
+		{"32k8W", 32, 8, true},
+		{"128K4w", 128, 4, true},
+		{"32", 0, 0, false},
+		{"abc", 0, 0, false},
+		{"", 0, 0, false},
+	}
+	for _, c := range cases {
+		size, ways, err := parseGeometry(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("parseGeometry(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && (size != c.size || ways != c.w) {
+			t.Errorf("parseGeometry(%q) = %d,%d; want %d,%d", c.in, size, ways, c.size, c.w)
+		}
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	good := map[string]core.Mode{
+		"vipt": core.ModeVIPT, "IDEAL": core.ModeIdeal, "naive": core.ModeNaive,
+		"Bypass": core.ModeBypass, "combined": core.ModeCombined,
+	}
+	for in, want := range good {
+		got, err := parseMode(in)
+		if err != nil || got != want {
+			t.Errorf("parseMode(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := parseMode("warp"); err == nil {
+		t.Error("parseMode accepted garbage")
+	}
+}
+
+func TestParseScenario(t *testing.T) {
+	for _, sc := range vm.Scenarios() {
+		got, err := parseScenario(sc.String())
+		if err != nil || got != sc {
+			t.Errorf("parseScenario(%q) = %v, %v", sc.String(), got, err)
+		}
+	}
+	if _, err := parseScenario("zero-g"); err == nil {
+		t.Error("parseScenario accepted garbage")
+	}
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sipt/internal/cpu"
+	"sipt/internal/sim"
+	"sipt/internal/trace"
+	"sipt/internal/vm"
+	"sipt/internal/workload"
+)
+
+// writeTestTrace materialises a small trace file.
+func writeTestTrace(t *testing.T, path string, records uint64) {
+	t.Helper()
+	prof := workload.MustLookup("hmmer")
+	prof.FootprintMiB = 2
+	sys := sim.NewSystem(vm.ScenarioNormal, 1, prof)
+	gen, err := workload.NewGenerator(prof, sys, 1, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		rec, err := gen.Next()
+		if err != nil {
+			break
+		}
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInspectTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.sipt")
+	writeTestTrace(t, path, 2000)
+	if err := inspectTrace(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInspectTraceMissingFile(t *testing.T) {
+	if err := inspectTrace(filepath.Join(t.TempDir(), "nope.sipt")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestInspectTraceEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.sipt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := inspectTrace(path); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestReplayedTraceMatchesGenerated(t *testing.T) {
+	// A materialised trace replayed through the simulator must produce
+	// the same result as the generator-driven run.
+	path := filepath.Join(t.TempDir(), "r.sipt")
+	writeTestTrace(t, path, 3000)
+
+	prof := workload.MustLookup("hmmer")
+	prof.FootprintMiB = 2
+	cfg := sim.Baseline(cpu.OOO())
+	direct, err := sim.RunApp(prof, cfg, vm.ScenarioNormal, 1, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewFileReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := sim.RunTrace("hmmer-file", r, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Core != replay.Core {
+		t.Errorf("replay diverged: %+v vs %+v", direct.Core, replay.Core)
+	}
+	if direct.L1 != replay.L1 {
+		t.Error("replay L1 stats diverged")
+	}
+}

@@ -1,0 +1,13 @@
+// Package sipt is a from-scratch Go reproduction of "SIPT:
+// Speculatively Indexed, Physically Tagged Caches" (Zheng, Zhu, Erez —
+// HPCA 2018): a trace-driven simulation stack (OS memory management,
+// synthetic SPEC-like workloads, cores, cache hierarchy, TLB, DRAM,
+// energy model) around the paper's contribution, a speculatively
+// indexed physically tagged L1 data cache with perceptron bypass
+// prediction and an index delta buffer.
+//
+// The library lives under internal/; the entry points are the
+// executables in cmd/ (siptsim, siptbench, tracegen, fragtool), the
+// runnable examples under examples/, and the per-figure benchmarks in
+// bench_test.go. See README.md, DESIGN.md and EXPERIMENTS.md.
+package sipt

@@ -1,0 +1,62 @@
+// Fragmentation: reproduces the paper's Sec. VII-B sensitivity story
+// for one workload. It runs the same application under the four
+// operating conditions of Fig. 18 — a normal machine, artificially
+// fragmented physical memory (unusable free space index > 0.95),
+// transparent huge pages disabled, and zero >4KiB mapping contiguity —
+// and shows how SIPT's prediction accuracy and speedup degrade only
+// mildly.
+//
+// Run with:
+//
+//	go run ./examples/fragmentation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sipt/internal/core"
+	"sipt/internal/cpu"
+	"sipt/internal/sim"
+	"sipt/internal/vm"
+	"sipt/internal/workload"
+)
+
+func main() {
+	const app = "libquantum" // huge-page-dominated: fragmentation bites hardest
+	const records = 150_000
+	const seed = 1
+
+	prof, err := workload.Lookup(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %s, SIPT 32K/2-way/2-cycle with bypass+IDB, OOO core\n\n", app)
+	fmt.Printf("%-12s  %8s  %9s  %8s  %10s\n",
+		"condition", "speedup", "fast-frac", "idb-hit", "energy-rel")
+
+	for _, sc := range vm.Scenarios() {
+		base, err := sim.RunApp(prof, sim.Baseline(cpu.OOO()), sc, seed, records)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := sim.SIPT(cpu.OOO(), 32, 2, core.ModeCombined)
+		cfg.NoContig = sc == vm.ScenarioNoContig
+		st, err := sim.RunApp(prof, cfg, sc, seed, records)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s  %+7.1f%%  %8.1f%%  %7.1f%%  %10.3f\n",
+			sc,
+			(st.IPC()/base.IPC()-1)*100,
+			st.L1.FastFraction()*100,
+			st.IDB.HitRate()*100,
+			st.Energy.Total()/base.Energy.Total())
+	}
+
+	fmt.Println("\nThe fragmented condition suppresses huge pages and scatters the")
+	fmt.Println("buddy allocator's blocks; THP-off removes 2 MiB mappings entirely;")
+	fmt.Println("no-contig additionally denies the IDB any cross-page delta reuse.")
+	fmt.Println("As in the paper, accuracy and speedup degrade, but not collapse.")
+}

@@ -1,0 +1,122 @@
+// Predictor lab: exercises the two SIPT predictors in isolation,
+// outside any cache or core, the way Secs. V and VI introduce them.
+//
+// Part 1 trains the 64-entry perceptron bypass predictor (Fig. 8) on a
+// synthetic stream of PCs with different index-bit-change behaviours
+// and reports the four-way outcome breakdown (Fig. 9's categories).
+//
+// Part 2 feeds the index delta buffer (Fig. 11) a walk over regions
+// mapped with different VA->PA deltas — including a buddy-allocated
+// address space built with the real vm substrate — and reports its hit
+// rate.
+//
+// Run with:
+//
+//	go run ./examples/predictor_lab
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"sipt/internal/memaddr"
+	"sipt/internal/predictor"
+	"sipt/internal/vm"
+)
+
+func main() {
+	perceptronPart()
+	idbPart()
+}
+
+func perceptronPart() {
+	fmt.Println("== Part 1: perceptron bypass predictor ==")
+	p := predictor.NewPerceptron()
+	rng := rand.New(rand.NewSource(7))
+
+	// 24 static memory instructions: a third always keep their index
+	// bits, a third always change them, a third flip with 90% bias.
+	type pcKind struct {
+		pc   uint64
+		bias float64 // probability the bits are unchanged
+	}
+	var pcs []pcKind
+	for i := 0; i < 24; i++ {
+		k := pcKind{pc: 0x400000 + uint64(i)*4}
+		switch i % 3 {
+		case 0:
+			k.bias = 1.0
+		case 1:
+			k.bias = 0.0
+		default:
+			k.bias = 0.9
+		}
+		pcs = append(pcs, k)
+	}
+	for i := 0; i < 200_000; i++ {
+		k := pcs[rng.Intn(len(pcs))]
+		unchanged := rng.Float64() < k.bias
+		p.Train(k.pc, p.Predict(k.pc), unchanged)
+	}
+	st := p.Stats()
+	n := float64(st.Predictions)
+	fmt.Printf("predictions       %d\n", st.Predictions)
+	fmt.Printf("correct speculate %.1f%%\n", float64(st.CorrectSpeculate)/n*100)
+	fmt.Printf("correct bypass    %.1f%%\n", float64(st.CorrectBypass)/n*100)
+	fmt.Printf("opportunity loss  %.1f%%\n", float64(st.OpportunityLoss)/n*100)
+	fmt.Printf("extra access      %.1f%%\n", float64(st.ExtraAccess)/n*100)
+	fmt.Printf("accuracy          %.1f%%  (paper: >90%% on every app)\n", st.Accuracy()*100)
+	fmt.Printf("storage           %d bytes (paper: 624 B)\n\n", p.StorageBits()/8)
+}
+
+func idbPart() {
+	fmt.Println("== Part 2: index delta buffer over a buddy-allocated space ==")
+	// Build a real address space: a fragmented-ish allocator and many
+	// small chunks give each region its own VA->PA delta.
+	b := vm.NewBuddy(1 << 14)
+	as := vm.NewAddressSpace(b, false)
+	var bases []memaddr.VAddr
+	for i := 0; i < 64; i++ {
+		base := as.Mmap(8 * memaddr.PageBytes)
+		if err := as.Touch(base, 8*memaddr.PageBytes); err != nil {
+			log.Fatal(err)
+		}
+		bases = append(bases, base)
+	}
+
+	const bits = 3
+	idb := predictor.NewIDB(bits, false, 1)
+	rng := rand.New(rand.NewSource(9))
+	pc := uint64(0x400100)
+
+	var hits, lookups int
+	// Walk chunk by chunk, several accesses per page, like a loop
+	// sweeping per-object arrays.
+	for round := 0; round < 50; round++ {
+		base := bases[rng.Intn(len(bases))]
+		for off := uint64(0); off < 8*memaddr.PageBytes; off += 512 {
+			va := base + memaddr.VAddr(off)
+			pa, _, ok := as.Lookup(va)
+			if !ok {
+				log.Fatalf("unmapped VA %#x", uint64(va))
+			}
+			trueDelta := memaddr.IndexDelta(va, pa, bits)
+			delta, ok := idb.Predict(pc, uint64(va.PageNum()))
+			correct := ok && delta == trueDelta
+			if ok {
+				lookups++
+				if correct {
+					hits++
+				}
+			}
+			idb.Train(pc, uint64(va.PageNum()), trueDelta, ok, correct)
+		}
+	}
+	fmt.Printf("chunks            %d (each with its own VA->PA delta)\n", len(bases))
+	fmt.Printf("IDB lookups       %d\n", lookups)
+	fmt.Printf("IDB hit rate      %.1f%%\n", float64(hits)/float64(lookups)*100)
+	fmt.Println("Within a chunk the delta is constant (buddy contiguity), so only")
+	fmt.Println("the first access after a chunk switch mispredicts — the paper's")
+	fmt.Println("\"only the first access to a page will mispredict\" observation.")
+}

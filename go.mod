@@ -1,0 +1,3 @@
+module sipt
+
+go 1.22

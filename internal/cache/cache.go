@@ -1,0 +1,290 @@
+// Package cache implements the set-associative write-back caches the
+// simulator's hierarchy is built from. Contents are always indexed by
+// physical address: SIPT speculation affects *which set a probe reads*
+// (timing and extra accesses, handled in internal/core), never what the
+// cache stores, which is exactly the paper's correctness argument —
+// tags are physical, so a wrong-set probe simply misses and is retried.
+package cache
+
+import (
+	"fmt"
+
+	"sipt/internal/memaddr"
+)
+
+// Config describes one cache level.
+type Config struct {
+	Name      string
+	SizeBytes uint64
+	Ways      int
+	LineBytes uint64
+	// LatencyCycles is the hit latency of this level.
+	LatencyCycles int
+}
+
+// Validate reports malformed configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes == 0 || !memaddr.IsPow2(c.SizeBytes):
+		return fmt.Errorf("cache %s: size %d not a power of two", c.Name, c.SizeBytes)
+	case c.Ways <= 0:
+		return fmt.Errorf("cache %s: ways = %d", c.Name, c.Ways)
+	case c.LineBytes == 0 || !memaddr.IsPow2(c.LineBytes):
+		return fmt.Errorf("cache %s: line %d not a power of two", c.Name, c.LineBytes)
+	case c.SizeBytes%(uint64(c.Ways)*c.LineBytes) != 0:
+		return fmt.Errorf("cache %s: size %d not divisible by ways*line", c.Name, c.SizeBytes)
+	case !memaddr.IsPow2(c.SizeBytes / (uint64(c.Ways) * c.LineBytes)):
+		return fmt.Errorf("cache %s: set count not a power of two", c.Name)
+	case c.LatencyCycles < 0:
+		return fmt.Errorf("cache %s: latency %d", c.Name, c.LatencyCycles)
+	}
+	return nil
+}
+
+// Sets returns the number of sets the configuration implies.
+func (c Config) Sets() uint64 { return c.SizeBytes / (uint64(c.Ways) * c.LineBytes) }
+
+// WayBytes returns the capacity of one way.
+func (c Config) WayBytes() uint64 { return c.SizeBytes / uint64(c.Ways) }
+
+// SpecBits returns how many index bits beyond the 4 KiB page offset
+// this geometry needs — the number of bits SIPT must speculate. A VIPT
+// cache requires this to be zero.
+func (c Config) SpecBits() uint {
+	wayBytes := c.WayBytes()
+	if wayBytes <= memaddr.PageBytes {
+		return 0
+	}
+	return memaddr.Log2(wayBytes) - memaddr.PageShift
+}
+
+// line is one cache line's metadata.
+type line struct {
+	tag   uint64
+	stamp uint64 // LRU: larger = more recently used
+	valid bool
+	dirty bool
+}
+
+// Stats accumulates per-level access counters.
+type Stats struct {
+	Accesses   uint64 // demand accesses (loads + stores)
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64 // dirty evictions pushed to the next level
+	Fills      uint64
+}
+
+// HitRate returns hits/accesses (0 when idle).
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// Cache is one set-associative write-back, write-allocate cache.
+type Cache struct {
+	cfg      Config
+	sets     [][]line
+	setMask  uint64
+	lineBits uint
+	clock    uint64
+	stats    Stats
+}
+
+// New builds a cache; it panics on invalid configuration (structural
+// parameters are programmer-supplied constants).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nSets := cfg.Sets()
+	sets := make([][]line, nSets)
+	backing := make([]line, nSets*uint64(cfg.Ways))
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Ways:cfg.Ways], backing[cfg.Ways:]
+	}
+	return &Cache{
+		cfg:      cfg,
+		sets:     sets,
+		setMask:  nSets - 1,
+		lineBits: memaddr.Log2(cfg.LineBytes),
+	}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// SetOf returns the set index a physical address maps to.
+func (c *Cache) SetOf(pa memaddr.PAddr) uint64 {
+	return (uint64(pa) >> c.lineBits) & c.setMask
+}
+
+func (c *Cache) tagOf(pa memaddr.PAddr) uint64 {
+	// The tag keeps every bit above the line offset. That is more bits
+	// than hardware would store, but it makes wrong-set aliasing
+	// impossible by construction, matching SIPT's full physical tag
+	// check ("always checking the full tag on a lookup").
+	return uint64(pa) >> c.lineBits
+}
+
+// Victim describes a line evicted by a fill.
+type Victim struct {
+	PA    memaddr.PAddr
+	Dirty bool
+}
+
+// AccessResult reports the outcome of one demand access.
+type AccessResult struct {
+	Hit bool
+	// Way is the way that hit (valid only when Hit).
+	Way int
+	// MRUHit reports whether the hit way was the set's MRU way *before*
+	// this access — the way an MRU way-predictor would have fetched.
+	MRUHit bool
+}
+
+// Access performs a demand load/store lookup, updating LRU on hit.
+// Misses do not fill; the caller fetches from the next level and then
+// calls Fill, which is what lets the hierarchy account latency and
+// energy per level.
+func (c *Cache) Access(pa memaddr.PAddr, write bool) AccessResult {
+	c.clock++
+	c.stats.Accesses++
+	set := c.sets[c.SetOf(pa)]
+	tag := c.tagOf(pa)
+	mru := mruWay(set)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].stamp = c.clock
+			if write {
+				set[i].dirty = true
+			}
+			c.stats.Hits++
+			return AccessResult{Hit: true, Way: i, MRUHit: i == mru}
+		}
+	}
+	c.stats.Misses++
+	return AccessResult{}
+}
+
+// Probe checks for presence without touching LRU, stats, or dirty bits.
+func (c *Cache) Probe(pa memaddr.PAddr) bool {
+	set := c.sets[c.SetOf(pa)]
+	tag := c.tagOf(pa)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Fill installs the line containing pa, evicting the LRU way if needed.
+// dirty marks the line modified on arrival (write-allocate store miss).
+// The victim, if any, is returned so the caller can write it back.
+func (c *Cache) Fill(pa memaddr.PAddr, dirty bool) (Victim, bool) {
+	c.clock++
+	c.stats.Fills++
+	set := c.sets[c.SetOf(pa)]
+	tag := c.tagOf(pa)
+	// Refill of a present line (can happen when an upper level re-fetches
+	// after a writeback race); just refresh it.
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].stamp = c.clock
+			if dirty {
+				set[i].dirty = true
+			}
+			return Victim{}, false
+		}
+	}
+	vi := 0
+	for i := range set {
+		if !set[i].valid {
+			vi = i
+			break
+		}
+		if set[i].stamp < set[vi].stamp {
+			vi = i
+		}
+	}
+	var victim Victim
+	evicted := set[vi].valid
+	if evicted {
+		victim = Victim{PA: memaddr.PAddr(set[vi].tag << c.lineBits), Dirty: set[vi].dirty}
+		if victim.Dirty {
+			c.stats.Writebacks++
+		}
+	}
+	set[vi] = line{tag: tag, stamp: c.clock, valid: true, dirty: dirty}
+	return victim, evicted
+}
+
+// Invalidate drops the line containing pa if present, returning whether
+// it was dirty (the caller owns the writeback).
+func (c *Cache) Invalidate(pa memaddr.PAddr) (dirty, present bool) {
+	set := c.sets[c.SetOf(pa)]
+	tag := c.tagOf(pa)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			d := set[i].dirty
+			set[i] = line{}
+			return d, true
+		}
+	}
+	return false, false
+}
+
+// MRUWay returns the most-recently-used way of the set pa maps to, or
+// -1 for an empty set. This is the prediction of the paper's simple MRU
+// way predictor (Sec. VII-A).
+func (c *Cache) MRUWay(pa memaddr.PAddr) int {
+	return mruWay(c.sets[c.SetOf(pa)])
+}
+
+func mruWay(set []line) int {
+	best := -1
+	var bestStamp uint64
+	for i := range set {
+		if set[i].valid && (best == -1 || set[i].stamp > bestStamp) {
+			best = i
+			bestStamp = set[i].stamp
+		}
+	}
+	return best
+}
+
+// CheckNoDuplicates verifies no physical line appears twice (tests).
+func (c *Cache) CheckNoDuplicates() error {
+	seen := make(map[uint64]bool)
+	for si, set := range c.sets {
+		for _, ln := range set {
+			if !ln.valid {
+				continue
+			}
+			if seen[ln.tag] {
+				return fmt.Errorf("cache %s: tag %#x duplicated (set %d)", c.cfg.Name, ln.tag, si)
+			}
+			seen[ln.tag] = true
+		}
+	}
+	return nil
+}
+
+// LineCount returns the number of valid lines (tests).
+func (c *Cache) LineCount() int {
+	n := 0
+	for _, set := range c.sets {
+		for _, ln := range set {
+			if ln.valid {
+				n++
+			}
+		}
+	}
+	return n
+}

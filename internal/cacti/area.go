@@ -1,0 +1,58 @@
+package cacti
+
+import (
+	"sipt/internal/predictor"
+)
+
+// Area model. The paper's cost argument for SIPT is that the whole
+// predictor complex — perceptron table, global history, IDB — costs
+// "less than 2% of L1 cache area and energy". The SRAM area model here
+// is deliberately simple (bit count x cell area x overhead factor), but
+// it is applied identically to the cache and the predictors, so the
+// *ratio* the paper claims is meaningful.
+
+// sramMM2PerBit is the effective 32 nm SRAM area per bit in mm^2,
+// including sense amps, decoders and wiring overhead (~0.3 um^2/cell
+// at 32 nm, with a 2x array overhead factor).
+const sramMM2PerBit = 0.6e-6
+
+// CacheAreaMM2 estimates the area of a cache's data + tag arrays.
+// Tags are sized for a 48-bit physical address space.
+func CacheAreaMM2(capKiB, ways int, lineBytes int) float64 {
+	if capKiB <= 0 || ways <= 0 || lineBytes <= 0 {
+		return 0
+	}
+	lines := capKiB * 1024 / lineBytes
+	dataBits := capKiB * 1024 * 8
+	// Tag bits: 48-bit PA minus line offset bits, plus valid + dirty +
+	// LRU-ish state (~4 bits).
+	offsetBits := 0
+	for b := 1; b < lineBytes; b <<= 1 {
+		offsetBits++
+	}
+	tagBits := lines * (48 - offsetBits + 4)
+	return float64(dataBits+tagBits) * sramMM2PerBit
+}
+
+// PredictorAreaMM2 estimates the area of the full SIPT predictor
+// complex for k speculative bits: the 64-entry perceptron table, its
+// history register, and the IDB.
+func PredictorAreaMM2(specBits uint) float64 {
+	p := predictor.NewPerceptron()
+	bits := p.StorageBits() + predictor.HistoryLen
+	if specBits > 1 {
+		idb := predictor.NewIDB(specBits, false, 0)
+		bits += idb.StorageBits()
+	}
+	return float64(bits) * sramMM2PerBit
+}
+
+// PredictorOverhead returns the predictor complex's area as a fraction
+// of the given L1's area — the quantity the paper bounds below 2%.
+func PredictorOverhead(capKiB, ways int, specBits uint) float64 {
+	cacheArea := CacheAreaMM2(capKiB, ways, 64)
+	if cacheArea == 0 {
+		return 0
+	}
+	return PredictorAreaMM2(specBits) / cacheArea
+}

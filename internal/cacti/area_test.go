@@ -1,0 +1,50 @@
+package cacti
+
+import "testing"
+
+func TestCacheAreaScalesWithCapacity(t *testing.T) {
+	small := CacheAreaMM2(16, 4, 64)
+	big := CacheAreaMM2(128, 4, 64)
+	if small <= 0 || big <= 0 {
+		t.Fatal("non-positive area")
+	}
+	ratio := big / small
+	if ratio < 7 || ratio > 9 {
+		t.Errorf("8x capacity gives %vx area, want ~8x", ratio)
+	}
+}
+
+func TestCacheAreaDegenerateInputs(t *testing.T) {
+	if CacheAreaMM2(0, 4, 64) != 0 || CacheAreaMM2(32, 0, 64) != 0 || CacheAreaMM2(32, 4, 0) != 0 {
+		t.Error("degenerate inputs must give zero area")
+	}
+}
+
+// TestPredictorOverheadBelow2Percent pins the paper's headline cost
+// claim: the entire predictor complex is below 2% of every simulated
+// L1's area.
+func TestPredictorOverheadBelow2Percent(t *testing.T) {
+	for _, g := range [][2]int{{32, 2}, {32, 4}, {64, 4}, {128, 4}} {
+		capKiB, ways := g[0], g[1]
+		wayBytes := capKiB * 1024 / ways
+		var bits uint
+		for b := 4096; b < wayBytes; b <<= 1 {
+			bits++
+		}
+		ov := PredictorOverhead(capKiB, ways, bits)
+		if ov <= 0 {
+			t.Errorf("%dK/%dw: non-positive overhead", capKiB, ways)
+		}
+		if ov >= 0.02 {
+			t.Errorf("%dK/%dw: predictor overhead %.4f, paper bound is <2%%", capKiB, ways, ov)
+		}
+	}
+}
+
+func TestPredictorAreaGrowsWithBits(t *testing.T) {
+	one := PredictorAreaMM2(1) // no IDB at 1 bit (reversed prediction)
+	three := PredictorAreaMM2(3)
+	if three <= one {
+		t.Errorf("3-bit predictor area %v not above 1-bit %v", three, one)
+	}
+}

@@ -1,0 +1,184 @@
+// Package cacti is a small analytical cache latency/energy/leakage
+// model standing in for CACTI 6.5, which the paper uses to (a) motivate
+// SIPT with a capacity x associativity x ports x banks latency sweep
+// (Tab. I / Fig. 1) and (b) source the per-configuration energy numbers
+// of Tab. II.
+//
+// For the five L1 configurations the paper publishes exact numbers for,
+// Params returns those numbers verbatim; for everything else the
+// analytical model supplies values with the paper's qualitative shape:
+// associativity dominates access latency (parallel tag+data readout of
+// all ways), capacity contributes sub-linearly (subarray word/bitline
+// growth), extra read ports and excessive banking add overhead.
+package cacti
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config describes one SRAM array organisation (Tab. I axes).
+type Config struct {
+	CapKiB    int // total capacity
+	Ways      int // set associativity
+	ReadPorts int // 1 or 2
+	Banks     int // 1, 2 or 4
+}
+
+// Validate reports malformed configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.CapKiB <= 0:
+		return fmt.Errorf("cacti: CapKiB = %d", c.CapKiB)
+	case c.Ways <= 0:
+		return fmt.Errorf("cacti: Ways = %d", c.Ways)
+	case c.ReadPorts < 1 || c.ReadPorts > 2:
+		return fmt.Errorf("cacti: ReadPorts = %d (1 or 2)", c.ReadPorts)
+	case c.Banks != 1 && c.Banks != 2 && c.Banks != 4:
+		return fmt.Errorf("cacti: Banks = %d (1, 2 or 4)", c.Banks)
+	}
+	return nil
+}
+
+// LatencyNS estimates the access time in nanoseconds at the paper's
+// 32 nm node with parallel tag+data access across all ways.
+//
+// Model: fixed decode/drive time, a capacity term from subarray
+// word/bitline length (per bank), a super-linear associativity term
+// (way muxing, comparator fan-in, and the wider data readout), a
+// second-port penalty (dual-ported cells are larger, lengthening
+// bitlines) and a small per-bank routing overhead.
+func LatencyNS(c Config) float64 {
+	perBank := float64(c.CapKiB) / float64(c.Banks)
+	t := 0.20 +
+		0.030*math.Pow(perBank, 0.62) +
+		0.040*math.Pow(float64(c.Ways), 1.35)
+	if c.ReadPorts == 2 {
+		t *= 1.35
+	}
+	t += 0.03 * float64(c.Banks-1)
+	return t
+}
+
+// LatencyCycles converts LatencyNS to whole cycles at freqGHz,
+// rounding up (an array is clocked, so partial cycles are unusable).
+func LatencyCycles(c Config, freqGHz float64) int {
+	return int(math.Ceil(LatencyNS(c)*freqGHz - 1e-9))
+}
+
+// DynamicEnergyNJ estimates the energy of one read that probes tag and
+// data of every way in parallel (the L1 access mode in Tab. I).
+func DynamicEnergyNJ(c Config) float64 {
+	e := 0.008 + 0.044*float64(c.Ways)*math.Pow(float64(c.CapKiB)/32, 0.5)
+	if c.ReadPorts == 2 {
+		e *= 1.2
+	}
+	return e
+}
+
+// StaticPowerMW estimates leakage in milliwatts (high-performance
+// transistors, as the paper configures L1s).
+func StaticPowerMW(c Config) float64 {
+	p := 8 + 0.45*float64(c.CapKiB) + 2.9*float64(c.Ways)
+	if c.ReadPorts == 2 {
+		p *= 1.3
+	}
+	return p
+}
+
+// L1Params are the published per-configuration L1 numbers of Tab. II.
+type L1Params struct {
+	LatencyCycles int
+	EnergyNJ      float64 // dynamic energy per access
+	StaticMW      float64
+}
+
+// tab2 holds Tab. II's L1 rows, keyed by {CapKiB, Ways}.
+var tab2 = map[[2]int]L1Params{
+	{32, 8}:  {LatencyCycles: 4, EnergyNJ: 0.38, StaticMW: 46},  // VIPT baseline
+	{32, 2}:  {LatencyCycles: 2, EnergyNJ: 0.10, StaticMW: 24},  // SIPT
+	{32, 4}:  {LatencyCycles: 3, EnergyNJ: 0.185, StaticMW: 30}, // SIPT
+	{64, 4}:  {LatencyCycles: 3, EnergyNJ: 0.27, StaticMW: 51},  // SIPT
+	{128, 4}: {LatencyCycles: 4, EnergyNJ: 0.29, StaticMW: 69},  // SIPT
+	// 16 KiB 4-way: VIPT-feasible latency-for-capacity trade
+	// (Sec. III-B); CACTI-derived, 2 cycles like the 32K/2w config.
+	{16, 4}: {LatencyCycles: 2, EnergyNJ: 0.13, StaticMW: 27},
+}
+
+// Params returns latency/energy/leakage for an L1 of the given capacity
+// and associativity at freqGHz, preferring Tab. II's published values
+// and falling back to the analytical model.
+func Params(capKiB, ways int, freqGHz float64) L1Params {
+	if p, ok := tab2[[2]int{capKiB, ways}]; ok {
+		return p
+	}
+	c := Config{CapKiB: capKiB, Ways: ways, ReadPorts: 1, Banks: 1}
+	return L1Params{
+		LatencyCycles: LatencyCycles(c, freqGHz),
+		EnergyNJ:      DynamicEnergyNJ(c),
+		StaticMW:      StaticPowerMW(c),
+	}
+}
+
+// Tab1Capacities and Tab1Ways are the sweep axes of Tab. I.
+func Tab1Capacities() []int { return []int{16, 32, 64, 128} }
+
+// Tab1Ways returns the associativities Tab. I sweeps for a capacity.
+// The paper plots 2-4 way points per capacity (Fig. 1 x-axis).
+func Tab1Ways(capKiB int) []int {
+	switch capKiB {
+	case 16:
+		return []int{2, 4}
+	case 32:
+		return []int{4, 8}
+	case 64:
+		return []int{4, 8, 16}
+	case 128:
+		return []int{4, 8, 16, 32}
+	default:
+		return []int{2, 4, 8, 16, 32}
+	}
+}
+
+// SweepPoint is one Fig. 1 bar: latency statistics over the ports x
+// banks sub-sweep for a (capacity, ways) pair, normalised to baseline.
+type SweepPoint struct {
+	CapKiB, Ways   int
+	MinRel, MaxRel float64 // range of normalised latencies
+	MeanRel        float64
+	VIPTFeasible   bool // way size <= 4 KiB page
+}
+
+// Fig1Sweep computes the Fig. 1 dataset: for every Tab. I (capacity,
+// ways) pair, the range and mean of latency over ports {1,2} x banks
+// {1,2,4}, normalised to the 32 KiB 8-way single-port single-bank
+// baseline.
+func Fig1Sweep() []SweepPoint {
+	base := LatencyNS(Config{CapKiB: 32, Ways: 8, ReadPorts: 1, Banks: 1})
+	var pts []SweepPoint
+	for _, capKiB := range Tab1Capacities() {
+		for _, ways := range Tab1Ways(capKiB) {
+			pt := SweepPoint{
+				CapKiB: capKiB, Ways: ways,
+				MinRel:       math.Inf(1),
+				MaxRel:       math.Inf(-1),
+				VIPTFeasible: capKiB/ways <= 4,
+			}
+			var sum float64
+			var n int
+			for _, ports := range []int{1, 2} {
+				for _, banks := range []int{1, 2, 4} {
+					rel := LatencyNS(Config{CapKiB: capKiB, Ways: ways,
+						ReadPorts: ports, Banks: banks}) / base
+					pt.MinRel = math.Min(pt.MinRel, rel)
+					pt.MaxRel = math.Max(pt.MaxRel, rel)
+					sum += rel
+					n++
+				}
+			}
+			pt.MeanRel = sum / float64(n)
+			pts = append(pts, pt)
+		}
+	}
+	return pts
+}

@@ -1,0 +1,179 @@
+package cacti
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	good := Config{CapKiB: 32, Ways: 8, ReadPorts: 1, Banks: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{CapKiB: 0, Ways: 8, ReadPorts: 1, Banks: 1},
+		{CapKiB: 32, Ways: 0, ReadPorts: 1, Banks: 1},
+		{CapKiB: 32, Ways: 8, ReadPorts: 0, Banks: 1},
+		{CapKiB: 32, Ways: 8, ReadPorts: 3, Banks: 1},
+		{CapKiB: 32, Ways: 8, ReadPorts: 1, Banks: 3},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: bad config accepted", i)
+		}
+	}
+}
+
+// TestTab2Latencies pins the model to the paper's published cycle
+// counts for the simulated configurations (Tab. II).
+func TestTab2Latencies(t *testing.T) {
+	cases := []struct {
+		capKiB, ways, cycles int
+		energy               float64
+	}{
+		{32, 8, 4, 0.38},
+		{32, 2, 2, 0.10},
+		{32, 4, 3, 0.185},
+		{64, 4, 3, 0.27},
+		{128, 4, 4, 0.29},
+		{16, 4, 2, 0.13},
+	}
+	for _, c := range cases {
+		p := Params(c.capKiB, c.ways, 3.0)
+		if p.LatencyCycles != c.cycles {
+			t.Errorf("%dKiB %d-way: latency %d cycles, want %d",
+				c.capKiB, c.ways, p.LatencyCycles, c.cycles)
+		}
+		if p.EnergyNJ != c.energy {
+			t.Errorf("%dKiB %d-way: energy %v nJ, want %v",
+				c.capKiB, c.ways, p.EnergyNJ, c.energy)
+		}
+	}
+}
+
+// TestAnalyticalMatchesTab2Cycles checks the analytical model itself
+// (not the lookup table) reproduces the published cycle counts for the
+// core configurations — the calibration the whole package rests on.
+func TestAnalyticalMatchesTab2Cycles(t *testing.T) {
+	cases := []struct{ capKiB, ways, cycles int }{
+		{32, 8, 4}, {32, 2, 2}, {32, 4, 3}, {64, 4, 3}, {128, 4, 4}, {16, 4, 2},
+	}
+	for _, c := range cases {
+		got := LatencyCycles(Config{CapKiB: c.capKiB, Ways: c.ways, ReadPorts: 1, Banks: 1}, 3.0)
+		if got != c.cycles {
+			t.Errorf("analytical %dKiB %d-way = %d cycles, want %d",
+				c.capKiB, c.ways, got, c.cycles)
+		}
+	}
+}
+
+// TestAssociativityDominates verifies the paper's headline Fig. 1
+// observation: raising associativity hurts latency more than raising
+// capacity by the same factor.
+func TestAssociativityDominates(t *testing.T) {
+	base := LatencyNS(Config{CapKiB: 32, Ways: 4, ReadPorts: 1, Banks: 1})
+	moreWays := LatencyNS(Config{CapKiB: 32, Ways: 16, ReadPorts: 1, Banks: 1})
+	moreCap := LatencyNS(Config{CapKiB: 128, Ways: 4, ReadPorts: 1, Banks: 1})
+	if moreWays-base <= moreCap-base {
+		t.Errorf("4x ways adds %.3f ns but 4x capacity adds %.3f ns; associativity must dominate",
+			moreWays-base, moreCap-base)
+	}
+}
+
+func TestLatencyMonotonic(t *testing.T) {
+	for ways := 2; ways <= 16; ways *= 2 {
+		a := LatencyNS(Config{CapKiB: 32, Ways: ways, ReadPorts: 1, Banks: 1})
+		b := LatencyNS(Config{CapKiB: 32, Ways: ways * 2, ReadPorts: 1, Banks: 1})
+		if b <= a {
+			t.Errorf("latency not monotonic in ways at %d", ways)
+		}
+	}
+	for capKiB := 16; capKiB <= 64; capKiB *= 2 {
+		a := LatencyNS(Config{CapKiB: capKiB, Ways: 4, ReadPorts: 1, Banks: 1})
+		b := LatencyNS(Config{CapKiB: capKiB * 2, Ways: 4, ReadPorts: 1, Banks: 1})
+		if b <= a {
+			t.Errorf("latency not monotonic in capacity at %d KiB", capKiB)
+		}
+	}
+}
+
+func TestSecondPortCostsLatencyAndEnergy(t *testing.T) {
+	one := Config{CapKiB: 32, Ways: 8, ReadPorts: 1, Banks: 1}
+	two := one
+	two.ReadPorts = 2
+	if LatencyNS(two) <= LatencyNS(one) {
+		t.Error("second read port should add latency")
+	}
+	if DynamicEnergyNJ(two) <= DynamicEnergyNJ(one) {
+		t.Error("second read port should add energy")
+	}
+	if StaticPowerMW(two) <= StaticPowerMW(one) {
+		t.Error("second read port should add leakage")
+	}
+}
+
+func TestBankingHelpsLargeArrays(t *testing.T) {
+	// Splitting a big array into banks shortens bitlines: latency with 4
+	// banks must beat 1 bank at 128 KiB.
+	one := LatencyNS(Config{CapKiB: 128, Ways: 4, ReadPorts: 1, Banks: 1})
+	four := LatencyNS(Config{CapKiB: 128, Ways: 4, ReadPorts: 1, Banks: 4})
+	if four >= one {
+		t.Errorf("4 banks (%.3f ns) should beat 1 bank (%.3f ns) at 128 KiB", four, one)
+	}
+}
+
+func TestFig1Sweep(t *testing.T) {
+	pts := Fig1Sweep()
+	if len(pts) == 0 {
+		t.Fatal("empty sweep")
+	}
+	var maxRel float64
+	for _, p := range pts {
+		if p.MinRel > p.MeanRel || p.MeanRel > p.MaxRel {
+			t.Errorf("%dKiB %d-way: min %.2f mean %.2f max %.2f out of order",
+				p.CapKiB, p.Ways, p.MinRel, p.MeanRel, p.MaxRel)
+		}
+		if p.MinRel <= 0 {
+			t.Errorf("%dKiB %d-way: non-positive relative latency", p.CapKiB, p.Ways)
+		}
+		maxRel = math.Max(maxRel, p.MaxRel)
+		wantFeasible := p.CapKiB/p.Ways <= 4
+		if p.VIPTFeasible != wantFeasible {
+			t.Errorf("%dKiB %d-way: VIPTFeasible = %v, want %v",
+				p.CapKiB, p.Ways, p.VIPTFeasible, wantFeasible)
+		}
+	}
+	// The paper's sweep tops out around 7.4x baseline; ours must at
+	// least show a multi-x worst case (the 128K 32-way 2-port corner).
+	if maxRel < 3 {
+		t.Errorf("worst-case relative latency %.2f, want > 3 (paper: up to 7.4)", maxRel)
+	}
+	// The attractive configs (32K 2-way class) must be sub-baseline.
+	low := LatencyNS(Config{CapKiB: 32, Ways: 2, ReadPorts: 1, Banks: 1}) /
+		LatencyNS(Config{CapKiB: 32, Ways: 8, ReadPorts: 1, Banks: 1})
+	if low >= 0.8 {
+		t.Errorf("32K 2-way relative latency %.2f, want well below 1", low)
+	}
+}
+
+func TestLatencyCyclesRoundsUp(t *testing.T) {
+	c := Config{CapKiB: 32, Ways: 8, ReadPorts: 1, Banks: 1}
+	ns := LatencyNS(c)
+	cycles := LatencyCycles(c, 3.0)
+	if float64(cycles) < ns*3.0 {
+		t.Errorf("cycles %d below exact %.2f", cycles, ns*3.0)
+	}
+	if float64(cycles-1) >= ns*3.0 {
+		t.Errorf("cycles %d not minimal for %.2f", cycles, ns*3.0)
+	}
+}
+
+func TestParamsFallbackForUnknownConfig(t *testing.T) {
+	p := Params(256, 16, 3.0) // not in Tab. II
+	if p.LatencyCycles <= 4 {
+		t.Errorf("256KiB 16-way latency %d cycles, expected worse than baseline", p.LatencyCycles)
+	}
+	if p.EnergyNJ <= 0 || p.StaticMW <= 0 {
+		t.Error("fallback produced non-positive energy/power")
+	}
+}

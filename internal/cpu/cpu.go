@@ -1,0 +1,282 @@
+// Package cpu provides the cycle-approximate trace-driven core models
+// the experiments run on: a 6-wide, 192-entry-ROB out-of-order core and
+// a 2-wide in-order core (Tab. II).
+//
+// The models capture exactly the mechanisms that convert L1 latency and
+// SIPT's extra accesses into IPC:
+//
+//   - dispatch bandwidth (width instructions per cycle);
+//   - ROB occupancy: instruction i cannot dispatch until i-ROB retired,
+//     so long-latency loads throttle the window (this is what gives the
+//     OOO core memory-level parallelism and bounds it);
+//   - load-use dependences: on the in-order core the consumer
+//     (DepDist instructions after a load) stalls dispatch until the
+//     load completes; on the OOO core short-DepDist loads form
+//     same-PC chains (pointer chasing: each iteration's load needs the
+//     previous one's value for its address);
+//   - in-order retirement.
+//
+// Everything below the core (SIPT L1, TLB, L2/LLC/DRAM, port
+// contention) lives behind the MemSystem interface.
+package cpu
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"sipt/internal/trace"
+)
+
+// Config describes a core.
+type Config struct {
+	Name string
+	// Width is the dispatch width in instructions per cycle.
+	Width int
+	// ROB is the reorder window; for the in-order core it models the
+	// small scoreboard that bounds outstanding misses.
+	ROB int
+	// InOrder enables stall-on-use: a load's consumer blocks dispatch.
+	InOrder bool
+	// HideLatency is the load-to-use latency, in cycles, the core's
+	// scheduler absorbs before a consumer stalls dispatch (speculative
+	// wakeup and surrounding ILP). In-order cores hide nothing.
+	HideLatency int
+	// StallCap bounds which loads exert consumer stalls on an OOO core:
+	// latencies above the cap (cache misses) are overlapped by the
+	// ROB/MSHR machinery instead, preserving memory-level parallelism.
+	// Zero means no consumer stalls at all; ignored when InOrder.
+	StallCap int
+}
+
+// OOO returns the paper's out-of-order core: 6-wide, 192-entry ROB,
+// 3 GHz. The scheduler hides the first cycles of load-to-use latency;
+// longer hit latencies leak into dispatch via dependent consumers,
+// which is what makes L1 latency matter on real OOO cores.
+func OOO() Config {
+	return Config{Name: "ooo", Width: 6, ROB: 192, HideLatency: 2, StallCap: 12}
+}
+
+// InOrder returns the paper's in-order core: 2-wide, 3 GHz,
+// stall-on-use with no latency hiding.
+func InOrder() Config { return Config{Name: "inorder", Width: 2, ROB: 32, InOrder: true} }
+
+// Validate reports malformed configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.Width <= 0:
+		return fmt.Errorf("cpu: width = %d", c.Width)
+	case c.ROB <= 0:
+		return fmt.Errorf("cpu: ROB = %d", c.ROB)
+	}
+	return nil
+}
+
+// MemResult is the hierarchy's answer for one access.
+type MemResult struct {
+	// Latency is the cycles from issue until load data is available
+	// (stores are buffered and do not stall the core).
+	Latency int
+}
+
+// MemSystem services memory accesses. now is the access's issue cycle;
+// implementations account port contention, SIPT outcomes, caches, TLB,
+// and DRAM behind this call.
+type MemSystem interface {
+	Access(rec trace.Record, now uint64) MemResult
+}
+
+// Result summarises one core run.
+type Result struct {
+	Instructions uint64
+	Cycles       uint64
+	Loads        uint64
+	Stores       uint64
+}
+
+// IPC returns instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// chaseDistMax is the DepDist at or below which a load is treated as
+// part of a pointer chase (its address depends on the previous load of
+// the same PC).
+const chaseDistMax = 3
+
+// stallRing tracks in-order consumer stalls: consumer instruction index
+// -> cycle its operand is ready. Sized above the maximum DepDist.
+const stallRingSize = 256
+
+// Core is a single core's timing state. One Core simulates one trace;
+// create a fresh Core per run.
+type Core struct {
+	cfg Config
+	mem MemSystem
+
+	dispatchCycle uint64
+	slotsUsed     int
+	lastRetire    uint64
+	retireRing    []uint64
+	instr         uint64
+
+	// chainReady maps a load PC to its last completion time (OOO
+	// pointer-chase chains).
+	chainReady map[uint64]uint64
+	// stallReady implements the in-order stall-on-use ring.
+	stallReady [stallRingSize]uint64
+
+	res Result
+}
+
+// NewCore builds a core over a memory system; it panics on invalid
+// configuration.
+func NewCore(cfg Config, mem MemSystem) *Core {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if mem == nil {
+		panic("cpu: nil MemSystem")
+	}
+	return &Core{
+		cfg:        cfg,
+		mem:        mem,
+		retireRing: make([]uint64, cfg.ROB),
+		chainReady: make(map[uint64]uint64),
+	}
+}
+
+// Cycles returns the current cycle (the last retirement time).
+func (c *Core) Cycles() uint64 { return c.lastRetire }
+
+// Result returns the run summary so far.
+func (c *Core) Result() Result {
+	r := c.res
+	r.Cycles = c.lastRetire
+	return r
+}
+
+// dispatchOne advances the front-end by one instruction and returns its
+// dispatch cycle, honouring width, ROB occupancy, and (in-order)
+// operand stalls.
+func (c *Core) dispatchOne() uint64 {
+	// ROB: wait for instruction instr-ROB to retire.
+	if floor := c.retireRing[c.instr%uint64(c.cfg.ROB)]; floor > c.dispatchCycle {
+		c.dispatchCycle = floor
+		c.slotsUsed = 0
+	}
+	if c.cfg.InOrder || c.cfg.StallCap > 0 {
+		slot := c.instr % stallRingSize
+		if ready := c.stallReady[slot]; ready > c.dispatchCycle {
+			c.dispatchCycle = ready
+			c.slotsUsed = 0
+		}
+		c.stallReady[slot] = 0
+	}
+	at := c.dispatchCycle
+	c.slotsUsed++
+	if c.slotsUsed >= c.cfg.Width {
+		c.dispatchCycle++
+		c.slotsUsed = 0
+	}
+	return at
+}
+
+// retire records an instruction's completion, enforcing in-order
+// retirement.
+func (c *Core) retire(completion uint64) {
+	if completion < c.lastRetire {
+		completion = c.lastRetire
+	}
+	c.retireRing[c.instr%uint64(c.cfg.ROB)] = completion
+	c.lastRetire = completion
+	c.instr++
+	c.res.Instructions++
+}
+
+// step simulates one trace record: its leading non-memory instructions
+// and the access itself.
+func (c *Core) step(rec trace.Record) {
+	// Non-memory gap instructions: unit latency.
+	for g := uint16(0); g < rec.Gap; g++ {
+		at := c.dispatchOne()
+		c.retire(at + 1)
+	}
+
+	at := c.dispatchOne()
+	if rec.IsStore() {
+		c.res.Stores++
+		// Stores retire from a write buffer: unit latency for the core;
+		// the hierarchy still sees the access now.
+		c.mem.Access(rec, at)
+		c.retire(at + 1)
+		return
+	}
+
+	c.res.Loads++
+	issue := at
+	chase := rec.DepDist > 0 && rec.DepDist <= chaseDistMax
+	if chase {
+		// Address depends on the previous load of this PC.
+		if ready := c.chainReady[rec.PC]; ready > issue {
+			issue = ready
+		}
+	}
+	mr := c.mem.Access(rec, issue)
+	completion := issue + uint64(mr.Latency)
+	if chase {
+		c.chainReady[rec.PC] = completion
+	}
+	// Consumer stall: the instruction DepDist later needs the data.
+	// The in-order core stalls for the full latency. The OOO core
+	// absorbs HideLatency cycles, and its stall contribution is clamped
+	// to StallCap: hit-class latencies leak into dispatch almost fully,
+	// while misses beyond the cap are overlapped by the ROB (their
+	// consumers pay only the bounded scheduler-replay cost).
+	stallAt := completion
+	apply := c.cfg.InOrder
+	if !apply && c.cfg.StallCap > 0 {
+		apply = true
+		exposed := mr.Latency
+		if exposed > c.cfg.StallCap {
+			exposed = c.cfg.StallCap
+		}
+		exposed -= c.cfg.HideLatency
+		if exposed <= 0 {
+			apply = false
+		} else {
+			stallAt = issue + uint64(exposed)
+		}
+	}
+	if apply {
+		slot := (c.instr + uint64(rec.DepDist)) % stallRingSize
+		if stallAt > c.stallReady[slot] {
+			c.stallReady[slot] = stallAt
+		}
+	}
+	c.retire(completion)
+}
+
+// Run consumes the trace to EOF (or maxRecords, if nonzero) and returns
+// the result. Errors other than io.EOF from the reader are returned.
+func (c *Core) Run(r trace.Reader, maxRecords uint64) (Result, error) {
+	var n uint64
+	for maxRecords == 0 || n < maxRecords {
+		rec, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return c.Result(), err
+		}
+		c.step(rec)
+		n++
+	}
+	return c.Result(), nil
+}
+
+// Step exposes single-record stepping for multicore interleaving.
+func (c *Core) Step(rec trace.Record) { c.step(rec) }

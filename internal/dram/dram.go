@@ -1,0 +1,163 @@
+// Package dram is a DDR3-style main-memory timing model standing in
+// for DRAMSim2: 4 channels x 8 banks (Tab. II), open-page policy with
+// row-buffer hit/miss/conflict timing, bank occupancy, and channel bus
+// contention. Precision beyond that (refresh, power-down, command bus)
+// does not influence SIPT, which never changes DRAM traffic content.
+package dram
+
+import (
+	"fmt"
+
+	"sipt/internal/memaddr"
+)
+
+// Config describes the memory system in core cycles (the simulator
+// runs everything on the core clock; Tab. II's 3 GHz core against
+// DDR3-1600 gives roughly the defaults below).
+type Config struct {
+	Channels int
+	Banks    int // per channel
+	RowBytes uint64
+
+	// RowHitCycles is CAS-only access time for an open row.
+	RowHitCycles int
+	// RowMissCycles covers activate + CAS on a closed/conflicting row.
+	RowMissCycles int
+	// BankBusyCycles is the bank occupancy per request (tRC-ish slice).
+	BankBusyCycles int
+	// BusCycles is the channel data-bus occupancy per 64 B transfer.
+	BusCycles int
+}
+
+// Default returns the Tab. II memory system: 8-bank, 4-channel DDR3.
+func Default() Config {
+	return Config{
+		Channels:       4,
+		Banks:          8,
+		RowBytes:       8 << 10,
+		RowHitCycles:   45,
+		RowMissCycles:  110,
+		BankBusyCycles: 24,
+		BusCycles:      4,
+	}
+}
+
+// Validate reports malformed configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.Channels <= 0 || !memaddr.IsPow2(uint64(c.Channels)):
+		return fmt.Errorf("dram: channels = %d", c.Channels)
+	case c.Banks <= 0 || !memaddr.IsPow2(uint64(c.Banks)):
+		return fmt.Errorf("dram: banks = %d", c.Banks)
+	case c.RowBytes == 0 || !memaddr.IsPow2(c.RowBytes):
+		return fmt.Errorf("dram: row bytes = %d", c.RowBytes)
+	case c.RowHitCycles <= 0 || c.RowMissCycles < c.RowHitCycles:
+		return fmt.Errorf("dram: row timing %d/%d", c.RowHitCycles, c.RowMissCycles)
+	case c.BankBusyCycles < 0 || c.BusCycles < 0:
+		return fmt.Errorf("dram: occupancy %d/%d", c.BankBusyCycles, c.BusCycles)
+	}
+	return nil
+}
+
+// Stats counts DRAM events.
+type Stats struct {
+	Reads     uint64
+	Writes    uint64
+	RowHits   uint64
+	RowMisses uint64
+}
+
+type bank struct {
+	openRow  uint64
+	rowValid bool
+	freeAt   uint64 // cycle at which the bank can accept the next request
+}
+
+// DRAM is the memory timing model. It is not safe for concurrent use;
+// the multicore simulator serialises requests through the shared LLC.
+type DRAM struct {
+	cfg      Config
+	banks    []bank   // Channels*Banks
+	busFree  []uint64 // per channel
+	chanMask uint64
+	bankMask uint64
+	rowShift uint
+	stats    Stats
+}
+
+// New builds the model; it panics on invalid configuration.
+func New(cfg Config) *DRAM {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &DRAM{
+		cfg:      cfg,
+		banks:    make([]bank, cfg.Channels*cfg.Banks),
+		busFree:  make([]uint64, cfg.Channels),
+		chanMask: uint64(cfg.Channels) - 1,
+		bankMask: uint64(cfg.Banks) - 1,
+		rowShift: memaddr.Log2(cfg.RowBytes),
+	}
+}
+
+// Config returns the configuration.
+func (d *DRAM) Config() Config { return d.cfg }
+
+// Stats returns a copy of the counters.
+func (d *DRAM) Stats() Stats { return d.stats }
+
+// route maps a line address to channel and bank: line-interleaved
+// channels (bandwidth for streams) and coarse-grained (64-row) bank
+// interleaving. Coarse banking keeps co-running streams in distinct
+// banks, approximating the per-stream row-buffer locality an FR-FCFS
+// scheduler preserves; fine interleaving would make every stream thrash
+// every row buffer, which real controllers avoid.
+func (d *DRAM) route(pa memaddr.PAddr) (ch, bk int, row uint64) {
+	line := uint64(pa) >> memaddr.LineShift
+	ch = int(line & d.chanMask)
+	row = uint64(pa) >> d.rowShift
+	bk = int((row >> 6) & d.bankMask)
+	return ch, bk, row
+}
+
+// Access services one 64 B transfer arriving at the given core cycle
+// and returns its latency in cycles (including any queueing on the
+// bank or channel bus).
+func (d *DRAM) Access(pa memaddr.PAddr, write bool, now uint64) int {
+	if write {
+		d.stats.Writes++
+	} else {
+		d.stats.Reads++
+	}
+	ch, bk, row := d.route(pa)
+	b := &d.banks[ch*d.cfg.Banks+bk]
+
+	// Bank occupancy gates when the access can start.
+	start := now
+	if b.freeAt > start {
+		start = b.freeAt
+	}
+
+	var access int
+	if b.rowValid && b.openRow == row {
+		d.stats.RowHits++
+		access = d.cfg.RowHitCycles
+	} else {
+		d.stats.RowMisses++
+		access = d.cfg.RowMissCycles
+		b.openRow = row
+		b.rowValid = true
+	}
+	b.freeAt = start + uint64(d.cfg.BankBusyCycles)
+	done := start + uint64(access)
+
+	// The channel data bus is only occupied for the 64 B burst when the
+	// data returns; accesses on different banks of a channel otherwise
+	// proceed in parallel.
+	ret := done
+	if d.busFree[ch] > ret {
+		ret = d.busFree[ch]
+	}
+	d.busFree[ch] = ret + uint64(d.cfg.BusCycles)
+	return int(ret + uint64(d.cfg.BusCycles) - now)
+}

@@ -1,0 +1,122 @@
+package dram
+
+import (
+	"testing"
+
+	"sipt/internal/memaddr"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBad(t *testing.T) {
+	cases := []func(*Config){
+		func(c *Config) { c.Channels = 0 },
+		func(c *Config) { c.Channels = 3 },
+		func(c *Config) { c.Banks = 0 },
+		func(c *Config) { c.RowBytes = 1000 },
+		func(c *Config) { c.RowHitCycles = 0 },
+		func(c *Config) { c.RowMissCycles = c.RowHitCycles - 1 },
+		func(c *Config) { c.BusCycles = -1 },
+	}
+	for i, mutate := range cases {
+		c := Default()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestRowBufferHitFasterThanMiss(t *testing.T) {
+	d := New(Default())
+	pa := memaddr.PAddr(0x10000)
+	first := d.Access(pa, false, 0)
+	// Same row, later in time (no queueing).
+	second := d.Access(pa+memaddr.PAddr(64*Default().Channels), false, 10000)
+	if second >= first {
+		t.Errorf("row hit (%d cycles) not faster than miss (%d)", second, first)
+	}
+	st := d.Stats()
+	if st.RowHits != 1 || st.RowMisses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestRowConflictReopens(t *testing.T) {
+	cfg := Default()
+	d := New(cfg)
+	pa := memaddr.PAddr(0)
+	d.Access(pa, false, 0)
+	// A different row in the same bank forces a row miss. Rows advance
+	// by RowBytes; the bank is row & bankMask, so jump Banks rows ahead
+	// to stay on bank 0.
+	conflict := memaddr.PAddr(cfg.RowBytes * uint64(cfg.Banks))
+	lat := d.Access(conflict, false, 100000)
+	if lat < cfg.RowMissCycles {
+		t.Errorf("row conflict latency %d, want >= %d", lat, cfg.RowMissCycles)
+	}
+	if d.Stats().RowMisses != 2 {
+		t.Errorf("RowMisses = %d, want 2", d.Stats().RowMisses)
+	}
+}
+
+func TestBankQueueing(t *testing.T) {
+	cfg := Default()
+	d := New(cfg)
+	pa := memaddr.PAddr(0x40000)
+	a := d.Access(pa, false, 0)
+	// Immediately-following access to the same bank queues behind it.
+	b := d.Access(pa, false, 0)
+	if b <= a {
+		t.Errorf("back-to-back same-bank access %d not delayed vs %d", b, a)
+	}
+}
+
+func TestChannelParallelism(t *testing.T) {
+	cfg := Default()
+	d := New(cfg)
+	// Consecutive lines hit different channels: no mutual queueing.
+	a := d.Access(0, false, 0)
+	b := d.Access(64, false, 0)
+	if b > a {
+		t.Errorf("different-channel access %d delayed vs %d", b, a)
+	}
+}
+
+func TestReadWriteCounters(t *testing.T) {
+	d := New(Default())
+	d.Access(0, false, 0)
+	d.Access(0, true, 100)
+	st := d.Stats()
+	if st.Reads != 1 || st.Writes != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLatencyAlwaysPositive(t *testing.T) {
+	d := New(Default())
+	var now uint64
+	for i := 0; i < 1000; i++ {
+		pa := memaddr.PAddr(i*64*7) % (1 << 24)
+		lat := d.Access(pa, i%3 == 0, now)
+		if lat <= 0 {
+			t.Fatalf("access %d: latency %d", i, lat)
+		}
+		now += 50
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New accepted invalid config")
+		}
+	}()
+	cfg := Default()
+	cfg.Banks = 5
+	New(cfg)
+}

@@ -1,0 +1,147 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+// tab2Params builds the baseline OOO hierarchy's energy parameters
+// (Tab. II): 32K 8-way L1, 256K L2, 2M LLC.
+func tab2Params() Params {
+	var p Params
+	p.FreqGHz = 3.0
+	p.L1Ways = 8
+	p.Levels[L1] = LevelParams{Present: true, DynNJ: 0.38, StaticMW: 46}
+	p.Levels[L2] = LevelParams{Present: true, DynNJ: 0.13, StaticMW: 102}
+	p.Levels[LLC] = LevelParams{Present: true, DynNJ: 0.35, StaticMW: 578}
+	return p
+}
+
+func TestValidate(t *testing.T) {
+	if err := tab2Params().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Params){
+		func(p *Params) { p.FreqGHz = 0 },
+		func(p *Params) { p.L1Ways = 0 },
+		func(p *Params) { p.PredictorDynFrac = -0.1 },
+		func(p *Params) { p.PredictorDynFrac = 0.5 }, // violates the <2% paper bound
+		func(p *Params) { p.Levels[L2].DynNJ = -1 },
+	}
+	for i, mutate := range cases {
+		p := tab2Params()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+func TestDynamicEnergyExact(t *testing.T) {
+	a := New(tab2Params())
+	a.AddAccesses(L1, 1000)
+	a.AddAccesses(L2, 100)
+	a.AddAccesses(LLC, 10)
+	b := a.Finish(0)
+	want := 1000*0.38e-9 + 100*0.13e-9 + 10*0.35e-9
+	if math.Abs(b.Dynamic()-want) > 1e-15 {
+		t.Errorf("Dynamic = %v, want %v", b.Dynamic(), want)
+	}
+	if b.Static() != 0 {
+		t.Errorf("Static = %v with zero cycles", b.Static())
+	}
+}
+
+func TestStaticEnergyScalesWithCycles(t *testing.T) {
+	a := New(tab2Params())
+	b := a.Finish(3_000_000_000) // one second at 3 GHz
+	want := (46 + 102 + 578) * 1e-3
+	if math.Abs(b.Static()-want) > 1e-9 {
+		t.Errorf("Static = %v J, want %v J", b.Static(), want)
+	}
+}
+
+func TestWayPredictedScaling(t *testing.T) {
+	a := New(tab2Params())
+	a.AddWayPredictedL1(8000) // 8-way: each costs 1/8
+	b := a.Finish(0)
+	want := 8000 * 0.38e-9 / 8
+	if math.Abs(b.DynamicJ[L1]-want) > 1e-15 {
+		t.Errorf("way-predicted dynamic = %v, want %v", b.DynamicJ[L1], want)
+	}
+	// 8000 way-predicted accesses must cost what 1000 full ones do.
+	full := New(tab2Params())
+	full.AddAccesses(L1, 1000)
+	if math.Abs(full.Finish(0).DynamicJ[L1]-want) > 1e-15 {
+		t.Error("1/ways equivalence broken")
+	}
+}
+
+func TestPredictorOverheadSmall(t *testing.T) {
+	p := tab2Params()
+	p.PredictorDynFrac = 0.01
+	a := New(p)
+	a.AddAccesses(L1, 1000)
+	a.AddPredictorOps(1000)
+	b := a.Finish(0)
+	if b.PredictorJ <= 0 {
+		t.Fatal("predictor energy not charged")
+	}
+	if b.PredictorJ >= 0.02*b.DynamicJ[L1] {
+		t.Errorf("predictor overhead %.3g J too large vs L1 %.3g J", b.PredictorJ, b.DynamicJ[L1])
+	}
+}
+
+func TestAbsentLevelPanics(t *testing.T) {
+	p := tab2Params()
+	p.Levels[L2].Present = false
+	a := New(p)
+	defer func() {
+		if recover() == nil {
+			t.Error("access to absent level did not panic")
+		}
+	}()
+	a.AddAccesses(L2, 1)
+}
+
+func TestAbsentLevelContributesNothing(t *testing.T) {
+	p := tab2Params()
+	p.Levels[L2] = LevelParams{} // in-order two-level hierarchy
+	a := New(p)
+	a.AddAccesses(L1, 100)
+	b := a.Finish(1000)
+	if b.DynamicJ[L2] != 0 || b.StaticJ[L2] != 0 {
+		t.Error("absent level accrued energy")
+	}
+}
+
+func TestTotalIsDynamicPlusStatic(t *testing.T) {
+	a := New(tab2Params())
+	a.AddAccesses(L1, 5000)
+	a.AddAccesses(LLC, 50)
+	b := a.Finish(1_000_000)
+	if math.Abs(b.Total()-(b.Dynamic()+b.Static())) > 1e-18 {
+		t.Error("Total != Dynamic + Static")
+	}
+	if b.Total() <= 0 {
+		t.Error("non-positive total energy")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if L1.String() != "L1" || L2.String() != "L2" || LLC.String() != "LLC" {
+		t.Error("level labels wrong")
+	}
+	if Level(9).String() != "unknown" {
+		t.Error("unknown level label wrong")
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New accepted invalid params")
+		}
+	}()
+	New(Params{})
+}

@@ -1,0 +1,206 @@
+// Package exp defines one reproducible experiment per table and figure
+// in the paper's evaluation, mapping each onto the simulator and
+// rendering the same rows/series the paper reports. cmd/siptbench and
+// the repository-level benchmarks drive these definitions.
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"sipt/internal/report"
+	"sipt/internal/sim"
+	"sipt/internal/vm"
+	"sipt/internal/workload"
+)
+
+// Options configures a harness run.
+type Options struct {
+	// Records is the per-app trace length (0 = DefaultRecords).
+	Records uint64
+	// Seed drives every stochastic component deterministically.
+	Seed int64
+	// Apps restricts the application list (nil = the 26 figure apps).
+	Apps []string
+	// Workers bounds concurrent simulations (0 = GOMAXPROCS).
+	Workers int
+}
+
+// DefaultRecords is the harness trace length per app.
+const DefaultRecords = 300_000
+
+func (o Options) records() uint64 {
+	if o.Records == 0 {
+		return DefaultRecords
+	}
+	return o.Records
+}
+
+func (o Options) apps() []string {
+	if len(o.Apps) == 0 {
+		return workload.FigureApps()
+	}
+	return o.Apps
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Runner executes simulations with memoisation, so figures sharing runs
+// (e.g. Fig. 6/7 and Fig. 13/14 share baselines) pay once.
+type Runner struct {
+	opts  Options
+	mu    sync.Mutex
+	cache map[string]sim.Stats
+}
+
+// NewRunner creates a Runner.
+func NewRunner(opts Options) *Runner {
+	return &Runner{opts: opts, cache: make(map[string]sim.Stats)}
+}
+
+// Options returns the runner's options.
+func (r *Runner) Options() Options { return r.opts }
+
+func (r *Runner) key(app string, cfg sim.Config, sc vm.Scenario) string {
+	return fmt.Sprintf("%s|%s|%s|%t|%t|%t|%s|%d",
+		app, cfg.Core.Name, cfg.Label(), cfg.WayPrediction,
+		cfg.PerfectWayPrediction, cfg.NoContig, sc, r.opts.records())
+}
+
+// Run simulates (memoised) one app on one config under a scenario.
+func (r *Runner) Run(app string, cfg sim.Config, sc vm.Scenario) (sim.Stats, error) {
+	k := r.key(app, cfg, sc)
+	r.mu.Lock()
+	st, ok := r.cache[k]
+	r.mu.Unlock()
+	if ok {
+		return st, nil
+	}
+	prof, err := workload.Lookup(app)
+	if err != nil {
+		return sim.Stats{}, err
+	}
+	st, err = sim.RunApp(prof, cfg, sc, r.opts.Seed, r.opts.records())
+	if err != nil {
+		return sim.Stats{}, fmt.Errorf("exp: %s on %s/%s: %w", app, cfg.Label(), sc, err)
+	}
+	r.mu.Lock()
+	r.cache[k] = st
+	r.mu.Unlock()
+	return st, nil
+}
+
+// forEachApp runs fn over the app list with bounded concurrency and
+// returns results in app order.
+func forEachApp[T any](r *Runner, fn func(app string) (T, error)) ([]T, error) {
+	apps := r.opts.apps()
+	out := make([]T, len(apps))
+	errs := make([]error, len(apps))
+	sem := make(chan struct{}, r.opts.workers())
+	var wg sync.WaitGroup
+	for i, app := range apps {
+		wg.Add(1)
+		go func(i int, app string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i], errs[i] = fn(app)
+		}(i, app)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// hmean returns the harmonic mean (the paper's speedup average).
+func hmean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vs {
+		if v <= 0 {
+			return 0
+		}
+		s += 1 / v
+	}
+	return float64(len(vs)) / s
+}
+
+// amean returns the arithmetic mean (the paper's energy average).
+func amean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vs {
+		s += v
+	}
+	return s / float64(len(vs))
+}
+
+// Experiment couples an identifier with its generator function.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(r *Runner) ([]*report.Table, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"tab1", "Tab. I: L1 cache configurations", Tab1},
+		{"fig1", "Fig. 1: L1 latency vs configuration (CACTI model)", Fig1},
+		{"tab2", "Tab. II: simulated system configurations", Tab2},
+		{"fig2", "Fig. 2: IPC of ideal L1 configs, OOO core", Fig2},
+		{"fig3", "Fig. 3: IPC of ideal L1 configs, in-order core", Fig3},
+		{"fig5", "Fig. 5: fraction of correct speculations vs index bits", Fig5},
+		{"fig6", "Fig. 6: naive SIPT IPC and extra accesses", Fig6},
+		{"fig7", "Fig. 7: naive SIPT cache-hierarchy energy", Fig7},
+		{"fig9", "Fig. 9: perceptron bypass predictor outcome breakdown", Fig9},
+		{"fig12", "Fig. 12: combined predictor accuracy", Fig12},
+		{"fig13", "Fig. 13: SIPT+IDB IPC and extra accesses", Fig13},
+		{"fig14", "Fig. 14: SIPT+IDB cache-hierarchy energy", Fig14},
+		{"tab3", "Tab. III: multiprogrammed workloads", Tab3},
+		{"fig15", "Fig. 15: quad-core SIPT with IDB", Fig15},
+		{"fig16", "Fig. 16: way prediction IPC and accuracy", Fig16},
+		{"fig17", "Fig. 17: way prediction energy", Fig17},
+		{"fig18", "Fig. 18: sensitivity to memory conditions", Fig18},
+		// Ablations beyond the paper's figures, covering the design
+		// choices its text discusses qualitatively.
+		{"abl-pred", "Ablation: bypass predictor design sensitivity", AblationPredictor},
+		{"abl-idb", "Ablation: IDB entry-count sensitivity", AblationIDB},
+		{"abl-slow", "Ablation: SIPT design progression", AblationSlowPath},
+		{"abl-way", "Ablation: way predictor design", AblationWayPredictor},
+		// Extensions: the paper's qualitative discussions made runnable.
+		{"ext-replay", "Extension: scheduler replay pressure (Sec. VII-C)", ExtReplay},
+		{"ext-coloring", "Extension: page coloring vs speculation (Sec. II-D)", ExtColoring},
+		{"ext-icache", "Extension: SIPT for instruction caches (future work)", ExtICache},
+	}
+}
+
+// Lookup finds an experiment by id.
+func Lookup(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0, len(All()))
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("exp: unknown experiment %q (have %v)", id, ids)
+}

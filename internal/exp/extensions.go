@@ -1,0 +1,204 @@
+package exp
+
+import (
+	"sipt/internal/core"
+	"sipt/internal/cpu"
+	"sipt/internal/memaddr"
+	"sipt/internal/report"
+	"sipt/internal/sim"
+	"sipt/internal/trace"
+	"sipt/internal/vm"
+	"sipt/internal/workload"
+)
+
+// ExtReplay quantifies the paper's Sec. VII-C discussion: SIPT's bypass
+// predictor doubles as a confidence estimator for the instruction
+// scheduler. Loads the perceptron predicts "speculate" for (and gets
+// right) can use a simple, cheap replay mechanism; only the rest need
+// expensive selective-replay resources. The table reports what fraction
+// of accesses falls in each class on the headline 32K/2w geometry.
+func ExtReplay(r *Runner) ([]*report.Table, error) {
+	t := &report.Table{
+		Title: "Extension (Sec. VII-C): scheduler replay pressure under SIPT",
+		Note: "simple-replay: confidently-speculated accesses that completed fast; " +
+			"selective-replay: accesses needing precise recovery (mispredictions); " +
+			"slow-known: predicted-slow accesses with deterministic timing",
+		Columns: []string{"app", "simple-replay", "slow-known", "selective-replay"},
+	}
+	type row struct{ simple, slow, selective float64 }
+	rows, err := forEachApp(r, func(app string) (row, error) {
+		st, err := r.Run(app, sim.SIPT(cpu.OOO(), 32, 2, core.ModeCombined), vm.ScenarioNormal)
+		if err != nil {
+			return row{}, err
+		}
+		n := float64(st.L1.Accesses)
+		if n == 0 {
+			return row{}, nil
+		}
+		// Fast accesses had correct timing speculation: simple replay
+		// suffices. Slow accesses were mispredicted: they are the ones
+		// that exercise selective replay. Bypassed accesses (none in
+		// combined mode, but present in bypass mode) have known timing.
+		return row{
+			simple:    float64(st.L1.Fast) / n,
+			slow:      float64(st.L1.Bypassed) / n,
+			selective: float64(st.L1.Slow) / n,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var a, b, c []float64
+	for i, app := range r.opts.apps() {
+		rw := rows[i]
+		t.AddRow(app, report.F(rw.simple), report.F(rw.slow), report.F(rw.selective))
+		a, b, c = append(a, rw.simple), append(b, rw.slow), append(c, rw.selective)
+	}
+	t.AddRow("Average", report.F(amean(a)), report.F(amean(b)), report.F(amean(c)))
+	return []*report.Table{t}, nil
+}
+
+// ExtColoring contrasts SIPT with the Sec. II-D software alternative:
+// OS page coloring. With a coloring allocator, the speculative index
+// bits are correct by construction whenever coloring succeeded, so even
+// naive SIPT approaches ideal — at the cost of relying on software and
+// of colored-allocation fallbacks under memory pressure. The table
+// reports the naive-SIPT fast fraction and normalised IPC with and
+// without coloring.
+func ExtColoring(r *Runner) ([]*report.Table, error) {
+	t := &report.Table{
+		Title: "Extension (Sec. II-D): page coloring vs hardware speculation",
+		Note: "naive SIPT 32K/2w; coloring constrains PFN low bits to match VPN " +
+			"(software-managed); combined-SIPT column shows the pure-hardware result",
+		Columns: []string{"app", "naive-fast", "naive-fast-colored", "ipc-naive",
+			"ipc-naive-colored", "ipc-combined"},
+	}
+	type row struct{ nf, nfc, in, inc, ic float64 }
+	rows, err := forEachApp(r, func(app string) (row, error) {
+		prof, err := workload.Lookup(app)
+		if err != nil {
+			return row{}, err
+		}
+		base, err := r.Run(app, sim.Baseline(cpu.OOO()), vm.ScenarioNormal)
+		if err != nil {
+			return row{}, err
+		}
+		naive, err := r.Run(app, sim.SIPT(cpu.OOO(), 32, 2, core.ModeNaive), vm.ScenarioNormal)
+		if err != nil {
+			return row{}, err
+		}
+		comb, err := r.Run(app, sim.SIPT(cpu.OOO(), 32, 2, core.ModeCombined), vm.ScenarioNormal)
+		if err != nil {
+			return row{}, err
+		}
+		// Colored run: build the system by hand (coloring is not a
+		// vm.Scenario; it is an allocation policy).
+		sys := sim.NewSystem(vm.ScenarioTHPOff, r.opts.Seed, prof)
+		sys.SetColored(true)
+		gen, err := workload.NewGenerator(prof, sys, r.opts.Seed, r.opts.records())
+		if err != nil {
+			return row{}, err
+		}
+		colored, err := sim.RunTrace(app, gen, sim.SIPT(cpu.OOO(), 32, 2, core.ModeNaive), r.opts.Seed)
+		if err != nil {
+			return row{}, err
+		}
+		return row{
+			nf:  naive.L1.FastFraction(),
+			nfc: colored.L1.FastFraction(),
+			in:  naive.IPC() / base.IPC(),
+			inc: colored.IPC() / base.IPC(),
+			ic:  comb.IPC() / base.IPC(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var nf, nfc, in, inc, ic []float64
+	for i, app := range r.opts.apps() {
+		rw := rows[i]
+		t.AddRow(app, report.F(rw.nf), report.F(rw.nfc), report.F(rw.in),
+			report.F(rw.inc), report.F(rw.ic))
+		nf, nfc = append(nf, rw.nf), append(nfc, rw.nfc)
+		in, inc, ic = append(in, rw.in), append(inc, rw.inc), append(ic, rw.ic)
+	}
+	t.AddRow("Average", report.F(amean(nf)), report.F(amean(nfc)),
+		report.F(hmean(in)), report.F(hmean(inc)), report.F(hmean(ic)))
+	return []*report.Table{t}, nil
+}
+
+// ExtICache is the paper's declared future work ("leaving instruction
+// caches for future work ... we believe SIPT will work at least as well
+// for instruction caches as instruction working sets are typically
+// small"). It runs the SIPT engine over synthetic instruction-fetch
+// streams and reports the fast-access fraction at 1-3 speculative bits,
+// alongside each app's data-side fraction for comparison.
+func ExtICache(r *Runner) ([]*report.Table, error) {
+	t := &report.Table{
+		Title: "Extension (future work): SIPT on the instruction side",
+		Note: "naive = raw 2-bit survival on the fetch stream (one text mapping, so a " +
+			"single delta decides it); combined = fast fraction with bypass+IDB prediction; " +
+			"the paper expects the I-side to work at least as well as the D-side",
+		Columns: []string{"app", "icache-naive", "icache-combined", "dcache-combined"},
+	}
+	type row struct{ in, ic, dc float64 }
+	rows, err := forEachApp(r, func(app string) (row, error) {
+		prof, err := workload.Lookup(app)
+		if err != nil {
+			return row{}, err
+		}
+		d, err := r.Run(app, sim.SIPT(cpu.OOO(), 32, 2, core.ModeCombined), vm.ScenarioNormal)
+		if err != nil {
+			return row{}, err
+		}
+		naive, combined, err := icacheFastFractions(prof, r.opts.Seed, r.opts.records()/4)
+		if err != nil {
+			return row{}, err
+		}
+		return row{in: naive, ic: combined, dc: d.L1.FastFraction()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var a, b, c []float64
+	for i, app := range r.opts.apps() {
+		rw := rows[i]
+		t.AddRow(app, report.F(rw.in), report.F(rw.ic), report.F(rw.dc))
+		a, b, c = append(a, rw.in), append(b, rw.ic), append(c, rw.dc)
+	}
+	t.AddRow("Average", report.F(amean(a)), report.F(amean(b)), report.F(amean(c)))
+	return []*report.Table{t}, nil
+}
+
+// icacheFastFractions generates an instruction-fetch stream for the
+// profile's code layout and measures both the raw 2-bit survival
+// (naive) and the SIPT engine's fast fraction under the combined
+// predictor, using a 32K/2w L1I.
+func icacheFastFractions(prof workload.Profile, seed int64, fetches uint64) (naive, combined float64, err error) {
+	sys := sim.NewSystem(vm.ScenarioNormal, seed, prof)
+	gen, err := workload.NewIFetchGenerator(prof, sys, seed, fetches)
+	if err != nil {
+		return 0, 0, err
+	}
+	recs, err := trace.Collect(gen, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(recs) == 0 {
+		return 0, 0, nil
+	}
+	var fast uint64
+	for _, rec := range recs {
+		if memaddr.BitsUnchanged(rec.VA, rec.PA, 2) {
+			fast++
+		}
+	}
+	naive = float64(fast) / float64(len(recs))
+
+	st, err := sim.RunTrace(prof.Name+"/text", trace.NewSliceReader(recs),
+		sim.SIPT(cpu.OOO(), 32, 2, core.ModeCombined), seed)
+	if err != nil {
+		return 0, 0, err
+	}
+	return naive, st.L1.FastFraction(), nil
+}

@@ -1,0 +1,480 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"sipt/internal/core"
+	"sipt/internal/cpu"
+	"sipt/internal/memaddr"
+	"sipt/internal/report"
+	"sipt/internal/sim"
+	"sipt/internal/vm"
+	"sipt/internal/workload"
+)
+
+// idealConfigs are the Sec. III design points modelled as ideal caches
+// (index always correct), exactly as the paper does for Figs. 2/3.
+func idealConfigs(c cpu.Config) []sim.Config {
+	return []sim.Config{
+		sim.SIPT(c, 16, 4, core.ModeIdeal),
+		sim.SIPT(c, 32, 2, core.ModeIdeal),
+		sim.SIPT(c, 32, 4, core.ModeIdeal),
+		sim.SIPT(c, 64, 4, core.ModeIdeal),
+		sim.SIPT(c, 128, 4, core.ModeIdeal),
+	}
+}
+
+// ipcSweep builds a normalised-IPC table over configurations.
+func ipcSweep(r *Runner, title string, coreCfg cpu.Config, configs []sim.Config) (*report.Table, error) {
+	cols := []string{"app"}
+	for _, c := range configs {
+		cols = append(cols, fmt.Sprintf("%dK-%dw", c.L1SizeKiB, c.L1Ways))
+	}
+	t := &report.Table{
+		Title:   title,
+		Note:    "IPC normalised to the 32KiB 8-way 4-cycle VIPT baseline; Average is the harmonic mean",
+		Columns: cols,
+	}
+	base := sim.Baseline(coreCfg)
+	type row struct{ rel []float64 }
+	rows, err := forEachApp(r, func(app string) (row, error) {
+		b, err := r.Run(app, base, vm.ScenarioNormal)
+		if err != nil {
+			return row{}, err
+		}
+		rel := make([]float64, len(configs))
+		for i, cfg := range configs {
+			st, err := r.Run(app, cfg, vm.ScenarioNormal)
+			if err != nil {
+				return row{}, err
+			}
+			rel[i] = st.IPC() / b.IPC()
+		}
+		return row{rel: rel}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sums := make([][]float64, len(configs))
+	for i, app := range r.opts.apps() {
+		cells := []string{app}
+		for j, v := range rows[i].rel {
+			cells = append(cells, report.F(v))
+			sums[j] = append(sums[j], v)
+		}
+		t.AddRow(cells...)
+	}
+	avg := []string{"Average"}
+	for _, vs := range sums {
+		avg = append(avg, report.F(hmean(vs)))
+	}
+	t.AddRow(avg...)
+	return t, nil
+}
+
+// Fig2 regenerates Fig. 2: ideal-cache IPC sweep on the OOO core.
+func Fig2(r *Runner) ([]*report.Table, error) {
+	t, err := ipcSweep(r, "Fig. 2: IPC with various L1 configs (ideal index), OOO core",
+		cpu.OOO(), idealConfigs(cpu.OOO()))
+	if err != nil {
+		return nil, err
+	}
+	return []*report.Table{t}, nil
+}
+
+// Fig3 regenerates Fig. 3: the same sweep on the in-order core.
+func Fig3(r *Runner) ([]*report.Table, error) {
+	t, err := ipcSweep(r, "Fig. 3: IPC with various L1 configs (ideal index), in-order core",
+		cpu.InOrder(), idealConfigs(cpu.InOrder()))
+	if err != nil {
+		return nil, err
+	}
+	return []*report.Table{t}, nil
+}
+
+// Fig5 regenerates Fig. 5: the fraction of accesses whose speculative
+// index bits survive translation, by required bit count, plus the
+// huge-page fraction (for which 9 bits are guaranteed).
+func Fig5(r *Runner) ([]*report.Table, error) {
+	t := &report.Table{
+		Title:   "Fig. 5: fraction of correct speculations vs speculated index bits",
+		Note:    "k columns: accesses whose low k index bits beyond the page offset are unchanged; huge: accesses on 2MiB pages",
+		Columns: []string{"app", "1-bit", "2-bit", "3-bit", "hugepage(9-bit)"},
+	}
+	type row struct{ k1, k2, k3, huge float64 }
+	rows, err := forEachApp(r, func(app string) (row, error) {
+		prof, err := workload.Lookup(app)
+		if err != nil {
+			return row{}, err
+		}
+		sys := sim.NewSystem(vm.ScenarioNormal, r.opts.Seed, prof)
+		gen, err := workload.NewGenerator(prof, sys, r.opts.Seed, r.opts.records())
+		if err != nil {
+			return row{}, err
+		}
+		var n, k1, k2, k3, huge uint64
+		for {
+			rec, err := gen.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				return row{}, err
+			}
+			n++
+			u := memaddr.UnchangedBits(rec.VA, rec.PA, 9)
+			if u >= 1 {
+				k1++
+			}
+			if u >= 2 {
+				k2++
+			}
+			if u >= 3 {
+				k3++
+			}
+			if rec.Huge() {
+				huge++
+			}
+		}
+		f := func(x uint64) float64 { return float64(x) / float64(n) }
+		return row{f(k1), f(k2), f(k3), f(huge)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var s1, s2, s3, sh []float64
+	for i, app := range r.opts.apps() {
+		rw := rows[i]
+		t.AddRow(app, report.F(rw.k1), report.F(rw.k2), report.F(rw.k3), report.F(rw.huge))
+		s1, s2, s3, sh = append(s1, rw.k1), append(s2, rw.k2), append(s3, rw.k3), append(sh, rw.huge)
+	}
+	t.AddRow("Average", report.F(amean(s1)), report.F(amean(s2)), report.F(amean(s3)), report.F(amean(sh)))
+	return []*report.Table{t}, nil
+}
+
+// siptIPCFigure builds the Fig. 6 / Fig. 13 layout: normalised IPC,
+// normalised ideal IPC, and additional L1 accesses for one SIPT mode on
+// the headline 32K/2w/2c geometry.
+func siptIPCFigure(r *Runner, title string, mode core.Mode) (*report.Table, error) {
+	t := &report.Table{
+		Title:   title,
+		Note:    "normalised to the baseline L1; extra = additional L1 array reads per demand access",
+		Columns: []string{"app", "ipc", "ideal-ipc", "extra-accesses"},
+	}
+	type row struct{ ipc, ideal, extra float64 }
+	rows, err := forEachApp(r, func(app string) (row, error) {
+		b, err := r.Run(app, sim.Baseline(cpu.OOO()), vm.ScenarioNormal)
+		if err != nil {
+			return row{}, err
+		}
+		s, err := r.Run(app, sim.SIPT(cpu.OOO(), 32, 2, mode), vm.ScenarioNormal)
+		if err != nil {
+			return row{}, err
+		}
+		id, err := r.Run(app, sim.SIPT(cpu.OOO(), 32, 2, core.ModeIdeal), vm.ScenarioNormal)
+		if err != nil {
+			return row{}, err
+		}
+		return row{s.IPC() / b.IPC(), id.IPC() / b.IPC(), s.L1.ExtraAccessRate()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var ipcs, ideals, extras []float64
+	for i, app := range r.opts.apps() {
+		rw := rows[i]
+		t.AddRow(app, report.F(rw.ipc), report.F(rw.ideal), report.F(rw.extra))
+		ipcs, ideals, extras = append(ipcs, rw.ipc), append(ideals, rw.ideal), append(extras, rw.extra)
+	}
+	t.AddRow("Average", report.F(hmean(ipcs)), report.F(hmean(ideals)), report.F(amean(extras)))
+	return t, nil
+}
+
+// siptEnergyFigure builds the Fig. 7 / Fig. 14 layout: normalised total
+// and dynamic cache-hierarchy energy for one SIPT mode on 32K/2w/2c.
+func siptEnergyFigure(r *Runner, title string, mode core.Mode) (*report.Table, error) {
+	t := &report.Table{
+		Title:   title,
+		Note:    "energies normalised to baseline total; dyn columns show the dynamic component over baseline total",
+		Columns: []string{"app", "energy", "ideal-energy", "dyn-sipt", "dyn-baseline"},
+	}
+	type row struct{ e, ie, ds, db float64 }
+	rows, err := forEachApp(r, func(app string) (row, error) {
+		b, err := r.Run(app, sim.Baseline(cpu.OOO()), vm.ScenarioNormal)
+		if err != nil {
+			return row{}, err
+		}
+		s, err := r.Run(app, sim.SIPT(cpu.OOO(), 32, 2, mode), vm.ScenarioNormal)
+		if err != nil {
+			return row{}, err
+		}
+		id, err := r.Run(app, sim.SIPT(cpu.OOO(), 32, 2, core.ModeIdeal), vm.ScenarioNormal)
+		if err != nil {
+			return row{}, err
+		}
+		bt := b.Energy.Total()
+		return row{
+			e:  s.Energy.Total() / bt,
+			ie: id.Energy.Total() / bt,
+			ds: s.Energy.Dynamic() / bt,
+			db: b.Energy.Dynamic() / bt,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var es, ies, dss, dbs []float64
+	for i, app := range r.opts.apps() {
+		rw := rows[i]
+		t.AddRow(app, report.F(rw.e), report.F(rw.ie), report.F(rw.ds), report.F(rw.db))
+		es, ies, dss, dbs = append(es, rw.e), append(ies, rw.ie), append(dss, rw.ds), append(dbs, rw.db)
+	}
+	t.AddRow("Average", report.F(amean(es)), report.F(amean(ies)), report.F(amean(dss)), report.F(amean(dbs)))
+	return t, nil
+}
+
+// Fig6 regenerates Fig. 6: naive SIPT IPC and extra accesses.
+func Fig6(r *Runner) ([]*report.Table, error) {
+	t, err := siptIPCFigure(r,
+		"Fig. 6: IPC and additional L1 accesses, naive SIPT 32KiB/2-way/2-cycle, OOO",
+		core.ModeNaive)
+	if err != nil {
+		return nil, err
+	}
+	return []*report.Table{t}, nil
+}
+
+// Fig7 regenerates Fig. 7: naive SIPT energy.
+func Fig7(r *Runner) ([]*report.Table, error) {
+	t, err := siptEnergyFigure(r,
+		"Fig. 7: cache hierarchy energy, naive SIPT 32KiB/2-way/2-cycle, OOO",
+		core.ModeNaive)
+	if err != nil {
+		return nil, err
+	}
+	return []*report.Table{t}, nil
+}
+
+// bitGeometries maps each speculative bit count of Figs. 9/12 to the
+// Tab. II geometry that requires it: 1 bit -> 32K/4w, 2 bits -> 32K/2w,
+// 3 bits -> 128K/4w.
+func bitGeometries() [][3]int {
+	return [][3]int{{1, 32, 4}, {2, 32, 2}, {3, 128, 4}}
+}
+
+// Fig9 regenerates Fig. 9: the four bypass-predictor outcomes per app,
+// for 1/2/3 speculated index bits.
+func Fig9(r *Runner) ([]*report.Table, error) {
+	t := &report.Table{
+		Title:   "Fig. 9: bypass predictor outcome breakdown (fractions of accesses)",
+		Note:    "per app, three geometries: 1 bit (32K/4w), 2 bits (32K/2w), 3 bits (128K/4w)",
+		Columns: []string{"app", "bits", "correct-spec", "correct-bypass", "opportunity-loss", "extra-access"},
+	}
+	type row struct{ vals [3][4]float64 }
+	rows, err := forEachApp(r, func(app string) (row, error) {
+		var rw row
+		for gi, g := range bitGeometries() {
+			st, err := r.Run(app, sim.SIPT(cpu.OOO(), g[1], g[2], core.ModeBypass), vm.ScenarioNormal)
+			if err != nil {
+				return rw, err
+			}
+			p := st.Bypass
+			n := float64(p.Predictions)
+			if n == 0 {
+				continue
+			}
+			rw.vals[gi] = [4]float64{
+				float64(p.CorrectSpeculate) / n,
+				float64(p.CorrectBypass) / n,
+				float64(p.OpportunityLoss) / n,
+				float64(p.ExtraAccess) / n,
+			}
+		}
+		return rw, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, app := range r.opts.apps() {
+		for gi, g := range bitGeometries() {
+			v := rows[i].vals[gi]
+			t.AddRow(app, fmt.Sprintf("%d", g[0]),
+				report.F(v[0]), report.F(v[1]), report.F(v[2]), report.F(v[3]))
+		}
+	}
+	return []*report.Table{t}, nil
+}
+
+// Fig12 regenerates Fig. 12: accuracy of the combined bypass + IDB
+// predictor for 1/2/3 speculative bits.
+func Fig12(r *Runner) ([]*report.Table, error) {
+	t := &report.Table{
+		Title:   "Fig. 12: combined predictor accuracy (fractions of accesses)",
+		Note:    "correct-spec: fast via bypass predictor; idb-hit: fast via IDB (or reversed 1-bit); slow: remaining",
+		Columns: []string{"app", "bits", "correct-spec", "idb-hit", "slow"},
+	}
+	type row struct{ vals [3][3]float64 }
+	rows, err := forEachApp(r, func(app string) (row, error) {
+		var rw row
+		for gi, g := range bitGeometries() {
+			st, err := r.Run(app, sim.SIPT(cpu.OOO(), g[1], g[2], core.ModeCombined), vm.ScenarioNormal)
+			if err != nil {
+				return rw, err
+			}
+			n := float64(st.L1.Accesses)
+			if n == 0 {
+				continue
+			}
+			rw.vals[gi] = [3]float64{
+				float64(st.L1.FastSpec) / n,
+				float64(st.L1.FastIDB) / n,
+				float64(st.L1.Slow) / n,
+			}
+		}
+		return rw, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, app := range r.opts.apps() {
+		for gi, g := range bitGeometries() {
+			v := rows[i].vals[gi]
+			t.AddRow(app, fmt.Sprintf("%d", g[0]), report.F(v[0]), report.F(v[1]), report.F(v[2]))
+		}
+	}
+	return []*report.Table{t}, nil
+}
+
+// Fig13 regenerates Fig. 13: SIPT with IDB, IPC and extra accesses.
+func Fig13(r *Runner) ([]*report.Table, error) {
+	t, err := siptIPCFigure(r,
+		"Fig. 13: IPC and additional L1 accesses, SIPT+IDB 32KiB/2-way/2-cycle, OOO",
+		core.ModeCombined)
+	if err != nil {
+		return nil, err
+	}
+	return []*report.Table{t}, nil
+}
+
+// Fig14 regenerates Fig. 14: SIPT with IDB, energy.
+func Fig14(r *Runner) ([]*report.Table, error) {
+	t, err := siptEnergyFigure(r,
+		"Fig. 14: cache hierarchy energy, SIPT+IDB 32KiB/2-way/2-cycle, OOO",
+		core.ModeCombined)
+	if err != nil {
+		return nil, err
+	}
+	return []*report.Table{t}, nil
+}
+
+// Fig16 regenerates Fig. 16: way prediction on baseline and on SIPT.
+func Fig16(r *Runner) ([]*report.Table, error) {
+	t := &report.Table{
+		Title:   "Fig. 16: way prediction IPC (normalised to baseline) and accuracy",
+		Note:    "systems: baseline+WP, SIPT+IDB (32K/2w/2c), SIPT+IDB+WP; ideal assumes perfect way prediction",
+		Columns: []string{"app", "base+wp", "sipt", "sipt+wp", "ideal", "wp-acc-base", "wp-acc-sipt"},
+	}
+	type row struct{ bwp, s, swp, id, accB, accS float64 }
+	rows, err := forEachApp(r, func(app string) (row, error) {
+		b, err := r.Run(app, sim.Baseline(cpu.OOO()), vm.ScenarioNormal)
+		if err != nil {
+			return row{}, err
+		}
+		bwpCfg := sim.Baseline(cpu.OOO())
+		bwpCfg.WayPrediction = true
+		bwp, err := r.Run(app, bwpCfg, vm.ScenarioNormal)
+		if err != nil {
+			return row{}, err
+		}
+		s, err := r.Run(app, sim.SIPT(cpu.OOO(), 32, 2, core.ModeCombined), vm.ScenarioNormal)
+		if err != nil {
+			return row{}, err
+		}
+		swpCfg := sim.SIPT(cpu.OOO(), 32, 2, core.ModeCombined)
+		swpCfg.WayPrediction = true
+		swp, err := r.Run(app, swpCfg, vm.ScenarioNormal)
+		if err != nil {
+			return row{}, err
+		}
+		idCfg := sim.SIPT(cpu.OOO(), 32, 2, core.ModeIdeal)
+		idCfg.WayPrediction = true
+		idCfg.PerfectWayPrediction = true
+		id, err := r.Run(app, idCfg, vm.ScenarioNormal)
+		if err != nil {
+			return row{}, err
+		}
+		return row{
+			bwp: bwp.IPC() / b.IPC(), s: s.IPC() / b.IPC(), swp: swp.IPC() / b.IPC(),
+			id: id.IPC() / b.IPC(), accB: bwp.L1.WayAccuracy(), accS: swp.L1.WayAccuracy(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var a, bb, c, d, e, f []float64
+	for i, app := range r.opts.apps() {
+		rw := rows[i]
+		t.AddRow(app, report.F(rw.bwp), report.F(rw.s), report.F(rw.swp), report.F(rw.id),
+			report.F(rw.accB), report.F(rw.accS))
+		a, bb, c = append(a, rw.bwp), append(bb, rw.s), append(c, rw.swp)
+		d, e, f = append(d, rw.id), append(e, rw.accB), append(f, rw.accS)
+	}
+	t.AddRow("Average", report.F(hmean(a)), report.F(hmean(bb)), report.F(hmean(c)),
+		report.F(hmean(d)), report.F(amean(e)), report.F(amean(f)))
+	return []*report.Table{t}, nil
+}
+
+// Fig17 regenerates Fig. 17: way prediction energy.
+func Fig17(r *Runner) ([]*report.Table, error) {
+	t := &report.Table{
+		Title:   "Fig. 17: cache hierarchy energy with way prediction, normalised to baseline",
+		Note:    "systems: baseline+WP, SIPT+IDB (32K/2w/2c), SIPT+IDB+WP, ideal (perfect WP)",
+		Columns: []string{"app", "base+wp", "sipt", "sipt+wp", "ideal"},
+	}
+	type row struct{ bwp, s, swp, id float64 }
+	rows, err := forEachApp(r, func(app string) (row, error) {
+		b, err := r.Run(app, sim.Baseline(cpu.OOO()), vm.ScenarioNormal)
+		if err != nil {
+			return row{}, err
+		}
+		bwpCfg := sim.Baseline(cpu.OOO())
+		bwpCfg.WayPrediction = true
+		bwp, err := r.Run(app, bwpCfg, vm.ScenarioNormal)
+		if err != nil {
+			return row{}, err
+		}
+		s, err := r.Run(app, sim.SIPT(cpu.OOO(), 32, 2, core.ModeCombined), vm.ScenarioNormal)
+		if err != nil {
+			return row{}, err
+		}
+		swpCfg := sim.SIPT(cpu.OOO(), 32, 2, core.ModeCombined)
+		swpCfg.WayPrediction = true
+		swp, err := r.Run(app, swpCfg, vm.ScenarioNormal)
+		if err != nil {
+			return row{}, err
+		}
+		idCfg := sim.SIPT(cpu.OOO(), 32, 2, core.ModeIdeal)
+		idCfg.WayPrediction = true
+		idCfg.PerfectWayPrediction = true
+		id, err := r.Run(app, idCfg, vm.ScenarioNormal)
+		if err != nil {
+			return row{}, err
+		}
+		bt := b.Energy.Total()
+		return row{bwp.Energy.Total() / bt, s.Energy.Total() / bt,
+			swp.Energy.Total() / bt, id.Energy.Total() / bt}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var a, bb, c, d []float64
+	for i, app := range r.opts.apps() {
+		rw := rows[i]
+		t.AddRow(app, report.F(rw.bwp), report.F(rw.s), report.F(rw.swp), report.F(rw.id))
+		a, bb, c, d = append(a, rw.bwp), append(bb, rw.s), append(c, rw.swp), append(d, rw.id)
+	}
+	t.AddRow("Average", report.F(amean(a)), report.F(amean(bb)), report.F(amean(c)), report.F(amean(d)))
+	return []*report.Table{t}, nil
+}

@@ -1,0 +1,109 @@
+package predictor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMRUWayColdStart(t *testing.T) {
+	m := NewMRUWay(64)
+	if got := m.Predict(0, 5); got != -1 {
+		t.Errorf("cold Predict = %d, want -1", got)
+	}
+	m.Update(0, 5, 3)
+	if got := m.Predict(0, 5); got != 3 {
+		t.Errorf("Predict after Update = %d, want 3", got)
+	}
+	// The cold update must not count as a prediction.
+	if st := m.Stats(); st.Predictions != 0 {
+		t.Errorf("cold update counted: %+v", st)
+	}
+}
+
+func TestMRUWayAccuracyOnRepeats(t *testing.T) {
+	m := NewMRUWay(16)
+	for i := 0; i < 100; i++ {
+		m.Update(0, 2, 1) // same way every time
+	}
+	if acc := m.Stats().Accuracy(); acc != 1.0 {
+		t.Errorf("repeat-way accuracy = %v, want 1.0", acc)
+	}
+}
+
+func TestMRUWayAlternationMisses(t *testing.T) {
+	m := NewMRUWay(16)
+	for i := 0; i < 100; i++ {
+		m.Update(0, 2, i%2) // ping-pong between two ways
+	}
+	if acc := m.Stats().Accuracy(); acc > 0.05 {
+		t.Errorf("alternating ways accuracy = %v, want ~0", acc)
+	}
+}
+
+func TestMRUWayStorageBits(t *testing.T) {
+	m := NewMRUWay(64)
+	// Paper: 3 bits per set for an 8-way cache.
+	if got := m.StorageBits(8); got != 64*3 {
+		t.Errorf("StorageBits(8) = %d, want 192", got)
+	}
+	if got := m.StorageBits(2); got != 64*1 {
+		t.Errorf("StorageBits(2) = %d, want 64", got)
+	}
+}
+
+func TestPCWaySeparatesInterleavedStreams(t *testing.T) {
+	// Two PCs ping-pong in the same set, each always hitting its own
+	// way: MRU sees alternation (0% accuracy), PCWay learns both.
+	mru := NewMRUWay(64)
+	pcw := NewPCWay(256)
+	for i := 0; i < 200; i++ {
+		pc := uint64(0x400000 + (i%2)*4)
+		way := i % 2
+		mru.Update(pc, 7, way)
+		pcw.Update(pc, 7, way)
+	}
+	if mruAcc := mru.Stats().Accuracy(); mruAcc > 0.05 {
+		t.Errorf("MRU accuracy %v on interleaved streams, want ~0", mruAcc)
+	}
+	if pcAcc := pcw.Stats().Accuracy(); pcAcc < 0.95 {
+		t.Errorf("PCWay accuracy %v on interleaved streams, want ~1", pcAcc)
+	}
+}
+
+func TestWayPredictorsRandomisedBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	preds := []WayPredictor{NewMRUWay(64), NewPCWay(256)}
+	for i := 0; i < 5000; i++ {
+		pc := uint64(0x400000 + rng.Intn(32)*4)
+		set := uint64(rng.Intn(64))
+		way := rng.Intn(8)
+		for _, p := range preds {
+			if w := p.Predict(pc, set); w < -1 || w > 7 {
+				t.Fatalf("prediction %d out of range", w)
+			}
+			p.Update(pc, set, way)
+		}
+	}
+	for _, p := range preds {
+		st := p.Stats()
+		if st.Hits > st.Predictions {
+			t.Errorf("hits %d exceed predictions %d", st.Hits, st.Predictions)
+		}
+	}
+}
+
+func TestWayPredictorConstructorsPanic(t *testing.T) {
+	for name, f := range map[string]func(){
+		"MRUWay": func() { NewMRUWay(0) },
+		"PCWay":  func() { NewPCWay(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s accepted invalid size", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

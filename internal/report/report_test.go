@@ -1,0 +1,117 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		Title:   "Fig. X: sample",
+		Note:    "normalised to baseline",
+		Columns: []string{"app", "ipc", "energy"},
+	}
+	t.AddRow("sjeng", "1.023", "0.744")
+	t.AddRow("mcf", "0.981", "0.802")
+	return t
+}
+
+func TestRenderAligned(t *testing.T) {
+	var b strings.Builder
+	if err := sample().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# Fig. X: sample") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "# normalised to baseline") {
+		t.Error("note missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title, note, header, rule, 2 rows
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Numeric columns right-aligned: both rows end at the same width.
+	if len(lines[4]) != len(lines[5]) {
+		t.Errorf("rows not aligned:\n%s", out)
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	var b strings.Builder
+	if err := sample().RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "app,ipc,energy" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "sjeng,1.023,0.744" {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tbl := &Table{Title: "q", Columns: []string{"a", "b"}}
+	tbl.AddRow(`x,y`, `he said "hi"`)
+	var b strings.Builder
+	if err := tbl.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"x,y","he said ""hi"""`) {
+		t.Errorf("quoting wrong: %q", b.String())
+	}
+}
+
+func TestAddRowArityPanics(t *testing.T) {
+	tbl := &Table{Title: "t", Columns: []string{"a", "b"}}
+	defer func() {
+		if recover() == nil {
+			t.Error("arity mismatch did not panic")
+		}
+	}()
+	tbl.AddRow("only-one")
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456) != "1.235" {
+		t.Errorf("F = %q", F(1.23456))
+	}
+	if Pct(0.081) != "8.1%" {
+		t.Errorf("Pct = %q", Pct(0.081))
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	var b strings.Builder
+	if err := sample().RenderMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "### Fig. X: sample") {
+		t.Error("markdown heading missing")
+	}
+	if !strings.Contains(out, "| app | ipc | energy |") {
+		t.Errorf("markdown header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "|---|---|---|") {
+		t.Error("markdown rule missing")
+	}
+	if !strings.Contains(out, "| sjeng | 1.023 | 0.744 |") {
+		t.Error("markdown row missing")
+	}
+}
+
+func TestRenderMarkdownEscapesPipes(t *testing.T) {
+	tbl := &Table{Title: "p", Columns: []string{"a"}}
+	tbl.AddRow("x|y")
+	var b strings.Builder
+	if err := tbl.RenderMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `x\|y`) {
+		t.Error("pipe not escaped")
+	}
+}

@@ -1,0 +1,219 @@
+package sim
+
+// Integration tests across the full simulator stack: invariants that
+// tie workload generation, the SIPT engine, the hierarchy, and the
+// cores together.
+
+import (
+	"testing"
+
+	"sipt/internal/core"
+	"sipt/internal/cpu"
+	"sipt/internal/vm"
+	"sipt/internal/workload"
+)
+
+// TestHitMissStreamIdenticalAcrossModes is the end-to-end version of
+// the paper's correctness argument: because contents are physically
+// indexed and tagged, the L1 hit/miss counts (and every lower-level
+// count) must be IDENTICAL across indexing modes for the same geometry
+// and trace. Only timing and extra array reads may differ.
+func TestHitMissStreamIdenticalAcrossModes(t *testing.T) {
+	prof := smallProf(t, "gcc", 2)
+	modes := []core.Mode{core.ModeVIPT, core.ModeIdeal, core.ModeNaive,
+		core.ModeBypass, core.ModeCombined}
+	var ref Stats
+	for i, m := range modes {
+		st, err := RunApp(prof, SIPT(cpu.OOO(), 32, 2, m), vm.ScenarioNormal, 3, testRecords)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = st
+			continue
+		}
+		if st.L1C.Hits != ref.L1C.Hits || st.L1C.Misses != ref.L1C.Misses {
+			t.Errorf("mode %v: L1 hits/misses %d/%d != reference %d/%d",
+				m, st.L1C.Hits, st.L1C.Misses, ref.L1C.Hits, ref.L1C.Misses)
+		}
+		if st.L2.Accesses != ref.L2.Accesses || st.L2.Hits != ref.L2.Hits {
+			t.Errorf("mode %v: L2 stream diverged", m)
+		}
+		if st.Path.DRAMReads != ref.Path.DRAMReads {
+			t.Errorf("mode %v: DRAM reads %d != %d", m, st.Path.DRAMReads, ref.Path.DRAMReads)
+		}
+	}
+}
+
+// TestPathStatsConsistent ties the per-level path accounting to the
+// cache counters: every L1 miss goes to the L2 exactly once; every L2
+// miss goes to the LLC exactly once; every LLC miss reads DRAM.
+func TestPathStatsConsistent(t *testing.T) {
+	st, err := RunApp(smallProf(t, "mcf", 4), Baseline(cpu.OOO()), vm.ScenarioNormal, 1, testRecords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Path.L2Accesses != st.L1C.Misses {
+		t.Errorf("L2 accesses %d != L1 misses %d", st.Path.L2Accesses, st.L1C.Misses)
+	}
+	if st.Path.LLCAccesses != st.L2.Misses {
+		t.Errorf("LLC accesses %d != L2 misses %d", st.Path.LLCAccesses, st.L2.Misses)
+	}
+	if st.Path.DRAMReads > st.Path.LLCAccesses {
+		t.Errorf("DRAM reads %d exceed LLC accesses %d", st.Path.DRAMReads, st.Path.LLCAccesses)
+	}
+	if st.Path.LLCCycles == 0 || st.Path.L2Cycles == 0 {
+		t.Error("path cycles not accounted")
+	}
+}
+
+// TestTwoLevelHierarchyPath verifies the in-order system has no L2 in
+// its miss path.
+func TestTwoLevelHierarchyPath(t *testing.T) {
+	st, err := RunApp(smallProf(t, "mcf", 4), Baseline(cpu.InOrder()), vm.ScenarioNormal, 1, testRecords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Path.L2Accesses != 0 || st.Path.L2Cycles != 0 {
+		t.Error("two-level hierarchy recorded L2 traffic")
+	}
+	if st.Path.LLCAccesses != st.L1C.Misses {
+		t.Errorf("LLC accesses %d != L1 misses %d", st.Path.LLCAccesses, st.L1C.Misses)
+	}
+}
+
+// TestExtraAccessesOnlyInSpeculatingModes: VIPT and ideal never waste
+// array reads; naive on a bad-speculation app must.
+func TestExtraAccessesOnlyInSpeculatingModes(t *testing.T) {
+	prof := smallProf(t, "cactusADM", 2)
+	for _, m := range []core.Mode{core.ModeVIPT, core.ModeIdeal} {
+		st, err := RunApp(prof, SIPT(cpu.OOO(), 32, 2, m), vm.ScenarioNormal, 1, testRecords)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.L1.Extra != 0 {
+			t.Errorf("mode %v produced %d extra accesses", m, st.L1.Extra)
+		}
+	}
+	st, err := RunApp(prof, SIPT(cpu.OOO(), 32, 2, core.ModeNaive), vm.ScenarioNormal, 1, testRecords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.L1.Extra == 0 {
+		t.Error("naive mode on cactusADM produced no extra accesses")
+	}
+}
+
+// TestLatencyOrderingAcrossModes: for a fixed workload, cycle counts
+// must order ideal <= combined <= naive (more misspeculation can only
+// slow things down) and every SIPT mode must beat the PIPT fallback.
+func TestLatencyOrderingAcrossModes(t *testing.T) {
+	prof := smallProf(t, "calculix", 2)
+	cycles := map[core.Mode]uint64{}
+	for _, m := range []core.Mode{core.ModeVIPT, core.ModeIdeal, core.ModeNaive, core.ModeCombined} {
+		st, err := RunApp(prof, SIPT(cpu.OOO(), 32, 2, m), vm.ScenarioNormal, 1, testRecords)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles[m] = st.Core.Cycles
+	}
+	if cycles[core.ModeIdeal] > cycles[core.ModeCombined] {
+		t.Errorf("ideal (%d) slower than combined (%d)", cycles[core.ModeIdeal], cycles[core.ModeCombined])
+	}
+	if cycles[core.ModeCombined] > cycles[core.ModeNaive] {
+		t.Errorf("combined (%d) slower than naive (%d) on a bad-speculation app",
+			cycles[core.ModeCombined], cycles[core.ModeNaive])
+	}
+	if cycles[core.ModeCombined] > cycles[core.ModeVIPT] {
+		t.Errorf("combined (%d) slower than PIPT fallback (%d)",
+			cycles[core.ModeCombined], cycles[core.ModeVIPT])
+	}
+}
+
+// TestMixDeterministic: the quad-core run must be bit-reproducible.
+func TestMixDeterministic(t *testing.T) {
+	mix := workload.Mixes()[2]
+	run := func() MixStats {
+		ms, err := RunMix(mix, SIPT(cpu.OOO(), 32, 2, core.ModeCombined),
+			vm.ScenarioNormal, 9, 3000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ms
+	}
+	a, b := run(), run()
+	for i := range a.PerCore {
+		if a.PerCore[i].Core != b.PerCore[i].Core || a.PerCore[i].L1 != b.PerCore[i].L1 {
+			t.Fatalf("core %d diverged between identical runs", i)
+		}
+	}
+	if a.SumIPC() != b.SumIPC() {
+		t.Error("SumIPC not deterministic")
+	}
+}
+
+// TestMixSharedLLCContention: the same app must run no faster inside a
+// mix than alone on the same record budget (shared-structure contention
+// can only hurt), and the quad-core LLC must be 4x.
+func TestMixSharedLLCContention(t *testing.T) {
+	mix := workload.Mix{Name: "test", Apps: [4]string{"mcf", "mcf", "mcf", "mcf"}}
+	cfg := Baseline(cpu.OOO())
+	ms, err := RunMix(mix, cfg, vm.ScenarioNormal, 5, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := RunApp(workload.MustLookup("mcf"), Baseline(cpu.OOO()),
+		vm.ScenarioNormal, 5, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range ms.PerCore {
+		// Allow some slack: mix cores see a 4x LLC, which can offset
+		// contention slightly.
+		if c.IPC() > single.IPC()*1.25 {
+			t.Errorf("core %d IPC %.3f implausibly above solo %.3f", i, c.IPC(), single.IPC())
+		}
+	}
+}
+
+// TestFragmentedScenarioDegradesAccuracy reproduces the Fig. 18
+// direction at test scale: fragmentation must not *improve* the fast
+// fraction of a huge-page-dependent app.
+func TestFragmentedScenarioDegradesAccuracy(t *testing.T) {
+	prof := smallProf(t, "libquantum", 8)
+	normal, err := RunApp(prof, SIPT(cpu.OOO(), 32, 2, core.ModeCombined),
+		vm.ScenarioNormal, 1, testRecords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frag, err := RunApp(prof, SIPT(cpu.OOO(), 32, 2, core.ModeCombined),
+		vm.ScenarioFragmented, 1, testRecords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frag.L1.FastFraction() > normal.L1.FastFraction()+1e-9 {
+		t.Errorf("fragmentation improved fast fraction: %.3f -> %.3f",
+			normal.L1.FastFraction(), frag.L1.FastFraction())
+	}
+}
+
+// TestEnergyMonotoneInExtraAccesses: with identical geometry, the mode
+// with more L1 array reads must burn at least as much L1 dynamic energy.
+func TestEnergyMonotoneInExtraAccesses(t *testing.T) {
+	prof := smallProf(t, "gromacs", 2)
+	naive, err := RunApp(prof, SIPT(cpu.OOO(), 32, 2, core.ModeNaive), vm.ScenarioNormal, 1, testRecords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comb, err := RunApp(prof, SIPT(cpu.OOO(), 32, 2, core.ModeCombined), vm.ScenarioNormal, 1, testRecords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive.L1.ArrayAccesses <= comb.L1.ArrayAccesses {
+		t.Skip("naive did not produce more array reads on this trace")
+	}
+	if naive.Energy.DynamicJ[0] <= comb.Energy.DynamicJ[0] {
+		t.Errorf("more array reads but less L1 dynamic energy: %v vs %v",
+			naive.Energy.DynamicJ[0], comb.Energy.DynamicJ[0])
+	}
+}

@@ -1,0 +1,77 @@
+package vm
+
+import (
+	"fmt"
+
+	"sipt/internal/memaddr"
+)
+
+// Page coloring (Sec. II-D "Improving VIPT Caching with Page
+// Coloring"): the allocator constrains physical frame selection so a
+// page's low frame-number bits match its virtual page-number bits, the
+// way FreeBSD/NetBSD and ARMv6 systems do. Under full coloring a VIPT
+// cache could index with those bits directly — the software-managed
+// alternative SIPT replaces with pure-hardware speculation. We
+// implement it so the contrast is measurable: with coloring enabled,
+// naive SIPT's speculative bits are correct whenever coloring
+// succeeded.
+
+// ColorBits is the number of low page-number bits page coloring tries
+// to preserve (3 bits covers every SIPT geometry in the paper, up to
+// the 128 KiB 4-way cache).
+const ColorBits = 3
+
+// AllocColored allocates a single frame whose low ColorBits frame bits
+// equal color, falling back to any frame (and reporting fallback) when
+// no matching frame is available. Linux-style implementations search a
+// bounded number of candidates rather than the whole free list; we
+// bound the search the same way.
+func (b *Buddy) AllocColored(color uint64) (memaddr.PFN, bool, error) {
+	color &= 1<<ColorBits - 1
+	const maxProbes = 32
+	var misses []memaddr.PFN
+	defer func() {
+		for _, pfn := range misses {
+			b.Free(pfn, 0)
+		}
+	}()
+	for probe := 0; probe < maxProbes; probe++ {
+		pfn, ok := b.Alloc()
+		if !ok {
+			break
+		}
+		if uint64(pfn)&(1<<ColorBits-1) == color {
+			return pfn, true, nil
+		}
+		// Hold the mismatch so the next Alloc returns a different frame,
+		// then free them all on exit.
+		misses = append(misses, pfn)
+	}
+	// Fallback: take any frame.
+	pfn, ok := b.Alloc()
+	if !ok {
+		return 0, false, fmt.Errorf("vm: out of physical memory in colored allocation")
+	}
+	return pfn, false, nil
+}
+
+// ColoringStats counts coloring outcomes on an address space.
+type ColoringStats struct {
+	Colored   uint64 // faults satisfied with a matching color
+	Fallbacks uint64 // faults where no colored frame was found
+}
+
+// EnableColoring switches the address space to colored 4 KiB
+// allocation. THP is disabled implicitly for colored spaces (huge pages
+// subsume coloring: their 9 unchanged bits cover every color), matching
+// the ARMv6-style systems that rely on coloring instead of large pages.
+func (as *AddressSpace) EnableColoring() {
+	as.colored = true
+	as.thp = false
+}
+
+// Coloring reports whether colored allocation is active.
+func (as *AddressSpace) Coloring() bool { return as.colored }
+
+// ColoringStats returns the coloring outcome counters.
+func (as *AddressSpace) ColoringStats() ColoringStats { return as.coloring }

@@ -1,0 +1,416 @@
+package vm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sipt/internal/memaddr"
+)
+
+func TestBuddyInitialState(t *testing.T) {
+	b := NewBuddy(4096)
+	if b.FreeFrames() != 4096 {
+		t.Fatalf("FreeFrames = %d, want 4096", b.FreeFrames())
+	}
+	if err := b.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	counts := b.FreeBlockCounts()
+	if counts[MaxOrder] != 4 {
+		t.Errorf("expected 4 max-order blocks, got %d", counts[MaxOrder])
+	}
+}
+
+func TestBuddyNonPow2Init(t *testing.T) {
+	b := NewBuddy(1000) // not a power of two
+	if b.FreeFrames() != 1000 {
+		t.Fatalf("FreeFrames = %d, want 1000", b.FreeFrames())
+	}
+	if err := b.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuddyAllocFree(t *testing.T) {
+	b := NewBuddy(1024)
+	p, ok := b.Alloc()
+	if !ok {
+		t.Fatal("Alloc failed on fresh allocator")
+	}
+	if b.FreeFrames() != 1023 {
+		t.Errorf("FreeFrames = %d, want 1023", b.FreeFrames())
+	}
+	b.Free(p, 0)
+	if b.FreeFrames() != 1024 {
+		t.Errorf("FreeFrames after Free = %d, want 1024", b.FreeFrames())
+	}
+	// Full coalescing: a single max-order block must re-form.
+	counts := b.FreeBlockCounts()
+	if counts[MaxOrder] != 1 {
+		t.Errorf("coalescing failed: %v", counts)
+	}
+	if err := b.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuddySequentialAllocContiguity(t *testing.T) {
+	// Sequential single-frame allocations from a fresh allocator must be
+	// physically sequential — the property SIPT's IDB exploits.
+	b := NewBuddy(1 << 14)
+	prev, ok := b.Alloc()
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	for i := 0; i < 1000; i++ {
+		p, ok := b.Alloc()
+		if !ok {
+			t.Fatal("alloc failed")
+		}
+		if p != prev+1 {
+			t.Fatalf("allocation %d: frame %#x not sequential after %#x", i, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestBuddyExhaustion(t *testing.T) {
+	b := NewBuddy(16)
+	for i := 0; i < 16; i++ {
+		if _, ok := b.Alloc(); !ok {
+			t.Fatalf("alloc %d failed with free frames remaining", i)
+		}
+	}
+	if _, ok := b.Alloc(); ok {
+		t.Error("alloc succeeded on exhausted allocator")
+	}
+	if b.FreeFrames() != 0 {
+		t.Errorf("FreeFrames = %d, want 0", b.FreeFrames())
+	}
+}
+
+func TestBuddyHugeAllocAligned(t *testing.T) {
+	b := NewBuddy(1 << 12)
+	p, ok := b.AllocHuge()
+	if !ok {
+		t.Fatal("AllocHuge failed")
+	}
+	if uint64(p)%512 != 0 {
+		t.Errorf("huge block at %#x not 2MiB-aligned", p)
+	}
+}
+
+func TestBuddyDoubleFreePanics(t *testing.T) {
+	b := NewBuddy(64)
+	p, _ := b.Alloc()
+	b.Free(p, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("double free did not panic")
+		}
+	}()
+	b.Free(p, 0)
+}
+
+func TestBuddyFreeMisalignedPanics(t *testing.T) {
+	b := NewBuddy(64)
+	defer func() {
+		if recover() == nil {
+			t.Error("misaligned free did not panic")
+		}
+	}()
+	b.Free(1, 3) // order-3 block must be 8-aligned
+}
+
+// TestBuddyRandomizedInvariants drives random alloc/free traffic and
+// checks that no frame is ever handed out twice and all invariants hold.
+func TestBuddyRandomizedInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := NewBuddy(1 << 12)
+	type block struct {
+		pfn   memaddr.PFN
+		order int
+	}
+	var live []block
+	owned := make(map[uint64]bool)
+	for step := 0; step < 5000; step++ {
+		if rng.Intn(2) == 0 || len(live) == 0 {
+			order := rng.Intn(5)
+			pfn, ok := b.AllocOrder(order)
+			if !ok {
+				continue
+			}
+			for f := uint64(pfn); f < uint64(pfn)+1<<order; f++ {
+				if owned[f] {
+					t.Fatalf("frame %#x allocated twice", f)
+				}
+				owned[f] = true
+			}
+			live = append(live, block{pfn, order})
+		} else {
+			i := rng.Intn(len(live))
+			blk := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			for f := uint64(blk.pfn); f < uint64(blk.pfn)+1<<blk.order; f++ {
+				delete(owned, f)
+			}
+			b.Free(blk.pfn, blk.order)
+		}
+	}
+	if err := b.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Free everything; memory must coalesce fully.
+	for _, blk := range live {
+		b.Free(blk.pfn, blk.order)
+	}
+	if b.FreeFrames() != 1<<12 {
+		t.Fatalf("FreeFrames = %d, want %d", b.FreeFrames(), 1<<12)
+	}
+	counts := b.FreeBlockCounts()
+	for o := 0; o < MaxOrder; o++ {
+		if counts[o] != 0 {
+			t.Errorf("order %d has %d uncoalesced blocks", o, counts[o])
+		}
+	}
+}
+
+func TestUnusableFreeIndexBounds(t *testing.T) {
+	f := func(nAlloc uint8) bool {
+		b := NewBuddy(2048)
+		for i := 0; i < int(nAlloc); i++ {
+			if _, ok := b.Alloc(); !ok {
+				break
+			}
+		}
+		for j := 0; j <= MaxOrder; j++ {
+			fu := b.UnusableFreeIndex(j)
+			if fu < 0 || fu > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnusableFreeIndexFresh(t *testing.T) {
+	b := NewBuddy(1 << 12)
+	if fu := b.UnusableFreeIndex(HugeOrder); fu != 0 {
+		t.Errorf("fresh memory Fu = %v, want 0", fu)
+	}
+}
+
+func TestFragmenterReachesTarget(t *testing.T) {
+	b := NewBuddy(1 << 14) // 64 MiB
+	f := NewFragmenter(b, 1)
+	fu := f.FragmentTo(HugeOrder, 0.95, 1<<10)
+	if fu <= 0.95 {
+		t.Fatalf("Fu = %v, want > 0.95", fu)
+	}
+	if b.FreeFrames() < 1<<10 {
+		t.Fatalf("reserve violated: %d free frames", b.FreeFrames())
+	}
+	// After fragmentation, huge allocations must (mostly) fail.
+	if _, ok := b.AllocHuge(); ok {
+		// A rare leftover block is acceptable only if Fu accounted it;
+		// with Fu > 0.95 and small reserve it should not exist.
+		t.Log("note: a huge block survived fragmentation")
+	}
+	f.Release()
+	if err := b.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddressSpaceTranslateFaults(t *testing.T) {
+	b := NewBuddy(1 << 12)
+	as := NewAddressSpace(b, false)
+	base := as.Mmap(16 * memaddr.PageBytes)
+	pa1, huge, err := as.Translate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if huge {
+		t.Error("THP disabled but got huge page")
+	}
+	pa2, _, err := as.Translate(base + 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa1+8 != pa2 {
+		t.Errorf("same-page offsets disagree: %#x vs %#x", pa1, pa2)
+	}
+	if as.Stats().Faults != 1 {
+		t.Errorf("Faults = %d, want 1", as.Stats().Faults)
+	}
+}
+
+func TestAddressSpaceTHPPromotion(t *testing.T) {
+	b := NewBuddy(1 << 12) // 16 MiB
+	as := NewAddressSpace(b, true)
+	base := as.Mmap(4 * memaddr.HugePageBytes)
+	if uint64(base)%memaddr.HugePageBytes != 0 {
+		t.Fatalf("large mmap base %#x not 2MiB-aligned", base)
+	}
+	_, huge, err := as.Translate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !huge {
+		t.Fatal("expected huge page on first touch of aligned region")
+	}
+	st := as.Stats()
+	if st.HugeFaults != 1 || st.MappedHuge != 1 {
+		t.Errorf("stats = %+v, want 1 huge fault/mapping", st)
+	}
+	// All 512 pages of the region share one physical block with the
+	// identity in-region delta.
+	pa0, _, _ := as.Translate(base)
+	paN, _, err := as.Translate(base + memaddr.HugePageBytes - memaddr.PageBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paN-pa0 != memaddr.HugePageBytes-memaddr.PageBytes {
+		t.Errorf("huge region not physically contiguous: %#x .. %#x", pa0, paN)
+	}
+}
+
+func TestAddressSpaceTHPFallbackWhenFragmented(t *testing.T) {
+	b := NewBuddy(1 << 12)
+	f := NewFragmenter(b, 2)
+	f.FragmentTo(HugeOrder, 0.95, 600)
+	as := NewAddressSpace(b, true)
+	base := as.Mmap(memaddr.HugePageBytes)
+	_, huge, err := as.Translate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if huge {
+		t.Error("huge fault succeeded on fragmented memory")
+	}
+	if as.Stats().HugeFallbacks != 1 {
+		t.Errorf("HugeFallbacks = %d, want 1", as.Stats().HugeFallbacks)
+	}
+}
+
+func TestAddressSpaceSmallMmapNotHuge(t *testing.T) {
+	b := NewBuddy(1 << 12)
+	as := NewAddressSpace(b, true)
+	base := as.Mmap(4 * memaddr.PageBytes)
+	_, huge, err := as.Translate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if huge {
+		t.Error("small region must not get a huge page")
+	}
+}
+
+func TestAddressSpaceMunmap(t *testing.T) {
+	b := NewBuddy(1 << 12)
+	as := NewAddressSpace(b, true)
+	free0 := b.FreeFrames()
+	base := as.Mmap(2 * memaddr.HugePageBytes)
+	if err := as.Touch(base, 2*memaddr.HugePageBytes); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Munmap(base, 2*memaddr.HugePageBytes); err != nil {
+		t.Fatal(err)
+	}
+	if b.FreeFrames() != free0 {
+		t.Errorf("frames leaked: %d -> %d", free0, b.FreeFrames())
+	}
+	if _, _, ok := as.Lookup(base); ok {
+		t.Error("page still mapped after Munmap")
+	}
+	if err := as.Munmap(base, memaddr.PageBytes); err == nil {
+		t.Error("Munmap of unknown region should fail")
+	}
+}
+
+func TestAddressSpaceContiguousDelta(t *testing.T) {
+	// Touching a freshly mmapped region in order must produce a single
+	// VA->PA delta across the whole region on an unfragmented system
+	// (buddy contiguity), even with THP off.
+	b := NewBuddy(1 << 14)
+	as := NewAddressSpace(b, false)
+	base := as.Mmap(64 * memaddr.PageBytes)
+	if err := as.Touch(base, 64*memaddr.PageBytes); err != nil {
+		t.Fatal(err)
+	}
+	pa0, _, _ := as.Lookup(base)
+	delta := uint64(pa0) - uint64(base)
+	for off := uint64(0); off < 64*memaddr.PageBytes; off += memaddr.PageBytes {
+		pa, _, ok := as.Lookup(base + memaddr.VAddr(off))
+		if !ok {
+			t.Fatalf("page at +%#x unmapped", off)
+		}
+		if uint64(pa)-uint64(base+memaddr.VAddr(off)) != delta {
+			t.Fatalf("delta changed at +%#x", off)
+		}
+	}
+}
+
+func TestScenarioString(t *testing.T) {
+	want := map[Scenario]string{
+		ScenarioNormal:     "normal",
+		ScenarioFragmented: "fragmented",
+		ScenarioTHPOff:     "thp-off",
+		ScenarioNoContig:   "no-contig",
+		Scenario(99):       "unknown",
+	}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("Scenario(%d).String() = %q, want %q", s, s.String(), w)
+		}
+	}
+}
+
+func TestScenarioTHP(t *testing.T) {
+	if !ScenarioNormal.THPEnabled() || !ScenarioFragmented.THPEnabled() {
+		t.Error("normal/fragmented must have THP on")
+	}
+	if ScenarioTHPOff.THPEnabled() || ScenarioNoContig.THPEnabled() {
+		t.Error("thp-off/no-contig must have THP off")
+	}
+}
+
+func TestNewSystemScenarios(t *testing.T) {
+	for _, sc := range Scenarios() {
+		sys := NewSystem(sc, 1<<14, 1<<10, 42)
+		if sys.Phys.FreeFrames() == 0 {
+			t.Errorf("%v: no free memory after setup", sc)
+		}
+		as := sys.NewSpace()
+		if as.THP() != sc.THPEnabled() {
+			t.Errorf("%v: THP mismatch", sc)
+		}
+		if sc == ScenarioFragmented {
+			if fu := sys.Phys.UnusableFreeIndex(HugeOrder); fu <= 0.9 {
+				t.Errorf("fragmented scenario Fu = %v, want > 0.9", fu)
+			}
+		}
+	}
+}
+
+func TestVMAsSorted(t *testing.T) {
+	b := NewBuddy(1 << 12)
+	as := NewAddressSpace(b, false)
+	as.Mmap(memaddr.PageBytes)
+	as.Mmap(memaddr.PageBytes)
+	as.Mmap(memaddr.PageBytes)
+	vmas := as.VMAs()
+	if len(vmas) != 3 {
+		t.Fatalf("len(VMAs) = %d, want 3", len(vmas))
+	}
+	for i := 1; i < len(vmas); i++ {
+		if vmas[i].Base <= vmas[i-1].Base {
+			t.Error("VMAs not sorted or overlapping")
+		}
+	}
+}

@@ -1,0 +1,381 @@
+// Package workload generates synthetic memory-access traces that stand
+// in for the paper's SPEC CPU 2006/2017, graph500, and DBx1000(ycsb)
+// traces. Each named profile reproduces the properties SIPT is
+// sensitive to: footprint, allocation structure (few large THP-eligible
+// regions vs. many small chunks with independent VA->PA deltas), access
+// locality (hot-set size, sequential vs. random streams), memory
+// intensity, load-use dependence distances, and mapping churn.
+//
+// The profiles are calibrated to the paper's qualitative per-app
+// results, not to the original binaries: e.g. libquantum and GemsFDTD
+// are huge-page-dominated streamers; calculix, gromacs, cactusADM,
+// deepsjeng_17, graph500, ycsb, and xalancbmk_17 are the seven apps
+// whose naive speculation collapses; gcc and xz_17 have poor VA->PA
+// locality but recover with the IDB.
+package workload
+
+import "fmt"
+
+// Profile parameterises one synthetic benchmark.
+type Profile struct {
+	Name string
+
+	// FootprintMiB is the total data footprint. The paper runs >4 GiB
+	// apps; footprints here are scaled down (DESIGN.md "Known
+	// deviations") while keeping cache-relative pressure.
+	FootprintMiB float64
+
+	// BigRegionFrac is the fraction of the footprint allocated as a few
+	// large, THP-eligible regions (pre-touched in order, so buddy
+	// contiguity gives them one constant VA->PA delta; with THP on they
+	// become huge pages). The remainder is allocated as many small
+	// chunks, each with an independent delta.
+	BigRegionFrac float64
+
+	// BigColdFrac is the probability that a cold (non-hot-set) access
+	// targets the big region rather than a small chunk.
+	BigColdFrac float64
+
+	// SmallChunkPages bounds the size, in 4 KiB pages, of each small
+	// allocation (min, max).
+	SmallChunkPages [2]int
+
+	// PreTouch faults small chunks in allocation order (array-style
+	// initialisation -> contiguous deltas within a chunk). When false,
+	// pages fault on first access in access order (pointer-style).
+	PreTouch bool
+
+	// HotKiB is the size of the hot working set; its relation to the
+	// 16-128 KiB L1 sweep drives the Fig. 2/3 capacity sensitivity.
+	HotKiB int
+
+	// HotFrac is the fraction of accesses that hit the hot set.
+	HotFrac float64
+
+	// SeqFrac is the fraction of accesses issued by sequential streams
+	// (the rest are random within their target region). Sequential
+	// streams change page rarely, which is what lets the IDB learn.
+	SeqFrac float64
+
+	// MemRatio is the fraction of dynamic instructions that are memory
+	// operations; it sets the mean non-memory gap between accesses.
+	MemRatio float64
+
+	// StoreRatio is the fraction of memory operations that are stores.
+	StoreRatio float64
+
+	// ChaseFrac is the fraction of loads with a short (1-3 instruction)
+	// load-use distance (pointer chasing); the rest use 5-16. Short
+	// distances make IPC sensitive to L1 latency.
+	ChaseFrac float64
+
+	// ChurnEvery, when nonzero, remaps one small chunk every N accesses
+	// (munmap + fresh mmap), modelling allocator churn in long-running
+	// data-structure-heavy apps. Churn scatters deltas over time.
+	ChurnEvery int
+
+	// Streams is the number of concurrent access streams; each stream
+	// has a distinct PC, so it also sets predictor-table pressure.
+	Streams int
+}
+
+// Validate reports a descriptive error for out-of-range parameters.
+func (p *Profile) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("workload: profile has no name")
+	case p.FootprintMiB <= 0:
+		return fmt.Errorf("workload %s: FootprintMiB = %v", p.Name, p.FootprintMiB)
+	case p.BigRegionFrac < 0 || p.BigRegionFrac > 1:
+		return fmt.Errorf("workload %s: BigRegionFrac = %v", p.Name, p.BigRegionFrac)
+	case p.BigColdFrac < 0 || p.BigColdFrac > 1:
+		return fmt.Errorf("workload %s: BigColdFrac = %v", p.Name, p.BigColdFrac)
+	case p.HotKiB <= 0:
+		return fmt.Errorf("workload %s: HotKiB = %d", p.Name, p.HotKiB)
+	case p.HotFrac < 0 || p.HotFrac > 1:
+		return fmt.Errorf("workload %s: HotFrac = %v", p.Name, p.HotFrac)
+	case p.SeqFrac < 0 || p.SeqFrac > 1:
+		return fmt.Errorf("workload %s: SeqFrac = %v", p.Name, p.SeqFrac)
+	case p.MemRatio <= 0 || p.MemRatio > 1:
+		return fmt.Errorf("workload %s: MemRatio = %v", p.Name, p.MemRatio)
+	case p.StoreRatio < 0 || p.StoreRatio > 1:
+		return fmt.Errorf("workload %s: StoreRatio = %v", p.Name, p.StoreRatio)
+	case p.ChaseFrac < 0 || p.ChaseFrac > 1:
+		return fmt.Errorf("workload %s: ChaseFrac = %v", p.Name, p.ChaseFrac)
+	case p.Streams <= 0:
+		return fmt.Errorf("workload %s: Streams = %d", p.Name, p.Streams)
+	case p.BigRegionFrac < 1 && (p.SmallChunkPages[0] <= 0 || p.SmallChunkPages[1] < p.SmallChunkPages[0]):
+		return fmt.Errorf("workload %s: SmallChunkPages = %v", p.Name, p.SmallChunkPages)
+	}
+	return nil
+}
+
+// profiles holds every named workload. Apps marked [7] are the seven
+// low-naive-speculation apps from Fig. 5.
+var profiles = map[string]Profile{
+	// ---- SPEC CPU 2006 / 2017 apps shown individually in the figures ----
+	"sjeng": {
+		Name: "sjeng", FootprintMiB: 8, BigRegionFrac: 0.9, BigColdFrac: 0.9,
+		SmallChunkPages: [2]int{2, 8}, PreTouch: true,
+		HotKiB: 36, HotFrac: 0.55, SeqFrac: 0.30,
+		MemRatio: 0.32, StoreRatio: 0.25, ChaseFrac: 0.25, Streams: 20,
+	},
+	"deepsjeng_17": { // [7] incrementally-grown hash tables, random probes
+		Name: "deepsjeng_17", FootprintMiB: 12, BigRegionFrac: 0,
+		SmallChunkPages: [2]int{4, 16}, PreTouch: false,
+		HotKiB: 36, HotFrac: 0.50, SeqFrac: 0.25,
+		MemRatio: 0.33, StoreRatio: 0.25, ChaseFrac: 0.30, Streams: 24,
+	},
+	"mcf": {
+		Name: "mcf", FootprintMiB: 48, BigRegionFrac: 0.95, BigColdFrac: 0.95,
+		SmallChunkPages: [2]int{2, 8}, PreTouch: true,
+		HotKiB: 96, HotFrac: 0.35, SeqFrac: 0.20,
+		MemRatio: 0.42, StoreRatio: 0.18, ChaseFrac: 0.60, Streams: 16,
+	},
+	"mcf_17": {
+		Name: "mcf_17", FootprintMiB: 56, BigRegionFrac: 0.93, BigColdFrac: 0.93,
+		SmallChunkPages: [2]int{2, 8}, PreTouch: true,
+		HotKiB: 112, HotFrac: 0.35, SeqFrac: 0.22,
+		MemRatio: 0.42, StoreRatio: 0.18, ChaseFrac: 0.58, Streams: 16,
+	},
+	"h264ref": { // latency-sensitive, good speculation
+		Name: "h264ref", FootprintMiB: 6, BigRegionFrac: 0.8, BigColdFrac: 0.8,
+		SmallChunkPages: [2]int{2, 8}, PreTouch: true,
+		HotKiB: 24, HotFrac: 0.75, SeqFrac: 0.60,
+		MemRatio: 0.38, StoreRatio: 0.30, ChaseFrac: 0.45, Streams: 24,
+	},
+	"x264_17": {
+		Name: "x264_17", FootprintMiB: 8, BigRegionFrac: 0.8, BigColdFrac: 0.8,
+		SmallChunkPages: [2]int{2, 8}, PreTouch: true,
+		HotKiB: 28, HotFrac: 0.70, SeqFrac: 0.60,
+		MemRatio: 0.38, StoreRatio: 0.30, ChaseFrac: 0.42, Streams: 24,
+	},
+	"gcc": { // obstack-style small allocations; IDB-friendly sequential use
+		Name: "gcc", FootprintMiB: 10, BigRegionFrac: 0.05, BigColdFrac: 0.05,
+		SmallChunkPages: [2]int{2, 8}, PreTouch: false,
+		HotKiB: 36, HotFrac: 0.50, SeqFrac: 0.70,
+		MemRatio: 0.30, StoreRatio: 0.28, ChaseFrac: 0.30,
+		ChurnEvery: 200000, Streams: 28,
+	},
+	"gobmk": {
+		Name: "gobmk", FootprintMiB: 6, BigRegionFrac: 0.5, BigColdFrac: 0.5,
+		SmallChunkPages: [2]int{1, 6}, PreTouch: true,
+		HotKiB: 44, HotFrac: 0.60, SeqFrac: 0.40,
+		MemRatio: 0.30, StoreRatio: 0.22, ChaseFrac: 0.35, Streams: 24,
+	},
+	"omnetpp": { // event-heap pointer chasing, allocator churn
+		Name: "omnetpp", FootprintMiB: 24, BigRegionFrac: 0.2, BigColdFrac: 0.2,
+		SmallChunkPages: [2]int{1, 4}, PreTouch: false,
+		HotKiB: 40, HotFrac: 0.45, SeqFrac: 0.30,
+		MemRatio: 0.34, StoreRatio: 0.26, ChaseFrac: 0.50,
+		ChurnEvery: 150000, Streams: 24,
+	},
+	"hmmer": {
+		Name: "hmmer", FootprintMiB: 4, BigRegionFrac: 0.8, BigColdFrac: 0.85,
+		SmallChunkPages: [2]int{2, 8}, PreTouch: true,
+		HotKiB: 24, HotFrac: 0.80, SeqFrac: 0.70,
+		MemRatio: 0.45, StoreRatio: 0.25, ChaseFrac: 0.35, Streams: 16,
+	},
+	"perlbench": { // arena allocator: large shared arenas + small spill
+		Name: "perlbench", FootprintMiB: 12, BigRegionFrac: 0.7, BigColdFrac: 0.7,
+		SmallChunkPages: [2]int{2, 8}, PreTouch: true,
+		HotKiB: 36, HotFrac: 0.60, SeqFrac: 0.50,
+		MemRatio: 0.36, StoreRatio: 0.30, ChaseFrac: 0.40, Streams: 28,
+	},
+	"bzip2": {
+		Name: "bzip2", FootprintMiB: 10, BigRegionFrac: 0.9, BigColdFrac: 0.9,
+		SmallChunkPages: [2]int{2, 8}, PreTouch: true,
+		HotKiB: 48, HotFrac: 0.50, SeqFrac: 0.60,
+		MemRatio: 0.35, StoreRatio: 0.28, ChaseFrac: 0.30, Streams: 16,
+	},
+	"libquantum": { // huge-page-dominated streamer
+		Name: "libquantum", FootprintMiB: 32, BigRegionFrac: 0.98, BigColdFrac: 1.0,
+		SmallChunkPages: [2]int{2, 8}, PreTouch: true,
+		HotKiB: 18, HotFrac: 0.20, SeqFrac: 0.95,
+		MemRatio: 0.45, StoreRatio: 0.25, ChaseFrac: 0.10, Streams: 8,
+	},
+	"bwaves": {
+		Name: "bwaves", FootprintMiB: 40, BigRegionFrac: 0.95, BigColdFrac: 0.97,
+		SmallChunkPages: [2]int{2, 8}, PreTouch: true,
+		HotKiB: 24, HotFrac: 0.35, SeqFrac: 0.90,
+		MemRatio: 0.40, StoreRatio: 0.25, ChaseFrac: 0.15, Streams: 12,
+	},
+	"cactusADM": { // [7] per-grid-variable small arrays; tiny hot set
+		Name: "cactusADM", FootprintMiB: 24, BigRegionFrac: 0,
+		SmallChunkPages: [2]int{8, 32}, PreTouch: true,
+		HotKiB: 10, HotFrac: 0.70, SeqFrac: 0.80,
+		MemRatio: 0.40, StoreRatio: 0.30, ChaseFrac: 0.50, Streams: 20,
+	},
+	"calculix": { // [7] small matrices, latency-sensitive
+		Name: "calculix", FootprintMiB: 8, BigRegionFrac: 0,
+		SmallChunkPages: [2]int{2, 12}, PreTouch: true,
+		HotKiB: 12, HotFrac: 0.70, SeqFrac: 0.85,
+		MemRatio: 0.38, StoreRatio: 0.26, ChaseFrac: 0.50, Streams: 20,
+	},
+	"gamess": {
+		Name: "gamess", FootprintMiB: 6, BigRegionFrac: 0.6, BigColdFrac: 0.6,
+		SmallChunkPages: [2]int{2, 8}, PreTouch: true,
+		HotKiB: 28, HotFrac: 0.70, SeqFrac: 0.60,
+		MemRatio: 0.35, StoreRatio: 0.24, ChaseFrac: 0.35, Streams: 20,
+	},
+	"GemsFDTD": { // huge-page-dominated streamer
+		Name: "GemsFDTD", FootprintMiB: 48, BigRegionFrac: 0.97, BigColdFrac: 1.0,
+		SmallChunkPages: [2]int{2, 8}, PreTouch: true,
+		HotKiB: 22, HotFrac: 0.25, SeqFrac: 0.92,
+		MemRatio: 0.42, StoreRatio: 0.28, ChaseFrac: 0.12, Streams: 10,
+	},
+	"povray": {
+		Name: "povray", FootprintMiB: 6, BigRegionFrac: 0.4, BigColdFrac: 0.4,
+		SmallChunkPages: [2]int{1, 4}, PreTouch: false,
+		HotKiB: 26, HotFrac: 0.75, SeqFrac: 0.40,
+		MemRatio: 0.33, StoreRatio: 0.22, ChaseFrac: 0.40, Streams: 24,
+	},
+	"gromacs": { // [7] per-molecule small arrays
+		Name: "gromacs", FootprintMiB: 8, BigRegionFrac: 0,
+		SmallChunkPages: [2]int{2, 8}, PreTouch: true,
+		HotKiB: 20, HotFrac: 0.70, SeqFrac: 0.75,
+		MemRatio: 0.37, StoreRatio: 0.26, ChaseFrac: 0.45, Streams: 20,
+	},
+	"graph500": { // [7] big-data BFS: edge scans + random vertex probes
+		Name: "graph500", FootprintMiB: 64, BigRegionFrac: 0.3, BigColdFrac: 0.5,
+		SmallChunkPages: [2]int{4, 16}, PreTouch: false,
+		HotKiB: 20, HotFrac: 0.25, SeqFrac: 0.35,
+		MemRatio: 0.45, StoreRatio: 0.15, ChaseFrac: 0.65,
+		ChurnEvery: 100000, Streams: 16,
+	},
+	"ycsb": { // [7] key-value store: hash probes + record copies, churn
+		Name: "ycsb", FootprintMiB: 64, BigRegionFrac: 0.2, BigColdFrac: 0.3,
+		SmallChunkPages: [2]int{1, 8}, PreTouch: false,
+		HotKiB: 24, HotFrac: 0.30, SeqFrac: 0.30,
+		MemRatio: 0.40, StoreRatio: 0.30, ChaseFrac: 0.55,
+		ChurnEvery: 80000, Streams: 20,
+	},
+	"xalancbmk_17": { // [7] DOM node soup; capacity-hungry
+		Name: "xalancbmk_17", FootprintMiB: 20, BigRegionFrac: 0.1, BigColdFrac: 0.1,
+		SmallChunkPages: [2]int{1, 4}, PreTouch: false,
+		HotKiB: 56, HotFrac: 0.60, SeqFrac: 0.45,
+		MemRatio: 0.34, StoreRatio: 0.24, ChaseFrac: 0.40, Streams: 28,
+	},
+	"leela_17": {
+		Name: "leela_17", FootprintMiB: 6, BigRegionFrac: 0.5, BigColdFrac: 0.5,
+		SmallChunkPages: [2]int{1, 6}, PreTouch: true,
+		HotKiB: 30, HotFrac: 0.65, SeqFrac: 0.40,
+		MemRatio: 0.30, StoreRatio: 0.22, ChaseFrac: 0.45, Streams: 24,
+	},
+	"exchange2_17": { // tiny working set, pure latency play
+		Name: "exchange2_17", FootprintMiB: 4, BigRegionFrac: 0.6, BigColdFrac: 0.6,
+		SmallChunkPages: [2]int{1, 4}, PreTouch: true,
+		HotKiB: 10, HotFrac: 0.85, SeqFrac: 0.50,
+		MemRatio: 0.28, StoreRatio: 0.20, ChaseFrac: 0.50, Streams: 16,
+	},
+	"xz_17": { // dictionary compression: poor VA->PA locality, seq use
+		Name: "xz_17", FootprintMiB: 24, BigRegionFrac: 0.25, BigColdFrac: 0.25,
+		SmallChunkPages: [2]int{2, 16}, PreTouch: false,
+		HotKiB: 40, HotFrac: 0.50, SeqFrac: 0.60,
+		MemRatio: 0.36, StoreRatio: 0.28, ChaseFrac: 0.30, Streams: 20,
+	},
+
+	// ---- apps that only appear in the Tab. III multicore mixes ----
+	"astar": {
+		Name: "astar", FootprintMiB: 12, BigRegionFrac: 0.5, BigColdFrac: 0.5,
+		SmallChunkPages: [2]int{2, 8}, PreTouch: true,
+		HotKiB: 36, HotFrac: 0.55, SeqFrac: 0.35,
+		MemRatio: 0.35, StoreRatio: 0.22, ChaseFrac: 0.50, Streams: 20,
+	},
+	"lbm": {
+		Name: "lbm", FootprintMiB: 40, BigRegionFrac: 0.95, BigColdFrac: 1.0,
+		SmallChunkPages: [2]int{2, 8}, PreTouch: true,
+		HotKiB: 12, HotFrac: 0.20, SeqFrac: 0.95,
+		MemRatio: 0.45, StoreRatio: 0.35, ChaseFrac: 0.10, Streams: 8,
+	},
+	"zeusmp": {
+		Name: "zeusmp", FootprintMiB: 32, BigRegionFrac: 0.9, BigColdFrac: 0.95,
+		SmallChunkPages: [2]int{2, 8}, PreTouch: true,
+		HotKiB: 16, HotFrac: 0.30, SeqFrac: 0.85,
+		MemRatio: 0.40, StoreRatio: 0.28, ChaseFrac: 0.15, Streams: 12,
+	},
+	"leslie3d": {
+		Name: "leslie3d", FootprintMiB: 32, BigRegionFrac: 0.92, BigColdFrac: 0.95,
+		SmallChunkPages: [2]int{2, 8}, PreTouch: true,
+		HotKiB: 20, HotFrac: 0.30, SeqFrac: 0.90,
+		MemRatio: 0.40, StoreRatio: 0.26, ChaseFrac: 0.15, Streams: 12,
+	},
+	"milc": {
+		Name: "milc", FootprintMiB: 40, BigRegionFrac: 0.9, BigColdFrac: 0.95,
+		SmallChunkPages: [2]int{2, 8}, PreTouch: true,
+		HotKiB: 24, HotFrac: 0.30, SeqFrac: 0.70,
+		MemRatio: 0.42, StoreRatio: 0.25, ChaseFrac: 0.30, Streams: 12,
+	},
+	"tonto": {
+		Name: "tonto", FootprintMiB: 6, BigRegionFrac: 0.6, BigColdFrac: 0.6,
+		SmallChunkPages: [2]int{2, 8}, PreTouch: true,
+		HotKiB: 28, HotFrac: 0.65, SeqFrac: 0.55,
+		MemRatio: 0.33, StoreRatio: 0.24, ChaseFrac: 0.35, Streams: 20,
+	},
+	"soplex": {
+		Name: "soplex", FootprintMiB: 24, BigRegionFrac: 0.7, BigColdFrac: 0.75,
+		SmallChunkPages: [2]int{2, 8}, PreTouch: true,
+		HotKiB: 40, HotFrac: 0.50, SeqFrac: 0.60,
+		MemRatio: 0.38, StoreRatio: 0.22, ChaseFrac: 0.35, Streams: 16,
+	},
+}
+
+// FigureApps lists the 26 applications shown individually in the
+// paper's single-core figures, in figure order.
+func FigureApps() []string {
+	return []string{
+		"sjeng", "deepsjeng_17", "mcf", "mcf_17", "h264ref", "x264_17",
+		"gcc", "gobmk", "omnetpp", "hmmer", "perlbench", "bzip2",
+		"libquantum", "bwaves", "cactusADM", "calculix", "gamess",
+		"GemsFDTD", "povray", "gromacs", "graph500", "ycsb",
+		"xalancbmk_17", "leela_17", "exchange2_17", "xz_17",
+	}
+}
+
+// AllApps lists every profile (figure apps plus mix-only apps).
+func AllApps() []string {
+	extra := []string{"astar", "lbm", "zeusmp", "leslie3d", "milc", "tonto", "soplex"}
+	return append(FigureApps(), extra...)
+}
+
+// Lookup returns the named profile.
+func Lookup(name string) (Profile, error) {
+	p, ok := profiles[name]
+	if !ok {
+		return Profile{}, fmt.Errorf("workload: unknown profile %q", name)
+	}
+	return p, nil
+}
+
+// MustLookup is Lookup for callers with static names; it panics on
+// unknown names.
+func MustLookup(name string) Profile {
+	p, err := Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Mix is a multiprogrammed workload from Tab. III.
+type Mix struct {
+	Name string
+	Apps [4]string
+}
+
+// Mixes returns the 11 multiprogrammed workloads of Tab. III.
+func Mixes() []Mix {
+	return []Mix{
+		{"mix0", [4]string{"h264ref", "hmmer", "perlbench", "povray"}},
+		{"mix1", [4]string{"mcf", "gcc", "bwaves", "cactusADM"}},
+		{"mix2", [4]string{"gobmk", "calculix", "GemsFDTD", "gromacs"}},
+		{"mix3", [4]string{"astar", "libquantum", "lbm", "zeusmp"}},
+		{"mix4", [4]string{"mcf", "perlbench", "leslie3d", "milc"}},
+		{"mix5", [4]string{"h264ref", "cactusADM", "calculix", "tonto"}},
+		{"mix6", [4]string{"gcc", "libquantum", "gamess", "povray"}},
+		{"mix7", [4]string{"sjeng", "omnetpp", "bzip2", "soplex"}},
+		{"mix8", [4]string{"graph500", "ycsb", "mcf", "povray"}},
+		{"mix9", [4]string{"mcf_17", "xalancbmk_17", "x264_17", "deepsjeng_17"}},
+		{"mix10", [4]string{"leela_17", "exchange2_17", "xz_17", "xalancbmk_17"}},
+	}
+}
