@@ -1,0 +1,123 @@
+// Command benchcmp compares two BENCH_*.json files produced by
+// `siptbench -bench` and fails when throughput regresses.
+//
+// Usage:
+//
+//	benchcmp [-threshold pct] old.json new.json
+//
+// For every experiment present in both files it prints old and new
+// records/sec plus the speedup, and exits non-zero if any experiment's
+// records/sec dropped by more than the threshold (default 10%).
+// Allocation-count regressions beyond the threshold are also fatal:
+// allocs/record is deterministic, so unlike wall time it cannot be
+// excused as machine noise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// benchResult mirrors cmd/siptbench's BenchResult (kept separate so the
+// two binaries stay independently buildable; the JSON schema is the
+// contract).
+type benchResult struct {
+	ID              string  `json:"id"`
+	WallNS          int64   `json:"wall_ns"`
+	Simulations     uint64  `json:"simulations"`
+	Records         uint64  `json:"records"`
+	NSPerRecord     float64 `json:"ns_per_record"`
+	RecordsPerSec   float64 `json:"records_per_sec"`
+	AllocsPerRecord float64 `json:"allocs_per_record"`
+}
+
+type benchFile struct {
+	Schema      int           `json:"schema"`
+	Seed        int64         `json:"seed"`
+	Records     uint64        `json:"records_per_app"`
+	Experiments []benchResult `json:"experiments"`
+}
+
+func load(path string) (benchFile, error) {
+	var f benchFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Schema != 1 {
+		return f, fmt.Errorf("%s: unsupported schema %d", path, f.Schema)
+	}
+	return f, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 10, "regression threshold in percent")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-threshold pct] old.json new.json")
+		os.Exit(2)
+	}
+	old, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	newByID := make(map[string]benchResult, len(cur.Experiments))
+	for _, r := range cur.Experiments {
+		newByID[r.ID] = r
+	}
+
+	limit := 1 - *threshold/100
+	failed := false
+	compared := 0
+	fmt.Printf("%-8s %14s %14s %8s %10s %10s\n",
+		"exp", "old rec/s", "new rec/s", "speedup", "old allocs", "new allocs")
+	for _, o := range old.Experiments {
+		n, ok := newByID[o.ID]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchcmp: %s missing from %s\n", o.ID, flag.Arg(1))
+			failed = true
+			continue
+		}
+		compared++
+		speedup := 0.0
+		if o.RecordsPerSec > 0 {
+			speedup = n.RecordsPerSec / o.RecordsPerSec
+		}
+		verdict := ""
+		if o.RecordsPerSec > 0 && n.RecordsPerSec < o.RecordsPerSec*limit {
+			verdict = "  THROUGHPUT REGRESSION"
+			failed = true
+		}
+		// Relative alloc growth only matters once the absolute rate is
+		// non-trivial: below one allocation per ~10 records the counter
+		// is dominated by per-run setup, not per-record behaviour.
+		if o.AllocsPerRecord > 0 && n.AllocsPerRecord > o.AllocsPerRecord/limit &&
+			n.AllocsPerRecord-o.AllocsPerRecord > 0.1 {
+			verdict += "  ALLOC REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-8s %14.0f %14.0f %7.2fx %10.2f %10.2f%s\n",
+			o.ID, o.RecordsPerSec, n.RecordsPerSec, speedup,
+			o.AllocsPerRecord, n.AllocsPerRecord, verdict)
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchcmp: no experiments in common")
+		os.Exit(2)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchcmp: FAIL (>%g%% regression)\n", *threshold)
+		os.Exit(1)
+	}
+	fmt.Println("benchcmp: PASS")
+}

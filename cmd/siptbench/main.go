@@ -16,6 +16,12 @@
 //	-apps list   comma-separated app subset (default: the 26 figure apps)
 //	-csv         emit CSV instead of aligned text
 //	-list        list experiment ids and exit
+//	-bench       run the fixed benchmark subset, write BENCH_<seed>.json
+//	-benchout P  override the benchmark output path
+//
+// The -bench mode ignores -records/-apps/-workers: its settings are
+// pinned (see bench.go) so results are comparable across runs and
+// commits. Compare two result files with cmd/benchcmp.
 package main
 
 import (
@@ -36,7 +42,21 @@ func main() {
 	markdown := flag.Bool("markdown", false, "emit Markdown tables")
 	list := flag.Bool("list", false, "list experiments and exit")
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	bench := flag.Bool("bench", false, "run the fixed benchmark subset and write BENCH_<seed>.json")
+	benchOut := flag.String("benchout", "", "benchmark output path (default BENCH_<seed>.json)")
 	flag.Parse()
+
+	if *bench {
+		path := *benchOut
+		if path == "" {
+			path = fmt.Sprintf("BENCH_%d.json", *seed)
+		}
+		if err := runBench(*seed, path); err != nil {
+			fmt.Fprintf(os.Stderr, "siptbench: bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range exp.All() {

@@ -58,10 +58,15 @@ func (c Config) SpecBits() uint {
 	return memaddr.Log2(wayBytes) - memaddr.PageShift
 }
 
-// line is one cache line's metadata.
+// line is one cache line's metadata, packed to 16 bytes: halving the
+// struct halves the zeroing cost of a fresh multi-MiB LLC backing array
+// (paid once per simulation) and doubles how many ways fit in a
+// hardware cache line during the tag scan. The 32-bit stamp bounds one
+// cache instance to 2^32-1 LRU clock ticks; New's documentation and an
+// explicit overflow panic in tick() keep that honest.
 type line struct {
 	tag   uint64
-	stamp uint64 // LRU: larger = more recently used
+	stamp uint32 // LRU: larger = more recently used
 	valid bool
 	dirty bool
 }
@@ -85,12 +90,32 @@ func (s Stats) HitRate() float64 {
 
 // Cache is one set-associative write-back, write-allocate cache.
 type Cache struct {
-	cfg      Config
-	sets     [][]line
+	cfg Config
+	// lines is the flat backing array: set s occupies
+	// lines[s*ways : (s+1)*ways]. One slice instead of a slice of
+	// slices saves the per-access dependent load of a set header.
+	lines []line
+	ways  uint64
+	// mru tracks each set's most-recently-used way incrementally (-1
+	// for an empty set), so the per-access MRU way-predictor probe is
+	// O(1) instead of a scan. The invariant: mru[s] is the valid way of
+	// set s with the largest stamp, because every stamp update (Access
+	// hit, Fill) also updates mru.
+	mru      []int16
 	setMask  uint64
 	lineBits uint
-	clock    uint64
+	clock    uint32
 	stats    Stats
+
+	// lastSet/lastTag/lastWay memoise the previous demand hit: word
+	// walks re-access the same line several times in a row, and a
+	// repeated hit of the most-recently-touched line needs no way scan
+	// and no stamp update (the line is already the newest everywhere its
+	// stamp could be compared). Fill and Invalidate clear the memo.
+	lastSet uint64
+	lastTag uint64
+	lastWay int16
+	lastHit bool
 }
 
 // New builds a cache; it panics on invalid configuration (structural
@@ -100,17 +125,34 @@ func New(cfg Config) *Cache {
 		panic(err)
 	}
 	nSets := cfg.Sets()
-	sets := make([][]line, nSets)
-	backing := make([]line, nSets*uint64(cfg.Ways))
-	for i := range sets {
-		sets[i], backing = backing[:cfg.Ways:cfg.Ways], backing[cfg.Ways:]
+	mru := make([]int16, nSets)
+	for i := range mru {
+		mru[i] = -1
 	}
 	return &Cache{
 		cfg:      cfg,
-		sets:     sets,
+		lines:    make([]line, nSets*uint64(cfg.Ways)),
+		ways:     uint64(cfg.Ways),
+		mru:      mru,
 		setMask:  nSets - 1,
 		lineBits: memaddr.Log2(cfg.LineBytes),
 	}
+}
+
+// set returns the ways of set si.
+func (c *Cache) set(si uint64) []line {
+	return c.lines[si*c.ways : si*c.ways+c.ways]
+}
+
+// tick advances the LRU clock. A simulation long enough to wrap the
+// 32-bit clock (4 billion touches of one cache) would silently corrupt
+// LRU ordering, so it fails loudly instead.
+func (c *Cache) tick() uint32 {
+	c.clock++
+	if c.clock == 0 {
+		panic(fmt.Sprintf("cache %s: LRU clock overflow", c.cfg.Name))
+	}
+	return c.clock
 }
 
 // Config returns the cache's configuration.
@@ -153,28 +195,41 @@ type AccessResult struct {
 // calls Fill, which is what lets the hierarchy account latency and
 // energy per level.
 func (c *Cache) Access(pa memaddr.PAddr, write bool) AccessResult {
-	c.clock++
 	c.stats.Accesses++
-	set := c.sets[c.SetOf(pa)]
+	si := c.SetOf(pa)
 	tag := c.tagOf(pa)
-	mru := mruWay(set)
+	if c.lastHit && c.lastSet == si && c.lastTag == tag {
+		// Repeated hit of the most recent line: it is the MRU way of its
+		// set by construction, so the predictor would have fetched it.
+		if write {
+			c.lines[si*c.ways+uint64(c.lastWay)].dirty = true
+		}
+		c.stats.Hits++
+		return AccessResult{Hit: true, Way: int(c.lastWay), MRUHit: true}
+	}
+	now := c.tick()
+	set := c.set(si)
+	mru := int(c.mru[si])
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
-			set[i].stamp = c.clock
+			set[i].stamp = now
+			c.mru[si] = int16(i)
 			if write {
 				set[i].dirty = true
 			}
 			c.stats.Hits++
+			c.lastSet, c.lastTag, c.lastWay, c.lastHit = si, tag, int16(i), true
 			return AccessResult{Hit: true, Way: i, MRUHit: i == mru}
 		}
 	}
 	c.stats.Misses++
+	c.lastHit = false
 	return AccessResult{}
 }
 
 // Probe checks for presence without touching LRU, stats, or dirty bits.
 func (c *Cache) Probe(pa memaddr.PAddr) bool {
-	set := c.sets[c.SetOf(pa)]
+	set := c.set(c.SetOf(pa))
 	tag := c.tagOf(pa)
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
@@ -188,30 +243,37 @@ func (c *Cache) Probe(pa memaddr.PAddr) bool {
 // dirty marks the line modified on arrival (write-allocate store miss).
 // The victim, if any, is returned so the caller can write it back.
 func (c *Cache) Fill(pa memaddr.PAddr, dirty bool) (Victim, bool) {
-	c.clock++
+	now := c.tick()
 	c.stats.Fills++
-	set := c.sets[c.SetOf(pa)]
+	c.lastHit = false
+	si := c.SetOf(pa)
+	set := c.set(si)
 	tag := c.tagOf(pa)
-	// Refill of a present line (can happen when an upper level re-fetches
-	// after a writeback race); just refresh it.
+	// One pass decides everything: a present line is refreshed (refill
+	// can happen when an upper level re-fetches after a writeback race);
+	// otherwise the victim is the first invalid way, else the LRU way.
+	vi, free := 0, -1
 	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			set[i].stamp = c.clock
+		if !set[i].valid {
+			if free < 0 {
+				free = i
+			}
+			continue
+		}
+		if set[i].tag == tag {
+			set[i].stamp = now
+			c.mru[si] = int16(i)
 			if dirty {
 				set[i].dirty = true
 			}
 			return Victim{}, false
 		}
-	}
-	vi := 0
-	for i := range set {
-		if !set[i].valid {
-			vi = i
-			break
-		}
 		if set[i].stamp < set[vi].stamp {
 			vi = i
 		}
+	}
+	if free >= 0 {
+		vi = free
 	}
 	var victim Victim
 	evicted := set[vi].valid
@@ -221,19 +283,26 @@ func (c *Cache) Fill(pa memaddr.PAddr, dirty bool) (Victim, bool) {
 			c.stats.Writebacks++
 		}
 	}
-	set[vi] = line{tag: tag, stamp: c.clock, valid: true, dirty: dirty}
+	set[vi] = line{tag: tag, stamp: now, valid: true, dirty: dirty}
+	c.mru[si] = int16(vi)
 	return victim, evicted
 }
 
 // Invalidate drops the line containing pa if present, returning whether
 // it was dirty (the caller owns the writeback).
 func (c *Cache) Invalidate(pa memaddr.PAddr) (dirty, present bool) {
-	set := c.sets[c.SetOf(pa)]
+	c.lastHit = false
+	si := c.SetOf(pa)
+	set := c.set(si)
 	tag := c.tagOf(pa)
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
 			d := set[i].dirty
 			set[i] = line{}
+			if int(c.mru[si]) == i {
+				// The MRU line vanished; fall back to a scan.
+				c.mru[si] = int16(mruWay(set))
+			}
 			return d, true
 		}
 	}
@@ -244,12 +313,12 @@ func (c *Cache) Invalidate(pa memaddr.PAddr) (dirty, present bool) {
 // -1 for an empty set. This is the prediction of the paper's simple MRU
 // way predictor (Sec. VII-A).
 func (c *Cache) MRUWay(pa memaddr.PAddr) int {
-	return mruWay(c.sets[c.SetOf(pa)])
+	return int(c.mru[c.SetOf(pa)])
 }
 
 func mruWay(set []line) int {
 	best := -1
-	var bestStamp uint64
+	var bestStamp uint32
 	for i := range set {
 		if set[i].valid && (best == -1 || set[i].stamp > bestStamp) {
 			best = i
@@ -262,16 +331,14 @@ func mruWay(set []line) int {
 // CheckNoDuplicates verifies no physical line appears twice (tests).
 func (c *Cache) CheckNoDuplicates() error {
 	seen := make(map[uint64]bool)
-	for si, set := range c.sets {
-		for _, ln := range set {
-			if !ln.valid {
-				continue
-			}
-			if seen[ln.tag] {
-				return fmt.Errorf("cache %s: tag %#x duplicated (set %d)", c.cfg.Name, ln.tag, si)
-			}
-			seen[ln.tag] = true
+	for i, ln := range c.lines {
+		if !ln.valid {
+			continue
 		}
+		if seen[ln.tag] {
+			return fmt.Errorf("cache %s: tag %#x duplicated (set %d)", c.cfg.Name, ln.tag, uint64(i)/c.ways)
+		}
+		seen[ln.tag] = true
 	}
 	return nil
 }
@@ -279,11 +346,9 @@ func (c *Cache) CheckNoDuplicates() error {
 // LineCount returns the number of valid lines (tests).
 func (c *Cache) LineCount() int {
 	n := 0
-	for _, set := range c.sets {
-		for _, ln := range set {
-			if ln.valid {
-				n++
-			}
+	for _, ln := range c.lines {
+		if ln.valid {
+			n++
 		}
 	}
 	return n

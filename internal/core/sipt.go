@@ -96,9 +96,11 @@ func (c Config) Validate() error {
 }
 
 // Stats aggregates the engine's outcome counters. The identities
-// Fast+Slow+Bypassed == Accesses and Extra == Slow (every slow access
-// in speculating modes wasted exactly one array read) are asserted by
-// tests and by CheckInvariants.
+// Fast+Slow+Bypassed == Accesses, Extra == Slow (every slow access
+// in speculating modes wasted exactly one array read), and
+// ArrayAccesses == Accesses + Extra + (WayProbes - WayHits) (each
+// way-mispredicted hit pays a second sequential array pass) are
+// asserted by tests and by CheckInvariants.
 type Stats struct {
 	Accesses uint64
 	Loads    uint64
@@ -163,9 +165,14 @@ func (s Stats) CheckInvariants() error {
 		return fmt.Errorf("core: loads %d + stores %d != accesses %d",
 			s.Loads, s.Stores, s.Accesses)
 	}
-	if s.ArrayAccesses != s.Accesses+s.Extra {
-		return fmt.Errorf("core: array accesses %d != accesses %d + extra %d",
-			s.ArrayAccesses, s.Accesses, s.Extra)
+	if s.WayHits > s.WayProbes {
+		return fmt.Errorf("core: way hits %d > way probes %d", s.WayHits, s.WayProbes)
+	}
+	// Every access reads the arrays once; each misspeculation and each
+	// way-mispredicted hit adds one more sequential pass.
+	if wayMiss := s.WayProbes - s.WayHits; s.ArrayAccesses != s.Accesses+s.Extra+wayMiss {
+		return fmt.Errorf("core: array accesses %d != accesses %d + extra %d + way mispredictions %d",
+			s.ArrayAccesses, s.Accesses, s.Extra, wayMiss)
 	}
 	return nil
 }
@@ -179,8 +186,9 @@ type Result struct {
 	// translation wait; way mispredictions add a second array pass.
 	Latency int
 	// ArraySlots is how many L1 array accesses this operation consumed
-	// (port occupancy and dynamic energy): 1, or 2 after a
-	// misspeculation.
+	// (port occupancy and dynamic energy): 1, plus one per extra
+	// sequential pass (a misspeculation, a way-mispredicted hit, or
+	// both).
 	ArraySlots int
 	Fast       bool
 	Extra      bool // a wasted array access occurred
@@ -271,8 +279,10 @@ func (l *L1) Access(pc uint64, va memaddr.VAddr, pa memaddr.PAddr, store bool) R
 	}
 
 	// Way prediction (Sec. VII-A): the MRU way is fetched first; a
-	// mispredicted hit pays a second, sequential array pass. Misses
-	// search all ways anyway and their latency is dominated downstream.
+	// mispredicted hit pays a second, sequential array pass, which is a
+	// real array read: it occupies a port slot and burns dynamic energy
+	// (Fig. 17), so it counts in ArraySlots/ArrayAccesses. Misses search
+	// all ways anyway and their latency is dominated downstream.
 	if l.cfg.WayPrediction && ar.Hit {
 		res.WayPredicted = true
 		l.stats.WayProbes++
@@ -281,6 +291,7 @@ func (l *L1) Access(pc uint64, va memaddr.VAddr, pa memaddr.PAddr, store bool) R
 			l.stats.WayHits++
 		} else {
 			res.Latency += l.cfg.Cache.LatencyCycles
+			res.ArraySlots++
 		}
 	}
 

@@ -285,6 +285,45 @@ func TestWayPredictionMRU(t *testing.T) {
 	}
 }
 
+// TestWayMispredictionArrayAccounting is the regression test for the
+// energy-model undercount: a way-mispredicted hit performs a second
+// sequential array pass (Sec. VII-A / Fig. 17), which must show up in
+// both the per-access ArraySlots and the aggregate ArrayAccesses, and
+// the CheckInvariants identity must account for it.
+func TestWayMispredictionArrayAccounting(t *testing.T) {
+	c := cfg(32, 2, 2, ModeIdeal)
+	c.WayPrediction = true
+	l := New(c)
+	va, pa := pair(true)
+	l.Fill(pa, false)
+	l.Access(0x400000, va, pa, false) // MRU hit: one array pass
+
+	// Conflicting line in the same set steals the MRU way.
+	pa2 := pa + memaddr.PAddr(16<<10)
+	l.Fill(pa2, false)
+	l.Access(0x400000, va+memaddr.VAddr(16<<10), pa2, false)
+
+	r := l.Access(0x400000, va, pa, false)
+	if r.WayHit || !r.Hit {
+		t.Fatalf("expected a way-mispredicted hit, got %+v", r)
+	}
+	if r.ArraySlots != 2 {
+		t.Errorf("way-mispredicted hit ArraySlots = %d, want 2 (second sequential pass)", r.ArraySlots)
+	}
+	st := l.Stats()
+	wayMiss := st.WayProbes - st.WayHits
+	if wayMiss != 1 {
+		t.Fatalf("way mispredictions = %d, want 1 (stats %+v)", wayMiss, st)
+	}
+	if st.ArrayAccesses != st.Accesses+st.Extra+wayMiss {
+		t.Errorf("ArrayAccesses = %d, want accesses %d + extra %d + way mispredictions %d",
+			st.ArrayAccesses, st.Accesses, st.Extra, wayMiss)
+	}
+	if err := st.CheckInvariants(); err != nil {
+		t.Errorf("invariants: %v", err)
+	}
+}
+
 func TestWayAccuracyImprovesWithLowerAssociativity(t *testing.T) {
 	// Sec. VII-A: reducing associativity raises way-prediction accuracy.
 	run := func(ways int) float64 {

@@ -81,9 +81,11 @@ type MemResult struct {
 
 // MemSystem services memory accesses. now is the access's issue cycle;
 // implementations account port contention, SIPT outcomes, caches, TLB,
-// and DRAM behind this call.
+// and DRAM behind this call. The record is passed by pointer purely to
+// keep the per-access copy off the hot path; implementations must not
+// retain or mutate it.
 type MemSystem interface {
-	Access(rec trace.Record, now uint64) MemResult
+	Access(rec *trace.Record, now uint64) MemResult
 }
 
 // Result summarises one core run.
@@ -122,14 +124,57 @@ type Core struct {
 	lastRetire    uint64
 	retireRing    []uint64
 	instr         uint64
+	// robIdx == instr % ROB, maintained incrementally: the ROB sizes
+	// (192, 32) are not powers of two, and a hardware divide per
+	// simulated instruction dominated the dispatch loop.
+	robIdx int
+	// stallOn caches cfg.InOrder || cfg.StallCap > 0.
+	stallOn bool
 
-	// chainReady maps a load PC to its last completion time (OOO
-	// pointer-chase chains).
-	chainReady map[uint64]uint64
+	// chainDense/chainMap map a load PC to its last completion time (OOO
+	// pointer-chase chains). Synthetic traces use a small dense PC range
+	// starting at chainBase, served by a slice; anything else (replayed
+	// real traces) falls back to the map.
+	chainDense []uint64
+	chainMap   map[uint64]uint64
 	// stallReady implements the in-order stall-on-use ring.
 	stallReady [stallRingSize]uint64
 
 	res Result
+}
+
+// chainBase is the code region synthetic workloads place memory PCs in
+// (workload.Generator's basePC); PCs in [chainBase, chainBase+4*chainDenseSlots)
+// take the allocation-free dense path.
+const (
+	chainBase       = 0x400000
+	chainDenseSlots = 1 << 14
+)
+
+func (c *Core) chainGet(pc uint64) uint64 {
+	if idx := (pc - chainBase) >> 2; idx < uint64(len(c.chainDense)) {
+		return c.chainDense[idx]
+	} else if idx < chainDenseSlots {
+		return 0
+	}
+	return c.chainMap[pc]
+}
+
+func (c *Core) chainSet(pc, completion uint64) {
+	idx := (pc - chainBase) >> 2
+	if idx < chainDenseSlots {
+		if idx >= uint64(len(c.chainDense)) {
+			grown := make([]uint64, (idx+1)*2)
+			copy(grown, c.chainDense)
+			c.chainDense = grown
+		}
+		c.chainDense[idx] = completion
+		return
+	}
+	if c.chainMap == nil {
+		c.chainMap = make(map[uint64]uint64)
+	}
+	c.chainMap[pc] = completion
 }
 
 // NewCore builds a core over a memory system; it panics on invalid
@@ -145,7 +190,7 @@ func NewCore(cfg Config, mem MemSystem) *Core {
 		cfg:        cfg,
 		mem:        mem,
 		retireRing: make([]uint64, cfg.ROB),
-		chainReady: make(map[uint64]uint64),
+		stallOn:    cfg.InOrder || cfg.StallCap > 0,
 	}
 }
 
@@ -164,17 +209,19 @@ func (c *Core) Result() Result {
 // operand stalls.
 func (c *Core) dispatchOne() uint64 {
 	// ROB: wait for instruction instr-ROB to retire.
-	if floor := c.retireRing[c.instr%uint64(c.cfg.ROB)]; floor > c.dispatchCycle {
+	if floor := c.retireRing[c.robIdx]; floor > c.dispatchCycle {
 		c.dispatchCycle = floor
 		c.slotsUsed = 0
 	}
-	if c.cfg.InOrder || c.cfg.StallCap > 0 {
+	if c.stallOn {
 		slot := c.instr % stallRingSize
-		if ready := c.stallReady[slot]; ready > c.dispatchCycle {
-			c.dispatchCycle = ready
-			c.slotsUsed = 0
+		if ready := c.stallReady[slot]; ready != 0 {
+			if ready > c.dispatchCycle {
+				c.dispatchCycle = ready
+				c.slotsUsed = 0
+			}
+			c.stallReady[slot] = 0
 		}
-		c.stallReady[slot] = 0
 	}
 	at := c.dispatchCycle
 	c.slotsUsed++
@@ -191,19 +238,71 @@ func (c *Core) retire(completion uint64) {
 	if completion < c.lastRetire {
 		completion = c.lastRetire
 	}
-	c.retireRing[c.instr%uint64(c.cfg.ROB)] = completion
+	c.retireRing[c.robIdx] = completion
+	c.robIdx++
+	if c.robIdx == c.cfg.ROB {
+		c.robIdx = 0
+	}
 	c.lastRetire = completion
 	c.instr++
 	c.res.Instructions++
 }
 
+// gapRun dispatches and retires n consecutive non-memory unit-latency
+// instructions. It is dispatchOne+retire fused with the core state held
+// in locals: gap instructions are the majority of all instructions and
+// touch nothing but the rings, so keeping dispatch cycle, slot count,
+// and ring index in registers for the whole run pays.
+func (c *Core) gapRun(n uint16) {
+	d, u, r := c.dispatchCycle, c.slotsUsed, c.lastRetire
+	ri, ins := c.robIdx, c.instr
+	ring := c.retireRing
+	width, rob := c.cfg.Width, c.cfg.ROB
+	for g := uint16(0); g < n; g++ {
+		// ROB: wait for instruction ins-ROB to retire.
+		if floor := ring[ri]; floor > d {
+			d = floor
+			u = 0
+		}
+		if c.stallOn {
+			slot := ins % stallRingSize
+			if ready := c.stallReady[slot]; ready != 0 {
+				if ready > d {
+					d = ready
+					u = 0
+				}
+				c.stallReady[slot] = 0
+			}
+		}
+		at := d
+		u++
+		if u >= width {
+			d++
+			u = 0
+		}
+		completion := at + 1
+		if completion < r {
+			completion = r
+		}
+		ring[ri] = completion
+		ri++
+		if ri == rob {
+			ri = 0
+		}
+		r = completion
+		ins++
+	}
+	c.dispatchCycle, c.slotsUsed, c.lastRetire = d, u, r
+	c.robIdx, c.instr = ri, ins
+	c.res.Instructions += uint64(n)
+}
+
 // step simulates one trace record: its leading non-memory instructions
 // and the access itself.
-func (c *Core) step(rec trace.Record) {
+func (c *Core) step(rec *trace.Record) {
 	// Non-memory gap instructions: unit latency.
-	for g := uint16(0); g < rec.Gap; g++ {
-		at := c.dispatchOne()
-		c.retire(at + 1)
+	if rec.Gap > 0 {
+		c.gapRun(rec.Gap)
 	}
 
 	at := c.dispatchOne()
@@ -221,14 +320,14 @@ func (c *Core) step(rec trace.Record) {
 	chase := rec.DepDist > 0 && rec.DepDist <= chaseDistMax
 	if chase {
 		// Address depends on the previous load of this PC.
-		if ready := c.chainReady[rec.PC]; ready > issue {
+		if ready := c.chainGet(rec.PC); ready > issue {
 			issue = ready
 		}
 	}
 	mr := c.mem.Access(rec, issue)
 	completion := issue + uint64(mr.Latency)
 	if chase {
-		c.chainReady[rec.PC] = completion
+		c.chainSet(rec.PC, completion)
 	}
 	// Consumer stall: the instruction DepDist later needs the data.
 	// The in-order core stalls for the full latency. The OOO core
@@ -262,21 +361,39 @@ func (c *Core) step(rec trace.Record) {
 
 // Run consumes the trace to EOF (or maxRecords, if nonzero) and returns
 // the result. Errors other than io.EOF from the reader are returned.
+// Readers that implement trace.InPlaceReader (the synthetic generator
+// does) are driven through NextInto, saving a record copy and the
+// interface dispatch per record.
 func (c *Core) Run(r trace.Reader, maxRecords uint64) (Result, error) {
 	var n uint64
-	for maxRecords == 0 || n < maxRecords {
-		rec, err := r.Next()
-		if errors.Is(err, io.EOF) {
-			break
+	var rec trace.Record
+	if ir, ok := r.(trace.InPlaceReader); ok {
+		for maxRecords == 0 || n < maxRecords {
+			if err := ir.NextInto(&rec); err != nil {
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				return c.Result(), err
+			}
+			c.step(&rec)
+			n++
 		}
+		return c.Result(), nil
+	}
+	for maxRecords == 0 || n < maxRecords {
+		var err error
+		rec, err = r.Next()
 		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
 			return c.Result(), err
 		}
-		c.step(rec)
+		c.step(&rec)
 		n++
 	}
 	return c.Result(), nil
 }
 
 // Step exposes single-record stepping for multicore interleaving.
-func (c *Core) Step(rec trace.Record) { c.step(rec) }
+func (c *Core) Step(rec trace.Record) { c.step(&rec) }

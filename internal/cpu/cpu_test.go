@@ -13,7 +13,7 @@ type fixedMem struct {
 	issues []uint64
 }
 
-func (m *fixedMem) Access(rec trace.Record, now uint64) MemResult {
+func (m *fixedMem) Access(rec *trace.Record, now uint64) MemResult {
 	m.issues = append(m.issues, now)
 	return MemResult{Latency: m.lat}
 }

@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"sipt/internal/report"
 	"sipt/internal/sim"
@@ -52,49 +53,70 @@ func (o Options) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// runEntry is one memoised simulation. The sync.Once gives the cache
+// singleflight semantics: concurrent Runs of the same key wait for one
+// simulation instead of each paying for their own.
+type runEntry struct {
+	once sync.Once
+	st   sim.Stats
+	err  error
+}
+
 // Runner executes simulations with memoisation, so figures sharing runs
-// (e.g. Fig. 6/7 and Fig. 13/14 share baselines) pay once.
+// (e.g. Fig. 6/7 and Fig. 13/14 share baselines) pay once — including
+// when the sharing requests arrive concurrently from parallel workers.
 type Runner struct {
 	opts  Options
 	mu    sync.Mutex
-	cache map[string]sim.Stats
+	cache map[string]*runEntry
+	sims  atomic.Uint64
 }
 
 // NewRunner creates a Runner.
 func NewRunner(opts Options) *Runner {
-	return &Runner{opts: opts, cache: make(map[string]sim.Stats)}
+	return &Runner{opts: opts, cache: make(map[string]*runEntry)}
 }
+
+// Simulations returns how many simulations actually ran (cache misses);
+// the benchmark harness reports it alongside wall time.
+func (r *Runner) Simulations() uint64 { return r.sims.Load() }
 
 // Options returns the runner's options.
 func (r *Runner) Options() Options { return r.opts }
 
+// key derives the memoisation key from the *full* sim.Config (plus the
+// app, scenario, and trace length). Formatting the whole struct keeps
+// the key exhaustive by construction: a config field that changes
+// simulation behaviour (e.g. Cores, which scales the LLC) can never be
+// silently omitted, and newly added fields are picked up automatically.
 func (r *Runner) key(app string, cfg sim.Config, sc vm.Scenario) string {
-	return fmt.Sprintf("%s|%s|%s|%t|%t|%t|%s|%d",
-		app, cfg.Core.Name, cfg.Label(), cfg.WayPrediction,
-		cfg.PerfectWayPrediction, cfg.NoContig, sc, r.opts.records())
+	return fmt.Sprintf("%s|%+v|%s|%d", app, cfg, sc, r.opts.records())
 }
 
 // Run simulates (memoised) one app on one config under a scenario.
+// Concurrent calls with the same key share a single simulation.
 func (r *Runner) Run(app string, cfg sim.Config, sc vm.Scenario) (sim.Stats, error) {
 	k := r.key(app, cfg, sc)
 	r.mu.Lock()
-	st, ok := r.cache[k]
+	e, ok := r.cache[k]
+	if !ok {
+		e = &runEntry{}
+		r.cache[k] = e
+	}
 	r.mu.Unlock()
-	if ok {
-		return st, nil
-	}
-	prof, err := workload.Lookup(app)
-	if err != nil {
-		return sim.Stats{}, err
-	}
-	st, err = sim.RunApp(prof, cfg, sc, r.opts.Seed, r.opts.records())
-	if err != nil {
-		return sim.Stats{}, fmt.Errorf("exp: %s on %s/%s: %w", app, cfg.Label(), sc, err)
-	}
-	r.mu.Lock()
-	r.cache[k] = st
-	r.mu.Unlock()
-	return st, nil
+	e.once.Do(func() {
+		r.sims.Add(1)
+		prof, err := workload.Lookup(app)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.st, e.err = sim.RunApp(prof, cfg, sc, r.opts.Seed, r.opts.records())
+		if e.err != nil {
+			e.err = fmt.Errorf("exp: %s on %s/%s: %w", app, cfg.Label(), sc, e.err)
+		}
+	})
+	return e.st, e.err
 }
 
 // forEachApp runs fn over the app list with bounded concurrency and

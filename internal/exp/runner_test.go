@@ -1,0 +1,111 @@
+package exp
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"sipt/internal/core"
+	"sipt/internal/cpu"
+	"sipt/internal/sim"
+	"sipt/internal/vm"
+)
+
+// TestRunnerKeyIncludesCores is the regression test for the memoisation
+// collision: a 1-core and a 4-core run of the same app/geometry must
+// not share a cache entry (the LLC capacity scales with Cores, so their
+// stats differ). On the buggy key the second Run returned the first
+// run's cached stats.
+func TestRunnerKeyIncludesCores(t *testing.T) {
+	r := NewRunner(Options{Records: 4_000, Seed: 1, Workers: 1})
+	cfg1 := sim.SIPT(cpu.OOO(), 32, 2, core.ModeCombined)
+	cfg4 := cfg1
+	cfg4.Cores = 4
+
+	if r.key("gcc", cfg1, vm.ScenarioNormal) == r.key("gcc", cfg4, vm.ScenarioNormal) {
+		t.Fatal("memo keys for Cores=1 and Cores=4 collide")
+	}
+
+	st1, err := r.Run("gcc", cfg1, vm.ScenarioNormal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st4, err := r.Run("gcc", cfg4, vm.ScenarioNormal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Config.Cores != 1 {
+		t.Errorf("1-core run returned Config.Cores = %d", st1.Config.Cores)
+	}
+	if st4.Config.Cores != 4 {
+		t.Errorf("4-core run returned Config.Cores = %d (stale cached stats?)", st4.Config.Cores)
+	}
+}
+
+// TestRunnerKeyCoversAllConfigFields guards the key against future
+// config fields being forgotten: every distinct configuration knob must
+// produce a distinct key.
+func TestRunnerKeyCoversAllConfigFields(t *testing.T) {
+	r := NewRunner(Options{Records: 1_000, Seed: 1})
+	base := sim.SIPT(cpu.OOO(), 32, 2, core.ModeCombined)
+	variants := []sim.Config{}
+	for _, mutate := range []func(*sim.Config){
+		func(c *sim.Config) { c.Core = cpu.InOrder() },
+		func(c *sim.Config) { c.L1SizeKiB = 64 },
+		func(c *sim.Config) { c.L1Ways = 4 },
+		func(c *sim.Config) { c.Mode = core.ModeNaive },
+		func(c *sim.Config) { c.WayPrediction = true },
+		func(c *sim.Config) { c.WayPrediction = true; c.PerfectWayPrediction = true },
+		func(c *sim.Config) { c.NoContig = true },
+		func(c *sim.Config) { c.Cores = 4 },
+	} {
+		v := base
+		mutate(&v)
+		variants = append(variants, v)
+	}
+	seen := map[string]int{r.key("app", base, vm.ScenarioNormal): -1}
+	for i, v := range variants {
+		k := r.key("app", v, vm.ScenarioNormal)
+		if j, dup := seen[k]; dup {
+			t.Errorf("variant %d collides with variant %d: %s", i, j, k)
+		}
+		seen[k] = i
+	}
+}
+
+// TestRunnerSingleflight verifies that concurrent Runs of the same key
+// simulate only once: the memoisation must deduplicate in-flight work,
+// not just completed work.
+func TestRunnerSingleflight(t *testing.T) {
+	r := NewRunner(Options{Records: 2_000, Seed: 1, Workers: 4})
+	cfg := sim.SIPT(cpu.OOO(), 32, 2, core.ModeNaive)
+
+	var wg sync.WaitGroup
+	var errs atomic.Int64
+	results := make([]sim.Stats, 8)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := r.Run("h264ref", cfg, vm.ScenarioNormal)
+			if err != nil {
+				errs.Add(1)
+				return
+			}
+			results[i] = st
+		}(i)
+	}
+	wg.Wait()
+	if errs.Load() != 0 {
+		t.Fatalf("%d concurrent runs failed", errs.Load())
+	}
+	if r.Simulations() != 1 {
+		t.Errorf("simulations = %d, want 1 (in-flight dedup)", r.Simulations())
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].Core != results[0].Core {
+			t.Errorf("run %d returned different stats: %+v vs %+v",
+				i, results[i].Core, results[0].Core)
+		}
+	}
+}

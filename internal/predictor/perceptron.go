@@ -61,6 +61,13 @@ type Perceptron struct {
 	// most recent at index 0.
 	history [HistoryLen]int8
 	stats   PerceptronStats
+
+	// lastPC/lastY memoise the most recent Predict's dot product so the
+	// paired Train immediately after does not recompute it (the weights
+	// and history are untouched in between). lastOK guards staleness.
+	lastPC uint64
+	lastY  int32
+	lastOK bool
 }
 
 // NewPerceptron returns a predictor with zero weights and an
@@ -98,7 +105,9 @@ func (p *Perceptron) output(pc uint64) int32 {
 // can start before the address is generated — the property the paper
 // leans on to keep SIPT off the critical path.
 func (p *Perceptron) Predict(pc uint64) bool {
-	return p.output(pc) >= 0
+	y := p.output(pc)
+	p.lastPC, p.lastY, p.lastOK = pc, y, true
+	return y >= 0
 }
 
 // Train updates the predictor with the true outcome for pc:
@@ -122,7 +131,11 @@ func (p *Perceptron) Train(pc uint64, predicted, unchanged bool) {
 	if unchanged {
 		t = 1
 	}
-	y := p.output(pc)
+	y := p.lastY
+	if !p.lastOK || p.lastPC != pc {
+		y = p.output(pc)
+	}
+	p.lastOK = false
 	// Jimenez & Lin: train on mispredict or when |y| <= theta.
 	if (y >= 0) != unchanged || abs32(y) <= theta {
 		w := &p.weights[p.index(pc)]

@@ -107,8 +107,9 @@ func (h *Hierarchy) L2Stats() cache.Stats {
 
 // Access implements cpu.MemSystem: it runs the SIPT L1 flow, the TLB,
 // and the miss path, returning the load-to-use latency.
-func (h *Hierarchy) Access(rec trace.Record, now uint64) cpu.MemResult {
-	r := h.l1.Access(rec.PC, rec.VA, rec.PA, rec.IsStore())
+func (h *Hierarchy) Access(rec *trace.Record, now uint64) cpu.MemResult {
+	store := rec.IsStore()
+	r := h.l1.Access(rec.PC, rec.VA, rec.PA, store)
 
 	// L1 port: each array read occupies one slot.
 	start := now
@@ -138,7 +139,7 @@ func (h *Hierarchy) Access(rec trace.Record, now uint64) cpu.MemResult {
 	}
 
 	if !r.Hit {
-		lat += h.missPath(rec.PA, rec.IsStore(), now+uint64(lat))
+		lat += h.missPath(rec.PA, store, now+uint64(lat))
 	}
 	return cpu.MemResult{Latency: lat}
 }

@@ -145,6 +145,11 @@ type MixStats struct {
 	Config  Config
 	Mix     workload.Mix
 	PerCore [4]Stats
+	// Consumed counts the records each core actually executed,
+	// including recycled passes after its IPC snapshot; the excess over
+	// the per-core trace length is the contention traffic finished cores
+	// kept generating for the stragglers.
+	Consumed [4]uint64
 	// Cycles is the longest core's cycle count (used for shared static
 	// energy).
 	Cycles uint64
@@ -222,14 +227,15 @@ func RunMix(mix workload.Mix, cfg Config, sc vm.Scenario, seed int64, recordsPer
 
 	// Interleave: always step the core that is earliest in simulated
 	// time, so shared-structure contention is seen in rough time order.
+	// Finished cores stay in the rotation: their trace is recycled
+	// (generator restarted) so they keep generating LLC/DRAM contention
+	// for the stragglers, per the paper's methodology; only their IPC
+	// snapshot is frozen at the end of their own first pass.
 	remaining := 4
 	for remaining > 0 {
 		li := -1
 		var minCycles uint64
 		for i, l := range lanes {
-			if l.done {
-				continue
-			}
 			if li == -1 || l.core.Cycles() < minCycles {
 				li = i
 				minCycles = l.core.Cycles()
@@ -238,11 +244,18 @@ func RunMix(mix workload.Mix, cfg Config, sc vm.Scenario, seed int64, recordsPer
 		l := lanes[li]
 		rec, err := l.gen.Next()
 		if errors.Is(err, io.EOF) {
-			// First pass complete: snapshot, then recycle so the core
-			// keeps generating contention for the others.
-			l.snapshot = l.core.Result()
-			l.done = true
-			remaining--
+			if !l.done {
+				// First pass complete: snapshot this core's result.
+				l.snapshot = l.core.Result()
+				l.done = true
+				remaining--
+				if remaining == 0 {
+					break
+				}
+			}
+			// Recycle: restart the generator (same program, fresh
+			// mapping, as rerunning the binary would) and keep stepping.
+			l.gen.Reset()
 			continue
 		}
 		if err != nil {
@@ -251,14 +264,11 @@ func RunMix(mix workload.Mix, cfg Config, sc vm.Scenario, seed int64, recordsPer
 		l.core.Step(rec)
 		l.consumed++
 	}
-	// Note: once a core snapshots we stop stepping it; with 4 lanes
-	// interleaved by time the remaining cores still see contention from
-	// each other, and this keeps runtime bounded. The paper recycles
-	// fully; DESIGN.md records the simplification.
 
 	ms := MixStats{Config: cfg, Mix: mix}
 	for i, l := range lanes {
 		ms.PerCore[i] = collect(cfg, mix.Apps[i], l.snapshot, l.h, acct)
+		ms.Consumed[i] = l.consumed
 		if l.snapshot.Cycles > ms.Cycles {
 			ms.Cycles = l.snapshot.Cycles
 		}

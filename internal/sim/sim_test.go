@@ -269,6 +269,52 @@ func TestRunMix(t *testing.T) {
 	}
 }
 
+// TestRunMixRecyclesFinishedCores is the regression test for the
+// trace-recycle fix: a core that finishes its first pass must restart
+// its trace and keep generating contention for the stragglers (the
+// paper's methodology), rather than going idle. On the buggy code every
+// core consumed exactly recordsPerCore and no post-snapshot LLC traffic
+// existed.
+func TestRunMixRecyclesFinishedCores(t *testing.T) {
+	mix := workload.Mixes()[0] // h264ref, hmmer, perlbench, povray
+	const records = 3000
+	ms, err := RunMix(mix, SIPT(cpu.OOO(), 32, 2, core.ModeCombined),
+		vm.ScenarioNormal, 3, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for i, n := range ms.Consumed {
+		if n < records {
+			t.Errorf("core %d consumed %d records, want >= %d (first pass)", i, n, records)
+		}
+		total += n
+	}
+	if total <= 4*records {
+		t.Errorf("no recycled contention traffic: consumed %v, want total > %d",
+			ms.Consumed, 4*records)
+	}
+	// Finished cores keep issuing traffic into their private hierarchy
+	// (and through it, the shared LLC): their L1 demand-access counters
+	// must run past the snapshot taken at the end of the first pass.
+	recycled := 0
+	for i := range ms.PerCore {
+		snap := ms.PerCore[i].Core.Loads + ms.PerCore[i].Core.Stores
+		if ms.PerCore[i].L1.Accesses > snap {
+			recycled++
+		}
+	}
+	if recycled == 0 {
+		t.Error("no core issued L1 traffic past its snapshot; recycling is not happening")
+	}
+	// The IPC snapshot must still reflect the first pass only.
+	for i := range ms.PerCore {
+		if ms.PerCore[i].Core.Instructions == 0 {
+			t.Errorf("core %d snapshot empty", i)
+		}
+	}
+}
+
 func TestRunAppScenarios(t *testing.T) {
 	prof := smallProf(t, "gcc", 2)
 	for _, sc := range vm.Scenarios() {

@@ -82,13 +82,32 @@ type Stats struct {
 type array struct {
 	sets    [][]entry
 	setMask uint64
-	clock   uint64
+	clock   uint32
+	// lastKey/lastHit memoise the previous lookup: page-local streaks
+	// re-translate the same page many times in a row, and a repeated hit
+	// of the most-recently-touched entry needs no scan and no stamp
+	// update (the entry is already the newest, so every later stamp
+	// comparison resolves identically).
+	lastKey uint64
+	lastHit bool
 }
 
+// entry is packed to 16 bytes (see internal/cache's line); the 32-bit
+// LRU stamp bounds one array to 2^32-1 clock ticks, enforced by tick.
 type entry struct {
 	key   uint64
-	stamp uint64
+	stamp uint32
 	valid bool
+}
+
+// tick advances the LRU clock, failing loudly on wraparound (which
+// would silently corrupt LRU ordering).
+func (a *array) tick() uint32 {
+	a.clock++
+	if a.clock == 0 {
+		panic("tlb: LRU clock overflow")
+	}
+	return a.clock
 }
 
 func newArray(entries, ways int) *array {
@@ -102,19 +121,24 @@ func newArray(entries, ways int) *array {
 }
 
 func (a *array) lookup(key uint64) bool {
-	a.clock++
+	if a.lastHit && a.lastKey == key {
+		return true
+	}
+	now := a.tick()
 	set := a.sets[key&a.setMask]
 	for i := range set {
 		if set[i].valid && set[i].key == key {
-			set[i].stamp = a.clock
+			set[i].stamp = now
+			a.lastKey, a.lastHit = key, true
 			return true
 		}
 	}
+	a.lastKey, a.lastHit = key, false
 	return false
 }
 
 func (a *array) insert(key uint64) {
-	a.clock++
+	now := a.tick()
 	set := a.sets[key&a.setMask]
 	vi := 0
 	for i := range set {
@@ -126,7 +150,8 @@ func (a *array) insert(key uint64) {
 			vi = i
 		}
 	}
-	set[vi] = entry{key: key, stamp: a.clock, valid: true}
+	set[vi] = entry{key: key, stamp: now, valid: true}
+	a.lastKey, a.lastHit = key, true
 }
 
 // TLB is the two-level data TLB.

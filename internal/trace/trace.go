@@ -65,6 +65,14 @@ type Resetter interface {
 	Reset()
 }
 
+// InPlaceReader is an optional Reader fast path: NextInto writes the
+// next record into *rec instead of returning it, sparing the per-record
+// copy on return. Semantics are otherwise identical to Next (io.EOF at
+// exhaustion; *rec is undefined after a non-nil error).
+type InPlaceReader interface {
+	NextInto(rec *Record) error
+}
+
 // SliceReader replays records from memory.
 type SliceReader struct {
 	recs []Record

@@ -9,9 +9,22 @@ import (
 
 // mapping records how one virtual page is backed.
 type mapping struct {
-	pfn  memaddr.PFN
-	huge bool // part of a 2 MiB huge mapping; pfn is the exact 4 KiB frame
+	pfn   memaddr.PFN
+	huge  bool // part of a 2 MiB huge mapping; pfn is the exact 4 KiB frame
+	valid bool
 }
+
+// The page table is a flat two-level radix: leaves of 512 mappings
+// (2 MiB of virtual space each, mirroring a real last-level page table)
+// indexed by VPN relative to MmapBase. Every simulated access
+// translates, so lookups must be two array dereferences, not a hash —
+// this is the simulator's own "software TLB" fast path.
+const (
+	leafBits = 9
+	leafSize = 1 << leafBits
+)
+
+type pageLeaf [leafSize]mapping
 
 // vma is a contiguous virtual memory area created by Mmap.
 type vma struct {
@@ -41,13 +54,17 @@ type Stats struct {
 // physical block is available; otherwise the fault falls back to a
 // single 4 KiB frame.
 type AddressSpace struct {
-	phys  *Buddy
-	thp   bool
-	pages map[memaddr.VPN]mapping
-	huge  map[uint64]memaddr.PFN // huge-region number (VA>>21) -> base PFN
-	vmas  []vma
-	next  memaddr.VAddr // next mmap base
-	stats Stats
+	phys *Buddy
+	thp  bool
+	// dir is the flat page table: dir[(vpn-dirBase)>>leafBits] holds the
+	// leaf for that 2 MiB-aligned stripe of virtual space. VPNs below
+	// dirBase (never produced by Mmap) fall back to lowPages.
+	dir      []*pageLeaf
+	lowPages map[memaddr.VPN]mapping
+	huge     map[uint64]memaddr.PFN // huge-region number (VA>>21) -> base PFN
+	vmas     []vma
+	next     memaddr.VAddr // next mmap base
+	stats    Stats
 
 	// colored enables page-colored allocation (see coloring.go).
 	colored  bool
@@ -63,15 +80,68 @@ type AddressSpace struct {
 // index-bit extraction, so any page-aligned constant works.
 const MmapBase = memaddr.VAddr(0x7f00_0000_0000)
 
+// dirBase is the VPN the flat page table is anchored at.
+const dirBase = uint64(MmapBase) >> memaddr.PageShift
+
 // NewAddressSpace creates an empty address space backed by phys.
 // When thp is true, transparent huge pages are attempted on faults.
 func NewAddressSpace(phys *Buddy, thp bool) *AddressSpace {
 	return &AddressSpace{
-		phys:  phys,
-		thp:   thp,
-		pages: make(map[memaddr.VPN]mapping),
-		huge:  make(map[uint64]memaddr.PFN),
-		next:  MmapBase,
+		phys: phys,
+		thp:  thp,
+		huge: make(map[uint64]memaddr.PFN),
+		next: MmapBase,
+	}
+}
+
+// page returns the mapping for vpn, or an invalid zero mapping. This is
+// the translation fast path: two array dereferences on mapped pages.
+func (as *AddressSpace) page(vpn memaddr.VPN) mapping {
+	idx := uint64(vpn) - dirBase
+	if idx >= uint64(len(as.dir))<<leafBits {
+		if as.lowPages != nil {
+			return as.lowPages[vpn]
+		}
+		return mapping{}
+	}
+	leaf := as.dir[idx>>leafBits]
+	if leaf == nil {
+		return mapping{}
+	}
+	return leaf[idx&(leafSize-1)]
+}
+
+// setPage installs a mapping for vpn, growing the table as needed.
+func (as *AddressSpace) setPage(vpn memaddr.VPN, m mapping) {
+	idx := uint64(vpn) - dirBase
+	if idx >= 1<<40 { // below MmapBase (wrapped) or absurdly high: overflow map
+		if as.lowPages == nil {
+			as.lowPages = make(map[memaddr.VPN]mapping)
+		}
+		as.lowPages[vpn] = m
+		return
+	}
+	li := idx >> leafBits
+	if li >= uint64(len(as.dir)) {
+		grown := make([]*pageLeaf, li+1+li/2)
+		copy(grown, as.dir)
+		as.dir = grown
+	}
+	if as.dir[li] == nil {
+		as.dir[li] = new(pageLeaf)
+	}
+	as.dir[li][idx&(leafSize-1)] = m
+}
+
+// clearPage removes the mapping for vpn (no-op if absent).
+func (as *AddressSpace) clearPage(vpn memaddr.VPN) {
+	idx := uint64(vpn) - dirBase
+	if idx >= uint64(len(as.dir))<<leafBits {
+		delete(as.lowPages, vpn)
+		return
+	}
+	if leaf := as.dir[idx>>leafBits]; leaf != nil {
+		leaf[idx&(leafSize-1)] = mapping{}
 	}
 }
 
@@ -128,7 +198,7 @@ func (as *AddressSpace) Munmap(base memaddr.VAddr, size uint64) error {
 			// Remove the 4 KiB page-table shadows for the region.
 			baseVPN := memaddr.VPN(h << memaddr.HugeExtraBits)
 			for i := memaddr.VPN(0); i < 512; i++ {
-				delete(as.pages, baseVPN+i)
+				as.clearPage(baseVPN + i)
 				as.stats.MappedPages--
 			}
 		}
@@ -137,8 +207,8 @@ func (as *AddressSpace) Munmap(base memaddr.VAddr, size uint64) error {
 	firstVPN := base.PageNum()
 	lastVPN := (base + memaddr.VAddr(size) - 1).PageNum()
 	for vpn := firstVPN; vpn <= lastVPN; vpn++ {
-		if m, ok := as.pages[vpn]; ok && !m.huge {
-			delete(as.pages, vpn)
+		if m := as.page(vpn); m.valid && !m.huge {
+			as.clearPage(vpn)
 			as.phys.Free(m.pfn, 0)
 			as.stats.MappedPages--
 		}
@@ -154,23 +224,36 @@ func (as *AddressSpace) hugeEligible(v memaddr.VAddr) bool {
 	}
 	h := uint64(v) >> memaddr.HugePageShift
 	regionBase := memaddr.VAddr(h << memaddr.HugePageShift)
-	var owner *vma
-	for i := range as.vmas {
-		if as.vmas[i].contains(v) {
-			owner = &as.vmas[i]
-			break
-		}
-	}
-	if owner == nil {
+	// Mmap hands out ascending bases, so vmas is sorted by base: binary
+	// search for the VMA covering v (faults in churn-heavy profiles with
+	// hundreds of small chunks would otherwise pay a linear scan each).
+	i := sort.Search(len(as.vmas), func(i int) bool { return as.vmas[i].base > v }) - 1
+	if i < 0 || !as.vmas[i].contains(v) {
 		return false
 	}
+	owner := &as.vmas[i]
 	if regionBase < owner.base ||
 		uint64(regionBase)+memaddr.HugePageBytes > uint64(owner.base)+owner.size {
 		return false
 	}
 	baseVPN := regionBase.PageNum()
+	// A 2 MiB region is exactly one leaf of the flat page table (both are
+	// 512 pages and MmapBase is 2 MiB-aligned): a nil leaf means the whole
+	// region is unmapped, and a populated one can be scanned directly.
+	if idx := uint64(baseVPN) - dirBase; idx&(leafSize-1) == 0 && idx < uint64(len(as.dir))<<leafBits {
+		leaf := as.dir[idx>>leafBits]
+		if leaf == nil {
+			return true
+		}
+		for j := range leaf {
+			if leaf[j].valid {
+				return false
+			}
+		}
+		return true
+	}
 	for i := memaddr.VPN(0); i < 512; i++ {
-		if _, mapped := as.pages[baseVPN+i]; mapped {
+		if as.page(baseVPN + i).valid {
 			return false
 		}
 	}
@@ -183,14 +266,17 @@ func (as *AddressSpace) hugeEligible(v memaddr.VAddr) bool {
 // which the experiments never allow.
 func (as *AddressSpace) Translate(v memaddr.VAddr) (memaddr.PAddr, bool, error) {
 	vpn := v.PageNum()
-	if canon, ok := as.aliases[vpn]; ok {
-		// Synonym: resolve through the canonical page (faulting it in if
-		// needed), preserving the alias's own offset.
-		pa, huge, err := as.Translate(canon.Addr(v.Offset()))
-		return pa, huge, err
-	}
-	if m, ok := as.pages[vpn]; ok {
+	// Fast path: a mapped page resolves with two array dereferences.
+	if m := as.page(vpn); m.valid {
 		return m.pfn.Addr(v.Offset()), m.huge, nil
+	}
+	if as.aliases != nil {
+		if canon, ok := as.aliases[vpn]; ok {
+			// Synonym: resolve through the canonical page (faulting it in
+			// if needed), preserving the alias's own offset.
+			pa, huge, err := as.Translate(canon.Addr(v.Offset()))
+			return pa, huge, err
+		}
 	}
 	// Fault path.
 	as.stats.Faults++
@@ -198,7 +284,7 @@ func (as *AddressSpace) Translate(v memaddr.VAddr) (memaddr.PAddr, bool, error) 
 		if base, ok := as.phys.AllocHuge(); ok {
 			as.installHuge(v, base)
 			as.stats.HugeFaults++
-			m := as.pages[vpn]
+			m := as.page(vpn)
 			return m.pfn.Addr(v.Offset()), true, nil
 		}
 		as.stats.HugeFallbacks++
@@ -224,7 +310,7 @@ func (as *AddressSpace) Translate(v memaddr.VAddr) (memaddr.PAddr, bool, error) 
 	if !ok {
 		return 0, false, fmt.Errorf("vm: out of physical memory translating %#x", uint64(v))
 	}
-	as.pages[vpn] = mapping{pfn: pfn}
+	as.setPage(vpn, mapping{pfn: pfn, valid: true})
 	as.stats.MappedPages++
 	return pfn.Addr(v.Offset()), false, nil
 }
@@ -244,7 +330,7 @@ func (as *AddressSpace) MapAlias(alias, target memaddr.VAddr, size uint64) error
 	pages := memaddr.AlignUp(size, memaddr.PageBytes) / memaddr.PageBytes
 	for i := memaddr.VPN(0); i < memaddr.VPN(pages); i++ {
 		avpn := alias.PageNum() + i
-		if _, mapped := as.pages[avpn]; mapped {
+		if as.page(avpn).valid {
 			return fmt.Errorf("vm: alias page %#x already mapped", uint64(avpn))
 		}
 		if _, aliased := as.aliases[avpn]; aliased {
@@ -264,7 +350,7 @@ func (as *AddressSpace) installHuge(v memaddr.VAddr, base memaddr.PFN) {
 	as.stats.MappedHuge++
 	baseVPN := memaddr.VPN(h << memaddr.HugeExtraBits)
 	for i := memaddr.VPN(0); i < 512; i++ {
-		as.pages[baseVPN+i] = mapping{pfn: base + memaddr.PFN(i), huge: true}
+		as.setPage(baseVPN+i, mapping{pfn: base + memaddr.PFN(i), huge: true, valid: true})
 		as.stats.MappedPages++
 	}
 }
@@ -272,8 +358,8 @@ func (as *AddressSpace) installHuge(v memaddr.VAddr, base memaddr.PFN) {
 // Lookup resolves a virtual address without faulting. ok is false if
 // the page is unmapped.
 func (as *AddressSpace) Lookup(v memaddr.VAddr) (pa memaddr.PAddr, huge, ok bool) {
-	m, ok := as.pages[v.PageNum()]
-	if !ok {
+	m := as.page(v.PageNum())
+	if !m.valid {
 		return 0, false, false
 	}
 	return m.pfn.Addr(v.Offset()), m.huge, true

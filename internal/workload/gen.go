@@ -55,7 +55,12 @@ type Generator struct {
 	hotSize  uint64
 	streams  []stream
 	emitted  uint64
-	pcSeq    uint64 // PC allocator for streams created after churn
+	// churnLeft counts records until the next churn event; it mirrors
+	// emitted%ChurnEvery without a per-record integer division.
+	churnLeft int
+	// meanGap caches 1/MemRatio - 1 (a float divide per record otherwise).
+	meanGap float64
+	pcSeq   uint64 // PC allocator for streams created after churn
 	// cur/streakLeft implement access streaks: one stream issues several
 	// consecutive accesses before control moves to another stream, as a
 	// loop iteration would. Streaks give pointer chases their chains,
@@ -177,6 +182,8 @@ func (g *Generator) setup() error {
 	}
 	g.cur = nil
 	g.streakLeft = 0
+	g.churnLeft = p.ChurnEvery
+	g.meanGap = 1/p.MemRatio - 1
 	return nil
 }
 
@@ -227,13 +234,25 @@ func (g *Generator) Space() *vm.AddressSpace { return g.as }
 
 // Next implements trace.Reader.
 func (g *Generator) Next() (trace.Record, error) {
+	var rec trace.Record
+	err := g.NextInto(&rec)
+	return rec, err
+}
+
+// NextInto implements trace.InPlaceReader; it is Next without the
+// record copy on return (the simulator's per-record hot path).
+func (g *Generator) NextInto(rec *trace.Record) error {
 	if g.limit != 0 && g.emitted >= g.limit {
-		return trace.Record{}, io.EOF
+		return io.EOF
 	}
 	p := &g.prof
 
-	if p.ChurnEvery > 0 && g.emitted > 0 && g.emitted%uint64(p.ChurnEvery) == 0 {
-		g.churn()
+	if p.ChurnEvery > 0 {
+		if g.churnLeft == 0 {
+			g.churn()
+			g.churnLeft = p.ChurnEvery
+		}
+		g.churnLeft--
 	}
 
 	// Streak scheduling: pick a stream matching a hot/cold draw (so
@@ -254,16 +273,16 @@ func (g *Generator) Next() (trace.Record, error) {
 	va := g.genAddr(s)
 	pa, huge, err := g.as.Translate(va)
 	if err != nil {
-		return trace.Record{}, fmt.Errorf("workload %s: %w", p.Name, err)
+		return fmt.Errorf("workload %s: %w", p.Name, err)
 	}
 
-	rec := trace.Record{
-		PC: s.pc,
-		VA: va,
-		PA: pa,
-	}
+	rec.PC = s.pc
+	rec.VA = va
+	rec.PA = pa
+	rec.DepDist = 0
+	rec.Flags = 0
 	if huge {
-		rec.Flags |= trace.FlagHuge
+		rec.Flags = trace.FlagHuge
 	}
 	if g.rng.Float64() < p.StoreRatio {
 		rec.Flags |= trace.FlagStore
@@ -274,15 +293,14 @@ func (g *Generator) Next() (trace.Record, error) {
 			rec.DepDist = uint8(5 + g.rng.Intn(12))
 		}
 	}
-	meanGap := 1/p.MemRatio - 1
-	gap := int(g.rng.ExpFloat64() * meanGap)
+	gap := int(g.rng.ExpFloat64() * g.meanGap)
 	if gap > 1<<16-1 {
 		gap = 1<<16 - 1
 	}
 	rec.Gap = uint16(gap)
 
 	g.emitted++
-	return rec, nil
+	return nil
 }
 
 // pickStream selects a stream with the requested hotness, scanning from
@@ -290,10 +308,15 @@ func (g *Generator) Next() (trace.Record, error) {
 func (g *Generator) pickStream(hot bool) *stream {
 	n := len(g.streams)
 	start := g.rng.Intn(n)
+	idx := start
 	for i := 0; i < n; i++ {
-		s := &g.streams[(start+i)%n]
+		s := &g.streams[idx]
 		if s.hot == hot {
 			return s
+		}
+		idx++
+		if idx == n {
+			idx = 0
 		}
 	}
 	return &g.streams[start]

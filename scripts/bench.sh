@@ -1,0 +1,17 @@
+#!/bin/sh
+# Run the fixed benchmark subset and fail if throughput regressed more
+# than 10% against the committed reference (bench/BENCH_1.json).
+#
+# Usage: scripts/bench.sh [reference.json]
+#
+# The fresh result is written to bench/BENCH_current.json (untracked);
+# promote it to bench/BENCH_1.json when landing an intentional
+# performance change.
+set -eu
+cd "$(dirname "$0")/.."
+
+ref=${1:-bench/BENCH_1.json}
+out=bench/BENCH_current.json
+
+go run ./cmd/siptbench -bench -benchout "$out"
+go run ./cmd/benchcmp "$ref" "$out"

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Repository verification gate: build, vet, full test suite, and the
+# race detector over the packages that run simulations concurrently.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo '== go build ./...'
+go build ./...
+echo '== go vet ./...'
+go vet ./...
+echo '== go test ./...'
+go test ./...
+echo '== go test -race ./internal/exp ./internal/sim'
+go test -race ./internal/exp ./internal/sim
+echo 'verify: OK'
