@@ -1,0 +1,50 @@
+# Development entry points. CI runs `make verify` and `make bench`;
+# everything here is plain Go tooling with no external dependencies.
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build test race lint vet vuln verify bench fuzz
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# siptlint: the repo's own determinism/accounting/hot-path analyzers
+# (see internal/lint). Non-zero exit on any finding.
+lint:
+	$(GO) run ./cmd/siptlint ./...
+
+vet:
+	$(GO) vet ./...
+
+# govulncheck is optional tooling: run it when installed, skip quietly
+# in hermetic environments that cannot fetch it.
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo 'vuln: govulncheck not installed, skipping'; \
+	fi
+
+verify:
+	scripts/verify.sh
+
+# Benchmark smoke: run the fixed subset and compare against the
+# committed reference; fails on a >10% throughput regression.
+bench:
+	scripts/bench.sh
+
+# Native Go fuzzing over the pure bit-math and allocator invariants.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzIndexDelta -fuzztime=$(FUZZTIME) ./internal/memaddr/
+	$(GO) test -run='^$$' -fuzz=FuzzUnchangedBits -fuzztime=$(FUZZTIME) ./internal/memaddr/
+	$(GO) test -run='^$$' -fuzz=FuzzAlignAndLog2 -fuzztime=$(FUZZTIME) ./internal/memaddr/
+	$(GO) test -run='^$$' -fuzz=FuzzBuddy -fuzztime=$(FUZZTIME) ./internal/vm/

@@ -61,9 +61,8 @@ func (c Config) SpecBits() uint {
 // line is one cache line's metadata, packed to 16 bytes: halving the
 // struct halves the zeroing cost of a fresh multi-MiB LLC backing array
 // (paid once per simulation) and doubles how many ways fit in a
-// hardware cache line during the tag scan. The 32-bit stamp bounds one
-// cache instance to 2^32-1 LRU clock ticks; New's documentation and an
-// explicit overflow panic in tick() keep that honest.
+// hardware cache line during the tag scan. When the 32-bit LRU clock
+// wraps, tick() compacts the stamps in place instead of failing.
 type line struct {
 	tag   uint64
 	stamp uint32 // LRU: larger = more recently used
@@ -140,19 +139,60 @@ func New(cfg Config) *Cache {
 }
 
 // set returns the ways of set si.
+//
+//sipt:hotpath
 func (c *Cache) set(si uint64) []line {
 	return c.lines[si*c.ways : si*c.ways+c.ways]
 }
 
-// tick advances the LRU clock. A simulation long enough to wrap the
-// 32-bit clock (4 billion touches of one cache) would silently corrupt
-// LRU ordering, so it fails loudly instead.
+// tick advances the LRU clock. On 32-bit wraparound (4 billion touches
+// of one cache) the stamps are compacted: relative order within each
+// set is all LRU and the MRU predictor need, so the stamps are rebased
+// to small ranks and the clock restarts above them.
+//
+//sipt:hotpath
 func (c *Cache) tick() uint32 {
 	c.clock++
 	if c.clock == 0 {
-		panic(fmt.Sprintf("cache %s: LRU clock overflow", c.cfg.Name))
+		c.clock = c.compactStamps() + 1
 	}
 	return c.clock
+}
+
+// compactStamps rebases every set's stamps to 1..ways, preserving each
+// set's exact LRU order, and returns the largest stamp now in use.
+// Stamps within a set are unique (every update draws a fresh tick), so
+// ranking by stamp is a total order; the index tie-break is defensive.
+// Runs once per 2^32-1 ticks: clarity over speed.
+func (c *Cache) compactStamps() uint32 {
+	var maxStamp uint32
+	old := make([]uint32, c.ways)
+	for si := uint64(0); si <= c.setMask; si++ {
+		set := c.set(si)
+		for i := range set {
+			old[i] = set[i].stamp
+		}
+		for i := range set {
+			if !set[i].valid {
+				set[i].stamp = 0
+				continue
+			}
+			rank := uint32(1)
+			for j := range set {
+				if j == i || !set[j].valid {
+					continue
+				}
+				if old[j] < old[i] || (old[j] == old[i] && j < i) {
+					rank++
+				}
+			}
+			set[i].stamp = rank
+			if rank > maxStamp {
+				maxStamp = rank
+			}
+		}
+	}
+	return maxStamp
 }
 
 // Config returns the cache's configuration.
@@ -194,6 +234,8 @@ type AccessResult struct {
 // Misses do not fill; the caller fetches from the next level and then
 // calls Fill, which is what lets the hierarchy account latency and
 // energy per level.
+//
+//sipt:hotpath
 func (c *Cache) Access(pa memaddr.PAddr, write bool) AccessResult {
 	c.stats.Accesses++
 	si := c.SetOf(pa)
@@ -242,6 +284,8 @@ func (c *Cache) Probe(pa memaddr.PAddr) bool {
 // Fill installs the line containing pa, evicting the LRU way if needed.
 // dirty marks the line modified on arrival (write-allocate store miss).
 // The victim, if any, is returned so the caller can write it back.
+//
+//sipt:hotpath
 func (c *Cache) Fill(pa memaddr.PAddr, dirty bool) (Victim, bool) {
 	now := c.tick()
 	c.stats.Fills++

@@ -1,0 +1,103 @@
+package cache
+
+import (
+	"math"
+	"testing"
+
+	"sipt/internal/memaddr"
+)
+
+// oneSetCache builds a 4-way cache with a single set so every line
+// competes on LRU order.
+func oneSetCache() *Cache {
+	return New(Config{Name: "wrap", SizeBytes: 256, Ways: 4, LineBytes: 64})
+}
+
+func pa(i int) memaddr.PAddr { return memaddr.PAddr(i * 64) }
+
+// TestClockWrapPreservesLRU drives the 32-bit LRU clock through
+// wraparound and checks that stamp compaction preserves the exact
+// eviction order established before the wrap.
+func TestClockWrapPreservesLRU(t *testing.T) {
+	c := oneSetCache()
+	for i := 0; i < 4; i++ {
+		c.Fill(pa(i), false) // stamps 1..4, LRU order 0 < 1 < 2 < 3
+	}
+
+	// Park the clock two ticks short of wrap, then re-touch lines 2 and
+	// 0 so the set holds both huge and tiny stamps when the wrap hits.
+	c.clock = math.MaxUint32 - 2
+	c.Access(pa(2), false) // stamp MaxUint32-1
+	c.Access(pa(0), false) // stamp MaxUint32
+	if c.clock != math.MaxUint32 {
+		t.Fatalf("clock = %d, want MaxUint32", c.clock)
+	}
+
+	// This access wraps the clock: LRU order is now 1 < 3 < 2 < 0 < 1'.
+	res := c.Access(pa(1), false)
+	if !res.Hit {
+		t.Fatal("line 1 lost across clock wrap")
+	}
+	if c.clock >= math.MaxUint32-2 {
+		t.Fatalf("clock = %d, not compacted", c.clock)
+	}
+	if got := c.MRUWay(pa(0)); got != res.Way {
+		t.Fatalf("MRU way = %d, want %d (line 1)", got, res.Way)
+	}
+
+	// Evictions must follow the pre-wrap order: 3, then 2, then 0.
+	for _, want := range []memaddr.PAddr{pa(3), pa(2), pa(0)} {
+		victim, evicted := c.Fill(pa(100+int(want)), false)
+		if !evicted || victim.PA != want {
+			t.Fatalf("evicted %#x (evicted=%v), want %#x", uint64(victim.PA), evicted, uint64(want))
+		}
+	}
+}
+
+// TestClockWrapManyTicks crosses the boundary repeatedly to check the
+// compacted clock keeps advancing and lines keep hitting.
+func TestClockWrapManyTicks(t *testing.T) {
+	c := oneSetCache()
+	for i := 0; i < 4; i++ {
+		c.Fill(pa(i), false)
+	}
+	for round := 0; round < 3; round++ {
+		c.clock = math.MaxUint32 - 1
+		for i := 0; i < 4; i++ {
+			if !c.Access(pa(i), false).Hit {
+				t.Fatalf("round %d: line %d missing after wrap", round, i)
+			}
+		}
+		if c.CheckNoDuplicates() != nil {
+			t.Fatalf("round %d: duplicate lines after wrap", round)
+		}
+	}
+	if c.Stats().Misses != 0 {
+		t.Fatalf("misses = %d across wraps, want 0", c.Stats().Misses)
+	}
+}
+
+// TestCompactStampsDistinct checks compaction yields unique per-set
+// ranks bounded by the way count.
+func TestCompactStampsDistinct(t *testing.T) {
+	c := New(Config{Name: "wrap8", SizeBytes: 4096, Ways: 8, LineBytes: 64})
+	for i := 0; i < 64; i++ {
+		c.Fill(memaddr.PAddr(i*64), false)
+	}
+	maxStamp := c.compactStamps()
+	if maxStamp == 0 || maxStamp > uint32(c.ways) {
+		t.Fatalf("max stamp %d after compaction, want 1..%d", maxStamp, c.ways)
+	}
+	for si := uint64(0); si <= c.setMask; si++ {
+		seen := make(map[uint32]bool)
+		for _, ln := range c.set(si) {
+			if !ln.valid {
+				continue
+			}
+			if ln.stamp == 0 || ln.stamp > uint32(c.ways) || seen[ln.stamp] {
+				t.Fatalf("set %d: bad compacted stamp %d", si, ln.stamp)
+			}
+			seen[ln.stamp] = true
+		}
+	}
+}

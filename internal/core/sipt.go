@@ -259,6 +259,8 @@ func (l *L1) IDBStats() predictor.IDBStats {
 
 // Access performs one load or store. The caller must later call Fill
 // for misses (after fetching the line from the next level).
+//
+//sipt:hotpath
 func (l *L1) Access(pc uint64, va memaddr.VAddr, pa memaddr.PAddr, store bool) Result {
 	l.stats.Accesses++
 	if store {
@@ -309,6 +311,8 @@ func (l *L1) Access(pc uint64, va memaddr.VAddr, pa memaddr.PAddr, store bool) R
 
 // indexPath runs the mode-specific speculation flow and returns the
 // timing skeleton (latency, array slots, outcome class).
+//
+//sipt:hotpath
 func (l *L1) indexPath(pc uint64, va memaddr.VAddr, pa memaddr.PAddr) Result {
 	lat := l.cfg.Cache.LatencyCycles
 	slowLat := l.cfg.TLBLatency + lat
@@ -357,6 +361,8 @@ func (l *L1) indexPath(pc uint64, va memaddr.VAddr, pa memaddr.PAddr) Result {
 // delta (or, with a single speculative bit, the reversed prediction —
 // flip the bit). Either way the L1 is always accessed before
 // translation.
+//
+//sipt:hotpath
 func (l *L1) combinedPath(pc uint64, va memaddr.VAddr, pa memaddr.PAddr,
 	unchanged bool, lat, slowLat int) Result {
 
@@ -408,6 +414,8 @@ func (l *L1) combinedPath(pc uint64, va memaddr.VAddr, pa memaddr.PAddr,
 }
 
 // Fill installs a line fetched from the next level.
+//
+//sipt:hotpath
 func (l *L1) Fill(pa memaddr.PAddr, dirty bool) (cache.Victim, bool) {
 	return l.cache.Fill(pa, dirty)
 }

@@ -151,12 +151,14 @@ const (
 	chainDenseSlots = 1 << 14
 )
 
+//sipt:hotpath
 func (c *Core) chainGet(pc uint64) uint64 {
 	if idx := (pc - chainBase) >> 2; idx < uint64(len(c.chainDense)) {
 		return c.chainDense[idx]
 	} else if idx < chainDenseSlots {
 		return 0
 	}
+	//siptlint:allow hotalloc: cold fallback, reached only by replayed real traces with PCs outside the dense range
 	return c.chainMap[pc]
 }
 
@@ -207,6 +209,8 @@ func (c *Core) Result() Result {
 // dispatchOne advances the front-end by one instruction and returns its
 // dispatch cycle, honouring width, ROB occupancy, and (in-order)
 // operand stalls.
+//
+//sipt:hotpath
 func (c *Core) dispatchOne() uint64 {
 	// ROB: wait for instruction instr-ROB to retire.
 	if floor := c.retireRing[c.robIdx]; floor > c.dispatchCycle {
@@ -234,6 +238,8 @@ func (c *Core) dispatchOne() uint64 {
 
 // retire records an instruction's completion, enforcing in-order
 // retirement.
+//
+//sipt:hotpath
 func (c *Core) retire(completion uint64) {
 	if completion < c.lastRetire {
 		completion = c.lastRetire
@@ -253,6 +259,8 @@ func (c *Core) retire(completion uint64) {
 // in locals: gap instructions are the majority of all instructions and
 // touch nothing but the rings, so keeping dispatch cycle, slot count,
 // and ring index in registers for the whole run pays.
+//
+//sipt:hotpath
 func (c *Core) gapRun(n uint16) {
 	d, u, r := c.dispatchCycle, c.slotsUsed, c.lastRetire
 	ri, ins := c.robIdx, c.instr
@@ -299,6 +307,8 @@ func (c *Core) gapRun(n uint16) {
 
 // step simulates one trace record: its leading non-memory instructions
 // and the access itself.
+//
+//sipt:hotpath
 func (c *Core) step(rec *trace.Record) {
 	// Non-memory gap instructions: unit latency.
 	if rec.Gap > 0 {

@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Reachable computes, once per program, the set of functions reachable
+// from the module's entry points: exported functions and methods, main,
+// and init. For the simulator this closure is exactly "code that can
+// run under sim.Run*/exp.Runner" — everything the golden tables and the
+// benchmark harness depend on. Unexported helpers referenced only by
+// test files fall outside it.
+//
+// Edges are collected by reference, not just by direct call: a function
+// mentioned anywhere in a reachable body (passed as a value, stored in
+// a table, deferred) counts as reachable. Calls through an interface
+// add edges to every concrete method in the program that implements the
+// interface (class-hierarchy analysis). Both rules over-approximate,
+// which is the safe direction for a determinism check.
+func (prog *Program) Reachable() map[*types.Func]bool {
+	if prog.reach != nil {
+		return prog.reach
+	}
+
+	type declInfo struct {
+		pkg  *Package
+		decl *ast.FuncDecl
+	}
+	decls := make(map[*types.Func]declInfo)
+	var concrete []*types.Func // methods with non-interface receivers
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				decls[fn] = declInfo{pkg, fd}
+				if recv := fn.Type().(*types.Signature).Recv(); recv != nil &&
+					!types.IsInterface(recv.Type()) {
+					concrete = append(concrete, fn)
+				}
+			}
+		}
+	}
+
+	// implementers expands an abstract (interface) method into the
+	// concrete methods that can stand behind it.
+	implementers := func(abstract *types.Func) []*types.Func {
+		iface, ok := abstract.Type().(*types.Signature).Recv().Type().Underlying().(*types.Interface)
+		if !ok {
+			return nil
+		}
+		var out []*types.Func
+		for _, m := range concrete {
+			if m.Name() != abstract.Name() {
+				continue
+			}
+			recv := m.Type().(*types.Signature).Recv().Type()
+			if types.Implements(recv, iface) ||
+				types.Implements(types.NewPointer(recv), iface) {
+				out = append(out, m)
+			}
+		}
+		return out
+	}
+
+	edges := make(map[*types.Func][]*types.Func)
+	for fn, di := range decls {
+		seen := make(map[*types.Func]bool)
+		ast.Inspect(di.decl.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			callee, ok := di.pkg.Info.Uses[id].(*types.Func)
+			if !ok || seen[callee] {
+				return true
+			}
+			seen[callee] = true
+			if recv := callee.Type().(*types.Signature).Recv(); recv != nil &&
+				types.IsInterface(recv.Type()) {
+				edges[fn] = append(edges[fn], implementers(callee)...)
+				return true
+			}
+			edges[fn] = append(edges[fn], callee)
+			return true
+		})
+	}
+
+	reach := make(map[*types.Func]bool)
+	var queue []*types.Func
+	enqueue := func(fn *types.Func) {
+		if !reach[fn] {
+			reach[fn] = true
+			queue = append(queue, fn)
+		}
+	}
+	for fn := range decls {
+		if fn.Exported() || fn.Name() == "main" || fn.Name() == "init" {
+			enqueue(fn)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, callee := range edges[fn] {
+			enqueue(callee)
+		}
+	}
+	prog.reach = reach
+	return reach
+}
+
+// enclosingFunc returns the function declaration containing pos, and
+// its types.Func, or nils for positions outside any function.
+func enclosingFunc(pkg *Package, file *ast.File, pos ast.Node) (*ast.FuncDecl, *types.Func) {
+	for _, d := range file.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		if fd.Pos() <= pos.Pos() && pos.End() <= fd.End() {
+			fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+			return fd, fn
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetRand forbids nondeterminism sources inside simulation packages.
+// The golden fig6/fig9/fig13 tables are byte-exact functions of
+// (profile, config, scenario, seed); any ambient entropy — the global
+// math/rand functions, wall-clock reads, or iteration over a Go map —
+// breaks that contract silently.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc: `forbid nondeterminism sources in simulation packages
+
+Flags, in any package under sipt/internal/ (except the lint suite):
+  - calls to the global math/rand top-level functions (Intn, Float64,
+    Seed, ...); seeded *rand.Rand instances via rand.New(rand.NewSource)
+    remain the sanctioned randomness source;
+  - calls to time.Now, time.Since, time.Until (wall-clock timing
+    belongs in cmd/ benchmarking code, never in simulation logic);
+  - range over a map in any function reachable from the module's
+    exported API (the closure that can run under sim.Run/exp.Runner):
+    Go randomises map iteration order per run.`,
+	Run: runDetRand,
+}
+
+// randAllowed are math/rand top-level functions that construct seeded
+// generators rather than draw from the global one.
+var randAllowed = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+// timeBanned are time-package functions that read the wall clock.
+var timeBanned = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+}
+
+func runDetRand(pass *Pass) error {
+	if !inSimScope(pass.Pkg.Path) {
+		return nil
+	}
+	reach := pass.Prog.Reachable()
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkDetCall(pass, n)
+			case *ast.RangeStmt:
+				t := pass.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				fd, fn := enclosingFunc(pass.Pkg, file, n)
+				if fd == nil || fn == nil || !reach[fn] {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"nondeterministic: range over map in %s, which is reachable from the simulation API (map iteration order is randomised; iterate a sorted or indexed structure instead)",
+					fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkDetCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return // methods (e.g. (*rand.Rand).Intn) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "math/rand", "math/rand/v2":
+		if !randAllowed[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"nondeterministic: call to global %s.%s; draw from a seeded *rand.Rand (rand.New(rand.NewSource(seed))) instead",
+				fn.Pkg().Name(), fn.Name())
+		}
+	case "time":
+		if timeBanned[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"nondeterministic: call to time.%s in simulation code; simulated time must come from the core's cycle counters",
+				fn.Name())
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package lint_test
+
+import (
+	"testing"
+
+	"sipt/internal/lint"
+	"sipt/internal/lint/linttest"
+)
+
+func TestDetRand(t *testing.T) {
+	linttest.Run(t, "testdata/detrand", lint.DetRand, "sipt/internal/fixturesim")
+}
+
+// TestDetRandScope loads the same violation-riddled fixture under a
+// cmd-style import path: the determinism rules apply only to
+// sipt/internal/... simulation packages, so nothing may fire.
+func TestDetRandScope(t *testing.T) {
+	prog, err := lint.LoadDir("testdata/detrand", "sipt/cmd/fixturesim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run(prog, []*lint.Analyzer{lint.DetRand})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("out-of-scope package flagged: %s: %s", d.Pos, d.Message)
+	}
+}

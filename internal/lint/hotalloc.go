@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc locks in PR 1's hot-path performance work: functions
+// annotated //sipt:hotpath (the cache/TLB/cpu/generator inner loops)
+// must stay free of heap allocations, map operations, and
+// interface-converting constructs, all of which PR 1 painstakingly
+// removed from the per-record path. A regression reappears as a lint
+// finding rather than as a 10% throughput loss in the bench gate.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: `//sipt:hotpath function bodies must be allocation- and map-free
+
+Inside an annotated function body the analyzer flags:
+  - make, new, append, and delete;
+  - composite literals of slice/map type, and &T{...} (escaping);
+  - map indexing (read or write) and range over a map;
+  - function literals (closure allocation);
+  - explicit conversions of concrete values to interface types, and
+    string(x) conversions from byte/rune slices;
+  - calls into package fmt (formatting allocates and boxes arguments).
+Calls to other functions are not flagged: annotate callees that are
+themselves hot, and keep cold fallbacks in separate functions (or
+acknowledge an intentional cold branch with //siptlint:allow hotalloc).`,
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !HasDirective(fd.Doc, "sipt:hotpath") {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	report := func(n ast.Node, what string) {
+		pass.Reportf(n.Pos(), "hotpath: %s in //sipt:hotpath function %s", what, fd.Name.Name)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(pass, fd, n, report)
+		case *ast.CompositeLit:
+			t := pass.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				report(n, "slice literal (heap allocation)")
+			case *types.Map:
+				report(n, "map literal (heap allocation)")
+			}
+		case *ast.UnaryExpr:
+			if _, ok := n.X.(*ast.CompositeLit); ok && n.Op == token.AND {
+				report(n, "&composite literal (heap allocation)")
+			}
+		case *ast.IndexExpr:
+			if t := pass.TypeOf(n.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					report(n, "map access")
+				}
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(n.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					report(n, "range over map")
+				}
+			}
+		case *ast.FuncLit:
+			report(n, "function literal (closure allocation)")
+			return false // its body is cold by construction
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, report func(ast.Node, string)) {
+	// Builtins: make/new/append/delete allocate or touch maps.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := pass.Pkg.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new", "append", "delete":
+				report(call, "call to builtin "+b.Name())
+			}
+			return
+		}
+	}
+
+	// Conversions: T(x) where T is an interface (boxing) or a string
+	// built from a byte/rune slice (copy + allocation).
+	if tv, ok := pass.Pkg.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		src := pass.TypeOf(call.Args[0])
+		if src != nil {
+			if types.IsInterface(dst.Underlying()) && !types.IsInterface(src.Underlying()) {
+				report(call, "conversion to interface type (boxes the value)")
+			}
+			if isString(dst) && isByteOrRuneSlice(src) {
+				report(call, "string conversion from slice (allocates)")
+			}
+		}
+		return
+	}
+
+	// fmt calls: formatting allocates and converts every argument.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func); ok &&
+			fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			report(call, "call to fmt."+fn.Name())
+		}
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

@@ -1,0 +1,227 @@
+// Package lint is a self-contained static-analysis framework plus the
+// repository's analyzers. It mirrors the shape of
+// golang.org/x/tools/go/analysis (Analyzer / Pass / Diagnostic) but is
+// built only on the standard library's go/ast, go/parser, go/types and
+// go/importer, because this module deliberately has no external
+// dependencies.
+//
+// The four analyzers mechanically enforce the simulator's central
+// guarantees — golden-table determinism and the Stats accounting
+// identities — instead of relying on review vigilance:
+//
+//   - detrand: forbids nondeterminism sources in simulation packages.
+//   - statsaccount: enforces paired accounting-counter updates.
+//   - memokey: memo keys must consume every field of their config.
+//   - hotalloc: //sipt:hotpath functions stay allocation- and map-free.
+//
+// Findings can be acknowledged in place with a justification:
+//
+//	//siptlint:allow detrand: commutative aggregation, order-invariant
+//
+// on the flagged line or the line above. The allow comment must name
+// the analyzer; a bare //siptlint:allow suppresses nothing.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check. Run is invoked once per
+// loaded package and reports findings through the Pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Diagnostic is one finding, positioned for editors (file:line:col).
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// A Package is one type-checked package: syntax, types, and the
+// comment-derived suppression table.
+type Package struct {
+	Path  string // import path, e.g. "sipt/internal/cache"
+	Name  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// allows maps filename -> line -> analyzer names acknowledged on
+	// that line via //siptlint:allow.
+	allows map[string]map[int][]string
+}
+
+// A Program is the set of packages one lint invocation analyses,
+// sharing a FileSet so positions are comparable across packages.
+type Program struct {
+	Fset       *token.FileSet
+	ModulePath string
+	Pkgs       []*Package
+
+	reach map[*types.Func]bool // lazily built by Reachable
+}
+
+// A Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+	Pkg      *Package
+	diags    *[]Diagnostic
+}
+
+// Fset returns the program-wide file set.
+func (p *Pass) Fset() *token.FileSet { return p.Prog.Fset }
+
+// TypeOf returns the type of an expression in this package, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// Reportf records a finding unless an //siptlint:allow comment for this
+// analyzer covers the line (or the line directly above it).
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Prog.Fset.Position(pos)
+	if p.Pkg.allowedAt(position, p.Analyzer.Name) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (pkg *Package) allowedAt(pos token.Position, analyzer string) bool {
+	lines := pkg.allows[pos.Filename]
+	for _, l := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[l] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// allowRx matches //siptlint:allow name1,name2[: justification].
+var allowRx = regexp.MustCompile(`^//siptlint:allow\s+([a-z, ]+?)\s*(?::.*)?$`)
+
+// buildAllows scans a file's comments for suppression directives.
+func buildAllows(fset *token.FileSet, files []*ast.File) map[string]map[int][]string {
+	allows := make(map[string]map[int][]string)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRx.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := allows[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					allows[pos.Filename] = lines
+				}
+				for _, name := range strings.FieldsFunc(m[1], func(r rune) bool {
+					return r == ',' || r == ' '
+				}) {
+					lines[pos.Line] = append(lines[pos.Line], name)
+				}
+			}
+		}
+	}
+	return allows
+}
+
+// HasDirective reports whether a function's doc comment carries the
+// given directive (e.g. "sipt:hotpath"). Directives are comment lines
+// of the exact form //sipt:name, following the Go convention for
+// machine-readable comments.
+func HasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == "//"+directive {
+			return true
+		}
+	}
+	return false
+}
+
+// All returns every analyzer in the suite, in report order.
+func All() []*Analyzer {
+	return []*Analyzer{DetRand, StatsAccount, MemoKey, HotAlloc}
+}
+
+// ByName resolves a comma-separated analyzer list ("" = all).
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All(), nil
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		a, ok := byName[strings.TrimSpace(n)]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run executes the analyzers over every package of the program and
+// returns the surviving (non-suppressed) findings in position order.
+func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Prog: prog, Pkg: pkg, diags: &diags}
+			if err := a.Run(pass); err != nil {
+				return diags, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags, nil
+}
+
+// simScopePrefix is the import-path prefix of simulation packages: the
+// code whose behaviour feeds golden tables and accounting identities.
+const simScopePrefix = "sipt/internal/"
+
+// inSimScope reports whether a package holds simulation logic subject
+// to the determinism rules. The lint machinery itself is exempt (it
+// never runs inside a simulation).
+func inSimScope(path string) bool {
+	if path == "sipt/internal/lint" || strings.HasPrefix(path, "sipt/internal/lint/") {
+		return false
+	}
+	return strings.HasPrefix(path, simScopePrefix)
+}

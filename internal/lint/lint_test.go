@@ -1,0 +1,43 @@
+package lint_test
+
+import (
+	"testing"
+
+	"sipt/internal/lint"
+)
+
+// TestLoadModulePackage smoke-tests the module loader against a real
+// package: pattern matching, go.mod discovery, and type-checking with
+// the source importer all have to work for cmd/siptlint to function.
+func TestLoadModulePackage(t *testing.T) {
+	prog, err := lint.Load(".", "./internal/memaddr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.ModulePath != "sipt" {
+		t.Fatalf("module path = %q, want sipt", prog.ModulePath)
+	}
+	if len(prog.Pkgs) != 1 || prog.Pkgs[0].Path != "sipt/internal/memaddr" {
+		t.Fatalf("loaded %d packages, want exactly sipt/internal/memaddr", len(prog.Pkgs))
+	}
+	diags, err := lint.Run(prog, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected finding on clean package: %s: %s: %s", d.Pos, d.Analyzer, d.Message)
+	}
+}
+
+func TestByName(t *testing.T) {
+	as, err := lint.ByName("detrand,hotalloc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 2 || as[0].Name != "detrand" || as[1].Name != "hotalloc" {
+		t.Fatalf("ByName returned %v", as)
+	}
+	if _, err := lint.ByName("nosuch"); err == nil {
+		t.Fatal("ByName(nosuch) should fail")
+	}
+}

@@ -1,0 +1,114 @@
+// Package linttest is a minimal analogue of
+// golang.org/x/tools/go/analysis/analysistest for the internal/lint
+// framework: it runs one analyzer over a testdata fixture package and
+// compares the findings against // want "regexp" comments in the
+// fixture source.
+package linttest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"sipt/internal/lint"
+)
+
+// wantRx extracts the quoted expectations from a // want comment.
+var (
+	wantLineRx = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	wantArgRx  = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+)
+
+type expectation struct {
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture package in dir under the given import path,
+// runs the analyzer, and reports any mismatch between its diagnostics
+// and the fixture's // want annotations. The import path matters:
+// scope-limited analyzers (detrand, statsaccount) only fire on
+// sipt/internal/... paths.
+func Run(t *testing.T, dir string, a *lint.Analyzer, importPath string) {
+	t.Helper()
+
+	prog, err := lint.LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := lint.Run(prog, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	wants, err := collectWants(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, d := range diags {
+		key := posKey(d.Pos)
+		exps := wants[key]
+		ok := false
+		for _, e := range exps {
+			if !e.matched && e.rx.MatchString(d.Message) {
+				e.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic at %s: %s", key, d.Message)
+		}
+	}
+	for key, exps := range wants {
+		for _, e := range exps {
+			if !e.matched {
+				t.Errorf("missing diagnostic at %s: want match for %q", key, e.rx)
+			}
+		}
+	}
+}
+
+func posKey(p token.Position) string {
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+// collectWants scans every fixture file for // want annotations,
+// keyed by file:line.
+func collectWants(dir string) (map[string][]*expectation, error) {
+	wants := make(map[string][]*expectation)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, entry := range entries {
+		name := entry.Name()
+		if entry.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantLineRx.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			key := fmt.Sprintf("%s:%d", name, i+1)
+			for _, arg := range wantArgRx.FindAllStringSubmatch(m[1], -1) {
+				rx, err := regexp.Compile(arg[1])
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad want regexp %q: %w", key, arg[1], err)
+				}
+				wants[key] = append(wants[key], &expectation{rx: rx})
+			}
+		}
+	}
+	return wants, nil
+}

@@ -1,0 +1,275 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Load parses and type-checks the module packages matched by patterns
+// (go-style: "./...", "./internal/...", "./cmd/siptlint"), rooted at
+// the module containing dir. Test files are not loaded: the analyzers
+// govern simulation code, and the determinism rules deliberately do not
+// apply to tests (which are free to use global rand, timers, etc.).
+//
+// Standard-library imports are type-checked from $GOROOT source via the
+// go/importer "source" compiler, so the loader works offline and needs
+// no build cache, export data, or external driver.
+func Load(dir string, patterns ...string) (*Program, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	ld := newLoader(root, modPath)
+
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	want := make(map[string]bool)
+	for _, d := range dirs {
+		ip := ld.importPath(d)
+		for _, pat := range patterns {
+			if matchPattern(modPath, pat, ip) {
+				want[ip] = true
+			}
+		}
+	}
+	if len(want) == 0 {
+		return nil, fmt.Errorf("lint: no packages match %v", patterns)
+	}
+
+	paths := make([]string, 0, len(want))
+	for ip := range want {
+		paths = append(paths, ip)
+	}
+	sort.Strings(paths)
+
+	prog := &Program{Fset: ld.fset, ModulePath: modPath}
+	for _, ip := range paths {
+		pkg, err := ld.load(ip)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			prog.Pkgs = append(prog.Pkgs, pkg)
+		}
+	}
+	return prog, nil
+}
+
+// LoadDir type-checks the single package in dir, assigning it the given
+// import path. Fixture tests use it to place testdata packages inside
+// (or outside) the analyzers' scope.
+func LoadDir(dir, importPath string) (*Program, error) {
+	ld := newLoader(dir, importPath)
+	pkg, err := ld.loadDir(dir, importPath)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{Fset: ld.fset, ModulePath: importPath, Pkgs: []*Package{pkg}}, nil
+}
+
+// findModule ascends from dir to the enclosing go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+	}
+}
+
+// packageDirs lists every directory under root that contains non-test
+// Go files, skipping testdata, hidden, and underscore directories.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// matchPattern implements the "./..." subset of go package patterns
+// against an import path within the module.
+func matchPattern(modPath, pat, importPath string) bool {
+	pat = strings.TrimSuffix(pat, "/")
+	switch {
+	case pat == "./..." || pat == "...":
+		return true
+	case pat == ".":
+		return importPath == modPath
+	}
+	if rest, ok := strings.CutPrefix(pat, "./"); ok {
+		pat = modPath + "/" + rest
+	}
+	if prefix, ok := strings.CutSuffix(pat, "/..."); ok {
+		return importPath == prefix || strings.HasPrefix(importPath, prefix+"/")
+	}
+	return importPath == pat
+}
+
+// loader type-checks module packages on demand, memoising results. It
+// resolves module-internal imports itself and delegates everything else
+// to the source importer.
+type loader struct {
+	fset    *token.FileSet
+	root    string
+	modPath string
+	std     types.ImporterFrom
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+func newLoader(root, modPath string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:    fset,
+		root:    root,
+		modPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+}
+
+func (ld *loader) importPath(dir string) string {
+	rel, err := filepath.Rel(ld.root, dir)
+	if err != nil || rel == "." {
+		return ld.modPath
+	}
+	return ld.modPath + "/" + filepath.ToSlash(rel)
+}
+
+func (ld *loader) dirOf(importPath string) string {
+	if importPath == ld.modPath {
+		return ld.root
+	}
+	rel := strings.TrimPrefix(importPath, ld.modPath+"/")
+	return filepath.Join(ld.root, filepath.FromSlash(rel))
+}
+
+// Import implements types.Importer for the chained resolution.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if path == ld.modPath || strings.HasPrefix(path, ld.modPath+"/") {
+		pkg, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("lint: no Go files in %s", path)
+		}
+		return pkg.Types, nil
+	}
+	return ld.std.ImportFrom(path, ld.root, 0)
+}
+
+// load parses and type-checks one module package (memoised). It returns
+// (nil, nil) for directories with no buildable Go files.
+func (ld *loader) load(importPath string) (*Package, error) {
+	if pkg, ok := ld.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	if ld.loading[importPath] {
+		return nil, fmt.Errorf("lint: import cycle through %s", importPath)
+	}
+	ld.loading[importPath] = true
+	defer delete(ld.loading, importPath)
+
+	pkg, err := ld.loadDir(ld.dirOf(importPath), importPath)
+	if err != nil {
+		return nil, err
+	}
+	ld.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+func (ld *loader) loadDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", importPath, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", importPath, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: ld,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(importPath, ld.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, typeErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, err)
+	}
+	return &Package{
+		Path:   importPath,
+		Name:   tpkg.Name(),
+		Dir:    dir,
+		Files:  files,
+		Types:  tpkg,
+		Info:   info,
+		allows: buildAllows(ld.fset, files),
+	}, nil
+}

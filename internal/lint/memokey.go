@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// MemoKey guards memoisation keys against silently-omitted config
+// fields. PR 1's cfg.Cores bug was this class: exp.Runner.key left
+// Cores out of the memo key, so single-core and quad-core runs of the
+// same app shared cached results. The mechanical rule makes adding a
+// sim.Config field without extending the key a lint-time error.
+var MemoKey = &Analyzer{
+	Name: "memokey",
+	Doc: `memo/cache key constructions must consume every config field
+
+Applies to functions annotated //sipt:memokey and, by naming
+convention, to any function or method named key/Key/memoKey/cacheKey.
+For every struct-typed parameter, the function must either use the
+struct value as a whole (e.g. format it with %+v, hash it, pass it on)
+or read every one of its fields individually. A field that is neither
+part of a whole-value use nor selected is reported as missing from the
+key.`,
+	Run: runMemoKey,
+}
+
+// memoKeyNames are function names treated as key constructors even
+// without the annotation.
+var memoKeyNames = map[string]bool{
+	"key": true, "Key": true,
+	"memoKey": true, "MemoKey": true,
+	"cacheKey": true, "CacheKey": true,
+}
+
+func runMemoKey(pass *Pass) error {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !HasDirective(fd.Doc, "sipt:memokey") && !memoKeyNames[fd.Name.Name] {
+				continue
+			}
+			checkMemoKeyFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkMemoKeyFunc(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Type.Params == nil {
+		return
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj, ok := pass.Pkg.Info.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			st := structOf(obj.Type())
+			if st == nil || st.NumFields() == 0 {
+				continue
+			}
+			missing := missingFields(pass, fd, obj, st)
+			if len(missing) > 0 {
+				pass.Reportf(fd.Pos(),
+					"memokey: %s builds a key from %s (%s) but never consumes field(s) %s; a config field outside the key silently aliases distinct runs",
+					fd.Name.Name, name.Name, obj.Type(), strings.Join(missing, ", "))
+			}
+		}
+	}
+}
+
+// structOf unwraps pointers and returns the struct type, or nil.
+func structOf(t types.Type) *types.Struct {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, _ := t.Underlying().(*types.Struct)
+	return st
+}
+
+// missingFields returns the struct fields of param that the function
+// body never consumes, or nil if the whole value is used at least once.
+func missingFields(pass *Pass, fd *ast.FuncDecl, param *types.Var, st *types.Struct) []string {
+	used := make(map[string]bool)
+	whole := false
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.Pkg.Info.Uses[id] != param {
+			return true
+		}
+		// A selector consumes one field; any other mention (argument,
+		// assignment, return, &param, ...) consumes the whole value.
+		if sel, ok := enclosingSelector(fd, id); ok {
+			used[sel] = true
+		} else {
+			whole = true
+		}
+		return true
+	})
+	if whole {
+		return nil
+	}
+
+	var missing []string
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !used[f.Name()] {
+			missing = append(missing, f.Name())
+		}
+	}
+	sort.Strings(missing)
+	return missing
+}
+
+// enclosingSelector reports whether id is the X of a selector
+// expression (param.Field) and returns the selected field name.
+func enclosingSelector(fd *ast.FuncDecl, id *ast.Ident) (string, bool) {
+	var field string
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if ok && sel.X == id {
+			field = sel.Sel.Name
+			found = true
+			return false
+		}
+		return true
+	})
+	return field, found
+}

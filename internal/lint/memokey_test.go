@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"sipt/internal/lint"
+	"sipt/internal/lint/linttest"
+)
+
+func TestMemoKey(t *testing.T) {
+	linttest.Run(t, "testdata/memokey", lint.MemoKey, "sipt/internal/fixturekey")
+}

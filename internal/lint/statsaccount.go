@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// StatsAccount enforces the paired counter updates behind
+// core.Stats.CheckInvariants. PR 1's way-misprediction bug was exactly
+// this class: a second array pass charged to Result.Latency without the
+// matching Result.ArraySlots (and so Stats.ArrayAccesses) update, which
+// silently skewed the Fig. 17 energy accounting.
+var StatsAccount = &Analyzer{
+	Name: "statsaccount",
+	Doc: `enforce paired accounting-counter updates
+
+A struct that carries both halves of an accounting identity is an
+"accounting struct"; the analyzer recognises the pairs
+  Latency  -> ArraySlots     (per-access timing implies array reads)
+  Accesses -> ArrayAccesses  (demand accesses imply array reads)
+A function that writes the left field of a pair on such a struct must
+also write the right field somewhere in its body, or be annotated
+//sipt:accounting (a sanctioned helper whose caller owns the pairing).
+Composite literals are held to the same rule: initialising Latency
+without ArraySlots is flagged.`,
+	Run: runStatsAccount,
+}
+
+// accountingPairs maps a trigger field to the paired field that must be
+// updated alongside it. The rule only applies to structs that declare
+// both fields, which confines it to the simulator's accounting structs
+// (core.Result, core.Stats) without naming them.
+var accountingPairs = map[string]string{
+	"Latency":  "ArraySlots",
+	"Accesses": "ArrayAccesses",
+}
+
+func runStatsAccount(pass *Pass) error {
+	if !inSimScope(pass.Pkg.Path) {
+		return nil
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if HasDirective(fd.Doc, "sipt:accounting") {
+				continue
+			}
+			checkAccountingFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// fieldWrite is one assignment/inc-dec to a paired accounting field.
+type fieldWrite struct {
+	pos   ast.Node
+	field string
+	owner *types.Struct
+}
+
+func checkAccountingFunc(pass *Pass, fd *ast.FuncDecl) {
+	var writes []fieldWrite
+	written := make(map[string]bool) // "Struct.Field" written anywhere in body
+
+	record := func(expr ast.Expr, n ast.Node) {
+		sel, ok := expr.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		selection, ok := pass.Pkg.Info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return
+		}
+		owner := accountingStruct(selection.Recv())
+		if owner == nil {
+			return
+		}
+		name := sel.Sel.Name
+		written[structFieldKey(owner, name)] = true
+		if _, paired := accountingPairs[name]; paired {
+			writes = append(writes, fieldWrite{pos: n, field: name, owner: owner})
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				record(lhs, n)
+			}
+		case *ast.IncDecStmt:
+			record(n.X, n)
+		case *ast.CompositeLit:
+			checkAccountingLiteral(pass, n)
+		}
+		return true
+	})
+
+	for _, w := range writes {
+		pair := accountingPairs[w.field]
+		if !written[structFieldKey(w.owner, pair)] {
+			pass.Reportf(w.pos.Pos(),
+				"accounting: %s writes %s without updating the paired %s in the same function; update both or annotate a sanctioned helper with //sipt:accounting",
+				fd.Name.Name, w.field, pair)
+		}
+	}
+}
+
+// checkAccountingLiteral flags accounting-struct literals that set a
+// trigger field but omit its pair (only keyed literals can omit).
+func checkAccountingLiteral(pass *Pass, lit *ast.CompositeLit) {
+	t := pass.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	owner := accountingStruct(t)
+	if owner == nil {
+		return
+	}
+	set := make(map[string]bool)
+	keyed := false
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			return // positional literal: every field present
+		}
+		keyed = true
+		if id, ok := kv.Key.(*ast.Ident); ok {
+			set[id.Name] = true
+		}
+	}
+	if !keyed {
+		return
+	}
+	for field, pair := range accountingPairs {
+		if set[field] && !set[pair] {
+			pass.Reportf(lit.Pos(),
+				"accounting: composite literal sets %s without the paired %s",
+				field, pair)
+		}
+	}
+}
+
+// accountingStruct returns the struct type if t (possibly a pointer) is
+// an accounting struct — one declaring both halves of at least one
+// pair — and nil otherwise.
+func accountingStruct(t types.Type) *types.Struct {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	fields := make(map[string]bool, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		fields[st.Field(i).Name()] = true
+	}
+	for trigger, pair := range accountingPairs {
+		if fields[trigger] && fields[pair] {
+			return st
+		}
+	}
+	return nil
+}
+
+// structFieldKey keys a (struct, field) pair. Struct identity uses the
+// type's string form, which is stable within one type-checked program.
+func structFieldKey(st *types.Struct, field string) string {
+	return st.String() + "." + field
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"sipt/internal/lint"
+	"sipt/internal/lint/linttest"
+)
+
+func TestStatsAccount(t *testing.T) {
+	linttest.Run(t, "testdata/statsaccount", lint.StatsAccount, "sipt/internal/fixturestats")
+}

@@ -1,0 +1,68 @@
+// Package fixturesim seeds detrand violations: global rand draws,
+// wall-clock reads, and map iteration reachable from the simulation
+// API, plus the sanctioned alternatives that must stay clean.
+package fixturesim
+
+import (
+	"math/rand"
+	"time"
+)
+
+type table interface{ walk() int }
+
+type mapTable struct{ m map[string]int }
+
+// walk is reached only through the table interface from Run; the
+// class-hierarchy edge must still mark it reachable.
+func (t mapTable) walk() int {
+	s := 0
+	for _, v := range t.m { // want "range over map"
+		s += v
+	}
+	return s
+}
+
+// Run is an exported simulation entry point: everything it references
+// is reachable from the simulation API.
+func Run(t table, m map[uint64]uint64) uint64 {
+	var s uint64
+	for k := range m { // want "range over map"
+		s += k
+	}
+	s += uint64(t.walk())
+	s += uint64(helper(map[int]int{1: 2}))
+	s += uint64(rand.Intn(8)) // want "rand.Intn"
+	_ = time.Now()            // want "time.Now"
+	r := rand.New(rand.NewSource(42))
+	s += uint64(r.Intn(8)) // seeded *rand.Rand: sanctioned
+	return s
+}
+
+// helper is unexported but called from Run, so its map range counts.
+func helper(m map[int]int) int {
+	n := 0
+	for range m { // want "range over map"
+		n++
+	}
+	return n
+}
+
+// testOnly is referenced by nothing reachable; test helpers may
+// iterate maps freely.
+func testOnly(m map[int]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Sum demonstrates the acknowledgement escape hatch.
+func Sum(m map[int]int) int {
+	n := 0
+	//siptlint:allow detrand: commutative sum, iteration order cannot change the result
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,55 @@
+// Package fixturehot seeds hotalloc violations inside //sipt:hotpath
+// functions and shows that unannotated code is untouched.
+package fixturehot
+
+import "fmt"
+
+type point struct{ x int }
+
+//sipt:hotpath
+func hotBad(m map[uint64]int, xs []int, k uint64) int {
+	buf := make([]int, 8) // want "make"
+	xs = append(xs, 1)    // want "append"
+	v := m[k]             // want "map access"
+	m[k] = v + 1          // want "map access"
+	delete(m, k)          // want "delete"
+	for range m {         // want "range over map"
+	}
+	f := func() int { return 1 } // want "function literal"
+	p := &point{x: 1}            // want "composite literal"
+	s := []int{1, 2}             // want "slice literal"
+	b := any(v)                  // want "interface"
+	bi, _ := b.(int)
+	return buf[0] + xs[0] + f() + p.x + s[0] + bi
+}
+
+//sipt:hotpath
+func hotFmt(x int) string {
+	return fmt.Sprintf("%d", x) // want "fmt"
+}
+
+//sipt:hotpath
+func hotGood(xs []int, i int) int {
+	var p point
+	p.x = xs[i]
+	q := point{x: p.x + 1} // struct value literal stays on the stack
+	return q.x
+}
+
+// hotAck demonstrates acknowledging an intentional cold branch.
+//
+//sipt:hotpath
+func hotAck(m map[uint64]uint64, pc uint64) uint64 {
+	//siptlint:allow hotalloc: cold fallback, taken only for replayed real traces
+	return m[pc]
+}
+
+// cold is unannotated: the same constructs are fine here.
+func cold(m map[int]int) int {
+	s := make([]int, 1)
+	//siptlint:allow detrand: fixture helper, not simulation code
+	for _, v := range m {
+		s[0] += v
+	}
+	return s[0]
+}

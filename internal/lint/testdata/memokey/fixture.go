@@ -1,0 +1,47 @@
+// Package fixturekey seeds memokey violations, including a
+// reconstruction of the PR-1 cfg.Cores memo-key bug.
+package fixturekey
+
+import "fmt"
+
+// Config mirrors sim.Config; Cores is the field PR 1's memo key
+// omitted, silently sharing cached results across core counts.
+type Config struct {
+	Cores     int
+	L1SizeKiB int
+	L1Ways    int
+}
+
+type runner struct {
+	cache map[string]int
+}
+
+// key reconstructs the PR-1 bug: Cores is missing from the key.
+func (r *runner) key(app string, cfg Config) string { // want "Cores"
+	return fmt.Sprintf("%s|%d|%d", app, cfg.L1SizeKiB, cfg.L1Ways)
+}
+
+// wholeKey formats the entire struct, which is exhaustive by
+// construction: new fields are picked up automatically.
+//
+//sipt:memokey
+func wholeKey(app string, cfg Config) string {
+	return fmt.Sprintf("%s|%+v", app, cfg)
+}
+
+// fieldKey enumerates every field explicitly.
+//
+//sipt:memokey
+func fieldKey(cfg Config) string {
+	return fmt.Sprintf("%d|%d|%d", cfg.Cores, cfg.L1SizeKiB, cfg.L1Ways)
+}
+
+// pointerKey must see through the pointer to the struct's fields.
+//
+//sipt:memokey
+func pointerKey(cfg *Config) string { // want "Cores, L1Ways"
+	return fmt.Sprintf("%d", cfg.L1SizeKiB)
+}
+
+// notAKey is neither annotated nor conventionally named: unchecked.
+func notAKey(cfg Config) int { return cfg.Cores }

@@ -1,0 +1,59 @@
+// Package fixturestats seeds statsaccount violations, including a
+// reconstruction of the PR-1 way-misprediction accounting bug.
+package fixturestats
+
+// Result mirrors core.Result's accounting pair.
+type Result struct {
+	Latency    int
+	ArraySlots int
+	Fast       bool
+}
+
+// Stats mirrors core.Stats's accounting pair.
+type Stats struct {
+	Accesses      uint64
+	ArrayAccesses uint64
+}
+
+// wayMispredict reconstructs the PR-1 bug: the second array pass is
+// charged to Latency without the paired ArraySlots update.
+func wayMispredict(res *Result, lat int) {
+	res.Latency += lat // want "ArraySlots"
+}
+
+func paired(res *Result, lat int) {
+	res.Latency += lat
+	res.ArraySlots++
+}
+
+func access(s *Stats) {
+	s.Accesses++ // want "ArrayAccesses"
+}
+
+func accessPaired(s *Stats) {
+	s.Accesses++
+	s.ArrayAccesses++
+}
+
+// sanctioned is an accounting helper: its caller owns the pairing.
+//
+//sipt:accounting
+func sanctioned(s *Stats) {
+	s.Accesses++
+}
+
+func literalBad() Result {
+	return Result{Latency: 4} // want "ArraySlots"
+}
+
+func literalGood() Result {
+	return Result{Latency: 4, ArraySlots: 1}
+}
+
+// MemResult has no ArraySlots field, so it is not an accounting struct
+// and plain latency writes are fine.
+type MemResult struct{ Latency int }
+
+func plainLatency(m *MemResult, lat int) {
+	m.Latency += lat
+}

@@ -1,0 +1,89 @@
+package memaddr
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// FuzzIndexDelta checks the IDB's core identity: the delta recorded for
+// a (VA, PA) pair, applied back to the VA, must reproduce the PA's
+// index bits for every speculation width.
+func FuzzIndexDelta(f *testing.F) {
+	f.Add(uint64(0x7f001234_5678), uint64(0x1_2345_6789), uint(3))
+	f.Add(uint64(0), uint64(0), uint(0))
+	f.Add(^uint64(0), uint64(1)<<47, uint(9))
+	f.Fuzz(func(t *testing.T, v, p uint64, k uint) {
+		k %= 13 // index widths past the paper's max are meaningless
+		va, pa := VAddr(v), PAddr(p)
+		delta := IndexDelta(va, pa, k)
+		if k > 0 && delta >= uint64(1)<<k {
+			t.Fatalf("IndexDelta(%#x, %#x, %d) = %#x exceeds %d bits", v, p, k, delta, k)
+		}
+		if got, want := ApplyDelta(va, delta, k), IndexBitsPA(pa, k); got != want {
+			t.Fatalf("ApplyDelta(IndexDelta) = %#x, want physical index %#x", got, want)
+		}
+		// Zero delta is exactly the unchanged-bits condition.
+		if (delta == 0) != BitsUnchanged(va, pa, k) && k > 0 {
+			t.Fatalf("delta %#x inconsistent with BitsUnchanged=%v", delta, BitsUnchanged(va, pa, k))
+		}
+	})
+}
+
+// FuzzUnchangedBits cross-checks the bucketed unchanged-bit count
+// against the pairwise predicate it summarises.
+func FuzzUnchangedBits(f *testing.F) {
+	f.Add(uint64(0x1000), uint64(0x2000), uint(9))
+	f.Add(^uint64(0), uint64(0), uint(12))
+	f.Fuzz(func(t *testing.T, v, p uint64, max uint) {
+		max %= 21
+		va, pa := VAddr(v), PAddr(p)
+		k := UnchangedBits(va, pa, max)
+		if k > max {
+			t.Fatalf("UnchangedBits = %d > max %d", k, max)
+		}
+		if !BitsUnchanged(va, pa, k) {
+			t.Fatalf("low %d bits reported unchanged but BitsUnchanged disagrees", k)
+		}
+		if k < max && BitsUnchanged(va, pa, k+1) {
+			t.Fatalf("UnchangedBits = %d not maximal (bit %d also unchanged)", k, k)
+		}
+	})
+}
+
+// FuzzAlignAndLog2 checks the power-of-two helpers against math/bits.
+func FuzzAlignAndLog2(f *testing.F) {
+	f.Add(uint64(4096), uint(3))
+	f.Add(uint64(1), uint(0))
+	f.Fuzz(func(t *testing.T, addr uint64, shift uint) {
+		shift %= 32
+		align := uint64(1) << shift
+		down, up := AlignDown(addr, align), AlignUp(addr, align)
+		if down%align != 0 || down > addr {
+			t.Fatalf("AlignDown(%#x, %#x) = %#x", addr, align, down)
+		}
+		if addr-down >= align {
+			t.Fatalf("AlignDown(%#x, %#x) = %#x not maximal", addr, align, down)
+		}
+		// AlignUp wraps on overflow near 2^64; outside that edge it must
+		// be the least aligned address >= addr.
+		if addr <= ^uint64(0)-align {
+			if up%align != 0 || up < addr || up-addr >= align {
+				t.Fatalf("AlignUp(%#x, %#x) = %#x", addr, align, up)
+			}
+		}
+		if !IsPow2(align) {
+			t.Fatalf("IsPow2(1<<%d) = false", shift)
+		}
+		if got, want := Log2(align), uint(bits.TrailingZeros64(align)); got != want {
+			t.Fatalf("Log2(%#x) = %d, want %d", align, got, want)
+		}
+		if addr != 0 {
+			if got, want := Log2(addr), uint(63-bits.LeadingZeros64(addr)); got != want {
+				t.Fatalf("Log2(%#x) = %d, want %d", addr, got, want)
+			}
+			if IsPow2(addr) != (bits.OnesCount64(addr) == 1) {
+				t.Fatalf("IsPow2(%#x) disagrees with popcount", addr)
+			}
+		}
+	})
+}

@@ -84,6 +84,7 @@ func NewPerceptron() *Perceptron {
 // Stats returns a copy of the outcome counters.
 func (p *Perceptron) Stats() PerceptronStats { return p.stats }
 
+//sipt:hotpath
 func (p *Perceptron) index(pc uint64) int {
 	// Memory instructions are word-ish aligned; drop the low bits so
 	// consecutive static loads land in different entries.
@@ -91,6 +92,8 @@ func (p *Perceptron) index(pc uint64) int {
 }
 
 // output computes y = w0 + sum(x_i * w_i) for the entry selected by pc.
+//
+//sipt:hotpath
 func (p *Perceptron) output(pc uint64) int32 {
 	w := &p.weights[p.index(pc)]
 	y := int32(w[0])
@@ -104,6 +107,8 @@ func (p *Perceptron) output(pc uint64) int32 {
 // false to bypass speculation. Only the PC is used, so the prediction
 // can start before the address is generated — the property the paper
 // leans on to keep SIPT off the critical path.
+//
+//sipt:hotpath
 func (p *Perceptron) Predict(pc uint64) bool {
 	y := p.output(pc)
 	p.lastPC, p.lastY, p.lastOK = pc, y, true
@@ -114,6 +119,8 @@ func (p *Perceptron) Predict(pc uint64) bool {
 // unchanged == true when the speculative index bits survived
 // translation. predicted must be the value Predict returned for this
 // access; outcome accounting (Fig. 9) happens here.
+//
+//sipt:hotpath
 func (p *Perceptron) Train(pc uint64, predicted, unchanged bool) {
 	p.stats.Predictions++
 	switch {
@@ -153,6 +160,7 @@ func (p *Perceptron) Train(pc uint64, predicted, unchanged bool) {
 	}
 }
 
+//sipt:hotpath
 func clampWeight(v int32) int8 {
 	if v > weightMax {
 		return weightMax
@@ -163,6 +171,7 @@ func clampWeight(v int32) int8 {
 	return int8(v)
 }
 
+//sipt:hotpath
 func abs32(v int32) int32 {
 	if v < 0 {
 		return -v
@@ -246,12 +255,15 @@ func (i *IDB) Stats() IDBStats { return i.stats }
 // Bits returns the delta width k.
 func (i *IDB) Bits() uint { return i.bits }
 
+//sipt:hotpath
 func (i *IDB) index(pc uint64) int { return int((pc >> 2) % uint64(len(i.deltas))) }
 
 // Predict returns the delta to add to the speculative virtual index
 // bits. page is the access's 4 KiB virtual page number, used only by
 // the no-contiguity mode. ok is false when the entry has never been
 // trained (the caller falls back to delta 0, i.e. naive speculation).
+//
+//sipt:hotpath
 func (i *IDB) Predict(pc uint64, page uint64) (delta uint64, ok bool) {
 	e := i.index(pc)
 	if !i.valid[e] {
@@ -268,6 +280,8 @@ func (i *IDB) Predict(pc uint64, page uint64) (delta uint64, ok bool) {
 // Train records the true delta for pc. correct must reflect whether the
 // value Predict returned matched truth; the caller knows because it
 // carried the prediction through translation.
+//
+//sipt:hotpath
 func (i *IDB) Train(pc uint64, page uint64, trueDelta uint64, predicted, correct bool) {
 	if predicted {
 		i.stats.Lookups++

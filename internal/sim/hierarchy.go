@@ -27,6 +27,8 @@ func newSharedLLC(cfg cache.Config) *sharedLLC {
 
 // access performs a demand access at the given cycle and returns its
 // latency including bank queueing.
+//
+//sipt:hotpath
 func (s *sharedLLC) access(pa memaddr.PAddr, write bool, now uint64) (hit bool, lat int) {
 	bank := (uint64(pa) >> memaddr.LineShift) & 7
 	start := now
@@ -107,6 +109,8 @@ func (h *Hierarchy) L2Stats() cache.Stats {
 
 // Access implements cpu.MemSystem: it runs the SIPT L1 flow, the TLB,
 // and the miss path, returning the load-to-use latency.
+//
+//sipt:hotpath
 func (h *Hierarchy) Access(rec *trace.Record, now uint64) cpu.MemResult {
 	store := rec.IsStore()
 	r := h.l1.Access(rec.PC, rec.VA, rec.PA, store)
@@ -146,6 +150,8 @@ func (h *Hierarchy) Access(rec *trace.Record, now uint64) cpu.MemResult {
 
 // missPath fetches the line from L2/LLC/DRAM, fills upward, and
 // returns the additional latency beyond the L1 pipeline.
+//
+//sipt:hotpath
 func (h *Hierarchy) missPath(pa memaddr.PAddr, store bool, at uint64) int {
 	lat := 0
 	if h.l2 != nil {
@@ -182,6 +188,8 @@ func (h *Hierarchy) missPath(pa memaddr.PAddr, store bool, at uint64) int {
 }
 
 // llcFetch reads the line from the shared LLC, going to DRAM on a miss.
+//
+//sipt:hotpath
 func (h *Hierarchy) llcFetch(pa memaddr.PAddr, at uint64) int {
 	h.acct.AddAccesses(energy.LLC, 1)
 	hit, lat := h.llc.access(pa, false, at)

@@ -92,22 +92,61 @@ type array struct {
 	lastHit bool
 }
 
-// entry is packed to 16 bytes (see internal/cache's line); the 32-bit
-// LRU stamp bounds one array to 2^32-1 clock ticks, enforced by tick.
+// entry is packed to 16 bytes (see internal/cache's line); when the
+// 32-bit LRU clock wraps, tick compacts the stamps instead of failing.
 type entry struct {
 	key   uint64
 	stamp uint32
 	valid bool
 }
 
-// tick advances the LRU clock, failing loudly on wraparound (which
-// would silently corrupt LRU ordering).
+// tick advances the LRU clock. On 32-bit wraparound the stamps are
+// compacted: relative order within each set is all LRU needs, so the
+// stamps are rebased to small ranks and the clock restarts above them.
+//
+//sipt:hotpath
 func (a *array) tick() uint32 {
 	a.clock++
 	if a.clock == 0 {
-		panic("tlb: LRU clock overflow")
+		a.clock = a.compactStamps() + 1
 	}
 	return a.clock
+}
+
+// compactStamps rebases every set's stamps to 1..ways, preserving each
+// set's exact LRU order, and returns the largest stamp now in use.
+// Stamps within a set are unique (every update draws a fresh tick), so
+// ranking by stamp is a total order; the index tie-break is defensive.
+// Runs once per 2^32-1 ticks: clarity over speed.
+func (a *array) compactStamps() uint32 {
+	var maxStamp uint32
+	var old []uint32
+	for _, set := range a.sets {
+		old = append(old[:0], make([]uint32, len(set))...)
+		for i := range set {
+			old[i] = set[i].stamp
+		}
+		for i := range set {
+			if !set[i].valid {
+				set[i].stamp = 0
+				continue
+			}
+			rank := uint32(1)
+			for j := range set {
+				if j == i || !set[j].valid {
+					continue
+				}
+				if old[j] < old[i] || (old[j] == old[i] && j < i) {
+					rank++
+				}
+			}
+			set[i].stamp = rank
+			if rank > maxStamp {
+				maxStamp = rank
+			}
+		}
+	}
+	return maxStamp
 }
 
 func newArray(entries, ways int) *array {
@@ -120,6 +159,7 @@ func newArray(entries, ways int) *array {
 	return a
 }
 
+//sipt:hotpath
 func (a *array) lookup(key uint64) bool {
 	if a.lastHit && a.lastKey == key {
 		return true
@@ -137,6 +177,7 @@ func (a *array) lookup(key uint64) bool {
 	return false
 }
 
+//sipt:hotpath
 func (a *array) insert(key uint64) {
 	now := a.tick()
 	set := a.sets[key&a.setMask]
@@ -193,6 +234,8 @@ type Result struct {
 
 // Translate performs the timing lookup for a virtual address. huge
 // selects the 2 MiB array (the paper's traces carry this page flag).
+//
+//sipt:hotpath
 func (t *TLB) Translate(va memaddr.VAddr, huge bool) Result {
 	t.stats.Lookups++
 	if huge {
@@ -214,6 +257,8 @@ func (t *TLB) Translate(va memaddr.VAddr, huge bool) Result {
 
 // missPath handles L1 TLB misses: L2 lookup, then walk; the entry is
 // installed in both levels on the way back.
+//
+//sipt:hotpath
 func (t *TLB) missPath(key uint64, l1 *array) Result {
 	if t.l2.lookup(key) {
 		t.stats.L2Hits++

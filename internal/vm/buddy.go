@@ -35,7 +35,8 @@ type Buddy struct {
 	frames   uint64 // total frames managed
 	free     uint64 // total free frames
 	stacks   [MaxOrder + 1][]uint64
-	freeAt   map[uint64]int // block start -> order, for free blocks only
+	freeAt   map[uint64]int       // block start -> order, for free blocks only
+	counts   [MaxOrder + 1]uint64 // free blocks per order, kept in sync with freeAt
 	allocCnt uint64
 }
 
@@ -73,7 +74,15 @@ func (b *Buddy) Allocs() uint64 { return b.allocCnt }
 
 func (b *Buddy) pushFree(start uint64, order int) {
 	b.freeAt[start] = order
+	b.counts[order]++
 	b.stacks[order] = append(b.stacks[order], start)
+}
+
+// dropFree removes a free block from the authoritative map (its stack
+// entry, if any, goes stale and is discarded lazily).
+func (b *Buddy) dropFree(start uint64, order int) {
+	delete(b.freeAt, start)
+	b.counts[order]--
 }
 
 // popFree pops a valid free block of exactly the given order, or
@@ -85,7 +94,7 @@ func (b *Buddy) popFree(order int) (uint64, bool) {
 		start := s[len(s)-1]
 		s = s[:len(s)-1]
 		if o, ok := b.freeAt[start]; ok && o == order {
-			delete(b.freeAt, start)
+			b.dropFree(start, order)
 			b.stacks[order] = s
 			return start, true
 		}
@@ -154,7 +163,7 @@ func (b *Buddy) Free(pfn memaddr.PFN, order int) {
 		}
 		// Merge: remove the buddy (its stack entry goes stale) and
 		// continue one order up from the pair's base.
-		delete(b.freeAt, buddy)
+		b.dropFree(buddy, order)
 		if buddy < start {
 			start = buddy
 		}
@@ -165,13 +174,10 @@ func (b *Buddy) Free(pfn memaddr.PFN, order int) {
 
 // FreeBlockCounts returns k_i, the number of free blocks currently held
 // at each order i. This is the input to the unusable free space index.
+// The counts are maintained incrementally alongside the free map, so
+// the result is deterministic and O(1) regardless of heap state.
 func (b *Buddy) FreeBlockCounts() [MaxOrder + 1]uint64 {
-	var counts [MaxOrder + 1]uint64
-	for start, order := range b.freeAt {
-		_ = start
-		counts[order]++
-	}
-	return counts
+	return b.counts
 }
 
 // UnusableFreeIndex computes Gorman & Whitcroft's unusable free space
@@ -208,6 +214,13 @@ func (b *Buddy) checkInvariants() error {
 	}
 	if total != b.free {
 		return fmt.Errorf("free accounting mismatch: map says %d, counter says %d", total, b.free)
+	}
+	var mapCounts [MaxOrder + 1]uint64
+	for _, order := range b.freeAt {
+		mapCounts[order]++
+	}
+	if mapCounts != b.counts {
+		return fmt.Errorf("free block counts out of sync: map says %v, incremental says %v", mapCounts, b.counts)
 	}
 	// No two free blocks may overlap. Sort-free check: every frame in
 	// every free block must be covered exactly once; verify by marking.

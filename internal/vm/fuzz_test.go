@@ -1,0 +1,93 @@
+package vm
+
+import (
+	"testing"
+
+	"sipt/internal/memaddr"
+)
+
+// FuzzBuddy drives the buddy allocator with a fuzz-chosen alloc/free
+// sequence, checking after every operation that the free map, the free
+// counter, the incremental per-order block counts, and the returned
+// blocks all stay consistent.
+func FuzzBuddy(f *testing.F) {
+	f.Add([]byte{0x01, 0x03, 0x01, 0x00, 0x02, 0x00, 0x01, 0x0a})
+	f.Add([]byte{0xff, 0xff, 0x00, 0x00, 0x01, 0x05, 0x02, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const frames = 1 << 12
+		b := NewBuddy(frames)
+		type block struct {
+			pfn   memaddr.PFN
+			order int
+		}
+		var live []block
+
+		for i := 0; i+1 < len(data) && i < 256; i += 2 {
+			op, arg := data[i], data[i+1]
+			if op&1 == 0 && len(live) > 0 {
+				// Free a live block chosen by the fuzzer.
+				j := int(arg) % len(live)
+				blk := live[j]
+				live[j] = live[len(live)-1]
+				live = live[:len(live)-1]
+				b.Free(blk.pfn, blk.order)
+			} else {
+				order := int(arg) % (MaxOrder + 1)
+				before := b.FreeFrames()
+				pfn, ok := b.AllocOrder(order)
+				if !ok {
+					if before >= frames {
+						t.Fatalf("alloc order %d failed with all %d frames free", order, before)
+					}
+					continue
+				}
+				if uint64(pfn)&(1<<order-1) != 0 {
+					t.Fatalf("alloc order %d returned misaligned frame %#x", order, uint64(pfn))
+				}
+				if uint64(pfn)+1<<order > frames {
+					t.Fatalf("alloc order %d returned out-of-range frame %#x", order, uint64(pfn))
+				}
+				for _, blk := range live {
+					aStart, aEnd := uint64(pfn), uint64(pfn)+1<<order
+					bStart, bEnd := uint64(blk.pfn), uint64(blk.pfn)+1<<blk.order
+					if aStart < bEnd && bStart < aEnd {
+						t.Fatalf("alloc %#x+%d overlaps live block %#x+%d",
+							aStart, order, bStart, blk.order)
+					}
+				}
+				live = append(live, block{pfn, order})
+			}
+			if err := b.checkInvariants(); err != nil {
+				t.Fatalf("after op %d: %v", i/2, err)
+			}
+			var allocated uint64
+			for _, blk := range live {
+				allocated += 1 << blk.order
+			}
+			if b.FreeFrames()+allocated != frames {
+				t.Fatalf("leak: free %d + allocated %d != %d", b.FreeFrames(), allocated, frames)
+			}
+		}
+
+		// Everything freed must coalesce back to the initial state.
+		for _, blk := range live {
+			b.Free(blk.pfn, blk.order)
+		}
+		if err := b.checkInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		if b.FreeFrames() != frames {
+			t.Fatalf("free frames = %d after releasing all, want %d", b.FreeFrames(), frames)
+		}
+		counts := b.FreeBlockCounts()
+		for order, n := range counts {
+			want := uint64(0)
+			if order == MaxOrder {
+				want = frames >> MaxOrder
+			}
+			if n != want {
+				t.Fatalf("order %d: %d free blocks after full coalesce, want %d", order, n, want)
+			}
+		}
+	})
+}

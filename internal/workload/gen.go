@@ -187,6 +187,7 @@ func (g *Generator) setup() error {
 	return nil
 }
 
+//sipt:hotpath
 func (g *Generator) nextPC() uint64 {
 	pc := basePC + g.pcSeq*4
 	g.pcSeq++
@@ -241,6 +242,8 @@ func (g *Generator) Next() (trace.Record, error) {
 
 // NextInto implements trace.InPlaceReader; it is Next without the
 // record copy on return (the simulator's per-record hot path).
+//
+//sipt:hotpath
 func (g *Generator) NextInto(rec *trace.Record) error {
 	if g.limit != 0 && g.emitted >= g.limit {
 		return io.EOF
@@ -273,6 +276,7 @@ func (g *Generator) NextInto(rec *trace.Record) error {
 	va := g.genAddr(s)
 	pa, huge, err := g.as.Translate(va)
 	if err != nil {
+		//siptlint:allow hotalloc: error path, never taken in a healthy run
 		return fmt.Errorf("workload %s: %w", p.Name, err)
 	}
 
@@ -305,6 +309,8 @@ func (g *Generator) NextInto(rec *trace.Record) error {
 
 // pickStream selects a stream with the requested hotness, scanning from
 // a random start so selection is uniform among matching streams.
+//
+//sipt:hotpath
 func (g *Generator) pickStream(hot bool) *stream {
 	n := len(g.streams)
 	start := g.rng.Intn(n)
@@ -365,6 +371,8 @@ func (g *Generator) jumpRandom(s *stream) {
 
 // genAddr produces the next virtual address for a stream within its
 // streak target.
+//
+//sipt:hotpath
 func (g *Generator) genAddr(s *stream) memaddr.VAddr {
 	base, size := s.tbase, s.tsize
 	if size == 0 {
@@ -410,6 +418,8 @@ func (g *Generator) genAddr(s *stream) memaddr.VAddr {
 }
 
 // target resolves the region a stream currently walks.
+//
+//sipt:hotpath
 func (g *Generator) target(s *stream) (memaddr.VAddr, uint64) {
 	p := &g.prof
 	if s.hot {
@@ -445,6 +455,8 @@ func (g *Generator) target(s *stream) (memaddr.VAddr, uint64) {
 
 // hotSmallTarget returns the portion of the small-chunk list that forms
 // the hot set when no big region exists.
+//
+//sipt:hotpath
 func (g *Generator) hotSmallTarget(s *stream) (memaddr.VAddr, uint64) {
 	var acc uint64
 	for _, idx := range g.smallIdx {

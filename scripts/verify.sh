@@ -1,6 +1,7 @@
 #!/bin/sh
-# Repository verification gate: build, vet, full test suite, and the
-# race detector over the packages that run simulations concurrently.
+# Repository verification gate: build, vet, siptlint, full test suite,
+# the race detector over all packages, and (when installed) govulncheck.
+# CI and `make verify` both run exactly this script.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -8,8 +9,16 @@ echo '== go build ./...'
 go build ./...
 echo '== go vet ./...'
 go vet ./...
+echo '== siptlint ./...'
+go run ./cmd/siptlint ./...
 echo '== go test ./...'
 go test ./...
-echo '== go test -race ./internal/exp ./internal/sim'
-go test -race ./internal/exp ./internal/sim
+echo '== go test -race ./...'
+go test -race ./...
+if command -v govulncheck >/dev/null 2>&1; then
+    echo '== govulncheck ./...'
+    govulncheck ./...
+else
+    echo '== govulncheck: not installed, skipping'
+fi
 echo 'verify: OK'
