@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race lint vet vuln verify bench fuzz
+.PHONY: all build test race lint vet vuln verify bench fuzz serve-smoke
 
 all: verify
 
@@ -41,6 +41,11 @@ verify:
 # committed reference; fails on a >10% throughput regression.
 bench:
 	scripts/bench.sh
+
+# Service smoke: boot siptd on an ephemeral port, drive a run and a
+# sweep through the HTTP API, then SIGTERM and require a clean drain.
+serve-smoke:
+	scripts/serve_smoke.sh
 
 # Native Go fuzzing over the pure bit-math and allocator invariants.
 fuzz:

@@ -7,6 +7,7 @@ package sipt
 // versions.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -91,7 +92,7 @@ func BenchmarkFig15OneMix(b *testing.B) {
 	cfg := sim.SIPT(cpu.OOO(), 32, 2, core.ModeCombined)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		ms, err := sim.RunMix(mix, cfg, vm.ScenarioNormal, 1, benchRecords)
+		ms, err := sim.RunMix(context.Background(), mix, cfg, vm.ScenarioNormal, 1, benchRecords)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -106,7 +107,7 @@ func BenchmarkFig18OneCell(b *testing.B) {
 	cfg := sim.SIPT(cpu.OOO(), 32, 2, core.ModeCombined)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		st, err := sim.RunApp(prof, cfg, vm.ScenarioFragmented, 1, benchRecords)
+		st, err := sim.RunApp(context.Background(), prof, cfg, vm.ScenarioFragmented, 1, benchRecords)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -125,7 +126,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	cfg := sim.SIPT(cpu.OOO(), 32, 2, core.ModeCombined)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		st, err := sim.RunApp(prof, cfg, vm.ScenarioNormal, 1, 50_000)
+		st, err := sim.RunApp(context.Background(), prof, cfg, vm.ScenarioNormal, 1, 50_000)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -25,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -44,7 +45,15 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	bench := flag.Bool("bench", false, "run the fixed benchmark subset and write BENCH_<seed>.json")
 	benchOut := flag.String("benchout", "", "benchmark output path (default BENCH_<seed>.json)")
+	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *bench {
 		path := *benchOut
@@ -69,7 +78,7 @@ func main() {
 	if *apps != "" {
 		opts.Apps = strings.Split(*apps, ",")
 	}
-	runner := exp.NewRunner(opts)
+	runner := exp.NewRunner(opts).WithContext(ctx)
 
 	ids := flag.Args()
 	if len(ids) == 0 {

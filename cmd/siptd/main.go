@@ -1,0 +1,96 @@
+// Command siptd serves the SIPT simulator over HTTP: single runs,
+// experiment sweeps, job status/cancellation, health, and metrics. See
+// internal/serve for the API and DESIGN.md §8 for the architecture.
+//
+// Usage:
+//
+//	siptd [-addr :8080] [-workers N] [-queue N] [-records N] [-seed N]
+//	      [-cache N] [-maxjobs N]
+//
+// On startup it prints one line, "siptd: listening on http://ADDR",
+// which scripts/serve_smoke.sh parses to find the ephemeral port. On
+// SIGTERM/SIGINT it stops admitting work, finishes every accepted job
+// (cancelled jobs stop at their next context poll), and exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sipt/internal/exp"
+	"sipt/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "siptd:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the daemon body, factored for tests: it listens, serves until
+// ctx is cancelled (the signal path), then drains and shuts down.
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("siptd", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	addr := fs.String("addr", ":8080", "listen address (host:0 picks an ephemeral port)")
+	workers := fs.Int("workers", 0, "concurrent simulation workers (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 64, "waiting-job bound per priority class")
+	records := fs.Uint64("records", 0, "default trace length per run (0 = harness default)")
+	seed := fs.Int64("seed", 1, "default simulation seed")
+	cacheEntries := fs.Int("cache", 0, "result cache capacity in entries (0 = default)")
+	maxJobs := fs.Int("maxjobs", 0, "retained job records (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	runner := exp.NewRunner(exp.Options{
+		Records:      *records,
+		Seed:         *seed,
+		CacheEntries: *cacheEntries,
+	})
+	srv := serve.New(serve.Config{
+		Runner:     runner,
+		Workers:    *workers,
+		QueueDepth: *queue,
+		MaxJobs:    *maxJobs,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "siptd: listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful exit: stop admission and finish every accepted job,
+	// then close the listener and in-flight HTTP exchanges.
+	fmt.Fprintln(stdout, "siptd: draining")
+	srv.Drain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "siptd: drained, exiting")
+	return nil
+}

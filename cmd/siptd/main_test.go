@@ -1,0 +1,121 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunServesAndDrains boots the daemon on an ephemeral port, drives
+// a run through the HTTP API, then cancels the context (the SIGTERM
+// path) and checks run() returns cleanly — the same lifecycle
+// scripts/serve_smoke.sh exercises against the real binary.
+func TestRunServesAndDrains(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	r, w := newPipe()
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-records", "2000"}, w) }()
+
+	base := "http://" + waitForAddr(t, r, 10*time.Second)
+
+	resp, err := http.Post(base+"/v1/run", "application/json",
+		strings.NewReader(`{"app":"mcf"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || sub.ID == "" {
+		t.Fatalf("run submit: status %d, id %q", resp.StatusCode, sub.ID)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		jr, err := http.Get(base + "/v1/jobs/" + sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v struct {
+			Status string `json:"status"`
+		}
+		if err := json.NewDecoder(jr.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		jr.Body.Close()
+		if v.Status == "done" {
+			break
+		}
+		if v.Status == "failed" || v.Status == "canceled" || time.Now().After(deadline) {
+			t.Fatalf("job ended %q", v.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	cancel() // SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run() = %v, want nil", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run() did not return after cancellation")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	r, w := newPipe()
+	_ = r
+	if err := run(context.Background(), []string{"-bogus"}, w); err == nil {
+		t.Error("run accepted a bad flag")
+	}
+}
+
+// pipe is a minimal synchronised line buffer for capturing stdout.
+type pipe struct {
+	ch chan byte
+}
+
+func newPipe() (*pipe, *pipe) {
+	p := &pipe{ch: make(chan byte, 1<<16)}
+	return p, p
+}
+
+func (p *pipe) Write(b []byte) (int, error) {
+	for _, c := range b {
+		p.ch <- c
+	}
+	return len(b), nil
+}
+
+// waitForAddr reads the startup line and extracts the listen address.
+func waitForAddr(t *testing.T, p *pipe, timeout time.Duration) string {
+	t.Helper()
+	var line strings.Builder
+	deadline := time.After(timeout)
+	for {
+		select {
+		case c := <-p.ch:
+			if c == '\n' {
+				s := line.String()
+				if strings.HasPrefix(s, "siptd: listening on http://") {
+					return strings.TrimPrefix(s, "siptd: listening on http://")
+				}
+				line.Reset()
+				continue
+			}
+			line.WriteByte(c)
+		case <-deadline:
+			t.Fatalf("no listen line within %v (got %q)", timeout, line.String())
+		}
+	}
+}

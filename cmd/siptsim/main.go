@@ -8,10 +8,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"sipt/internal/core"
 	"sipt/internal/cpu"
@@ -22,38 +24,14 @@ import (
 	"sipt/internal/workload"
 )
 
-func parseGeometry(s string) (sizeKiB, ways int, err error) {
-	var n int
-	n, err = fmt.Sscanf(strings.ToUpper(s), "%dK%dW", &sizeKiB, &ways)
-	if err != nil || n != 2 {
-		return 0, 0, fmt.Errorf("bad L1 geometry %q (want e.g. 32K2w)", s)
+// simContext returns the context a run executes under: Background for
+// timeout 0, a deadline-bound context otherwise. The cancel func must
+// be called (or deferred) by the caller.
+func simContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout <= 0 {
+		return context.Background(), func() {}
 	}
-	return sizeKiB, ways, nil
-}
-
-func parseMode(s string) (core.Mode, error) {
-	switch strings.ToLower(s) {
-	case "vipt":
-		return core.ModeVIPT, nil
-	case "ideal":
-		return core.ModeIdeal, nil
-	case "naive":
-		return core.ModeNaive, nil
-	case "bypass":
-		return core.ModeBypass, nil
-	case "combined":
-		return core.ModeCombined, nil
-	}
-	return 0, fmt.Errorf("bad mode %q (vipt|ideal|naive|bypass|combined)", s)
-}
-
-func parseScenario(s string) (vm.Scenario, error) {
-	for _, sc := range vm.Scenarios() {
-		if sc.String() == strings.ToLower(s) {
-			return sc, nil
-		}
-	}
-	return 0, fmt.Errorf("bad scenario %q (normal|fragmented|thp-off|no-contig)", s)
+	return context.WithTimeout(context.Background(), timeout)
 }
 
 func fail(err error) {
@@ -71,6 +49,7 @@ func main() {
 	records := flag.Uint64("records", sim.DefaultRecords, "trace length (memory accesses)")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	traceFile := flag.String("trace", "", "replay a binary trace file instead of generating (-app is used as the label)")
+	timeout := flag.Duration("timeout", 0, "abort the simulation after this duration (0 = no limit)")
 	listApps := flag.Bool("listapps", false, "list workload names and exit")
 	flag.Parse()
 
@@ -81,15 +60,15 @@ func main() {
 		return
 	}
 
-	sizeKiB, ways, err := parseGeometry(*l1)
+	sizeKiB, ways, err := sim.ParseGeometry(*l1)
 	if err != nil {
 		fail(err)
 	}
-	m, err := parseMode(*mode)
+	m, err := core.ParseMode(*mode)
 	if err != nil {
 		fail(err)
 	}
-	sc, err := parseScenario(*scenario)
+	sc, err := vm.ParseScenario(*scenario)
 	if err != nil {
 		fail(err)
 	}
@@ -107,6 +86,9 @@ func main() {
 	cfg.WayPrediction = *wayPred
 	cfg.NoContig = sc == vm.ScenarioNoContig
 
+	ctx, cancel := simContext(*timeout)
+	defer cancel()
+
 	var st sim.Stats
 	label := *app
 	if *traceFile != "" {
@@ -120,7 +102,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		st, err = sim.RunTrace(*traceFile, trace.Limit(r, *records), cfg, *seed)
+		st, err = sim.RunTrace(ctx, *traceFile, trace.Limit(r, *records), cfg, *seed)
 		if err != nil {
 			fail(err)
 		}
@@ -129,7 +111,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		st, err = sim.RunApp(prof, cfg, sc, *seed, *records)
+		st, err = sim.RunApp(ctx, prof, cfg, sc, *seed, *records)
 		if err != nil {
 			fail(err)
 		}

@@ -1,10 +1,17 @@
 package main
 
 import (
+	"context"
+	"errors"
+	"time"
+
 	"testing"
 
 	"sipt/internal/core"
+	"sipt/internal/cpu"
+	"sipt/internal/sim"
 	"sipt/internal/vm"
+	"sipt/internal/workload"
 )
 
 func TestParseGeometry(t *testing.T) {
@@ -21,13 +28,13 @@ func TestParseGeometry(t *testing.T) {
 		{"", 0, 0, false},
 	}
 	for _, c := range cases {
-		size, ways, err := parseGeometry(c.in)
+		size, ways, err := sim.ParseGeometry(c.in)
 		if c.ok != (err == nil) {
-			t.Errorf("parseGeometry(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			t.Errorf("sim.ParseGeometry(%q) err = %v, want ok=%v", c.in, err, c.ok)
 			continue
 		}
 		if c.ok && (size != c.size || ways != c.w) {
-			t.Errorf("parseGeometry(%q) = %d,%d; want %d,%d", c.in, size, ways, c.size, c.w)
+			t.Errorf("sim.ParseGeometry(%q) = %d,%d; want %d,%d", c.in, size, ways, c.size, c.w)
 		}
 	}
 }
@@ -38,24 +45,61 @@ func TestParseMode(t *testing.T) {
 		"Bypass": core.ModeBypass, "combined": core.ModeCombined,
 	}
 	for in, want := range good {
-		got, err := parseMode(in)
+		got, err := core.ParseMode(in)
 		if err != nil || got != want {
-			t.Errorf("parseMode(%q) = %v, %v; want %v", in, got, err, want)
+			t.Errorf("core.ParseMode(%q) = %v, %v; want %v", in, got, err, want)
 		}
 	}
-	if _, err := parseMode("warp"); err == nil {
+	if _, err := core.ParseMode("warp"); err == nil {
 		t.Error("parseMode accepted garbage")
 	}
 }
 
 func TestParseScenario(t *testing.T) {
 	for _, sc := range vm.Scenarios() {
-		got, err := parseScenario(sc.String())
+		got, err := vm.ParseScenario(sc.String())
 		if err != nil || got != sc {
-			t.Errorf("parseScenario(%q) = %v, %v", sc.String(), got, err)
+			t.Errorf("vm.ParseScenario(%q) = %v, %v", sc.String(), got, err)
 		}
 	}
-	if _, err := parseScenario("zero-g"); err == nil {
+	if _, err := vm.ParseScenario("zero-g"); err == nil {
 		t.Error("parseScenario accepted garbage")
+	}
+}
+
+// TestTimeoutCancelsRunPromptly is the -timeout regression test: a run
+// whose deadline expires must return quickly (not after the full
+// trace), and with the distinct context error so callers can tell a
+// timeout from a simulation failure.
+func TestTimeoutCancelsRunPromptly(t *testing.T) {
+	ctx, cancel := simContext(time.Millisecond)
+	defer cancel()
+	prof, err := workload.Lookup("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	// 50M records would take minutes; the 1ms deadline must cut it off.
+	_, err = sim.RunApp(ctx, prof, sim.SIPT(cpu.OOO(), 32, 2, core.ModeCombined),
+		vm.ScenarioNormal, 1, 50_000_000)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("cancelled run took %v to return", elapsed)
+	}
+}
+
+// TestSimContextZeroMeansNoLimit verifies -timeout 0 runs without a
+// deadline.
+func TestSimContextZeroMeansNoLimit(t *testing.T) {
+	ctx, cancel := simContext(0)
+	defer cancel()
+	if _, ok := ctx.Deadline(); ok {
+		t.Error("timeout 0 produced a deadline-bound context")
+	}
+	if ctx.Err() != nil {
+		t.Errorf("fresh no-limit context already errored: %v", ctx.Err())
 	}
 }

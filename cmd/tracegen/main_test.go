@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -87,7 +88,7 @@ func TestReplayedTraceMatchesGenerated(t *testing.T) {
 	prof := workload.MustLookup("hmmer")
 	prof.FootprintMiB = 2
 	cfg := sim.Baseline(cpu.OOO())
-	direct, err := sim.RunApp(prof, cfg, vm.ScenarioNormal, 1, 3000)
+	direct, err := sim.RunApp(context.Background(), prof, cfg, vm.ScenarioNormal, 1, 3000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestReplayedTraceMatchesGenerated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	replay, err := sim.RunTrace("hmmer-file", r, cfg, 1)
+	replay, err := sim.RunTrace(context.Background(), "hmmer-file", r, cfg, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -37,13 +38,13 @@ func main() {
 		"condition", "speedup", "fast-frac", "idb-hit", "energy-rel")
 
 	for _, sc := range vm.Scenarios() {
-		base, err := sim.RunApp(prof, sim.Baseline(cpu.OOO()), sc, seed, records)
+		base, err := sim.RunApp(context.Background(), prof, sim.Baseline(cpu.OOO()), sc, seed, records)
 		if err != nil {
 			log.Fatal(err)
 		}
 		cfg := sim.SIPT(cpu.OOO(), 32, 2, core.ModeCombined)
 		cfg.NoContig = sc == vm.ScenarioNoContig
-		st, err := sim.RunApp(prof, cfg, sc, seed, records)
+		st, err := sim.RunApp(context.Background(), prof, cfg, sc, seed, records)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,13 +28,13 @@ func main() {
 
 	baseCfg := sim.Baseline(cpu.OOO())
 	baseCfg.Cores = 4
-	base, err := sim.RunMix(mix, baseCfg, vm.ScenarioNormal, seed, records)
+	base, err := sim.RunMix(context.Background(), mix, baseCfg, vm.ScenarioNormal, seed, records)
 	if err != nil {
 		log.Fatal(err)
 	}
 	siptCfg := sim.SIPT(cpu.OOO(), 32, 2, core.ModeCombined)
 	siptCfg.Cores = 4
-	sipt, err := sim.RunMix(mix, siptCfg, vm.ScenarioNormal, seed, records)
+	sipt, err := sim.RunMix(context.Background(), mix, siptCfg, vm.ScenarioNormal, seed, records)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,11 +32,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	baseline, err := sim.RunApp(prof, sim.Baseline(cpu.OOO()), vm.ScenarioNormal, seed, records)
+	baseline, err := sim.RunApp(context.Background(), prof, sim.Baseline(cpu.OOO()), vm.ScenarioNormal, seed, records)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sipt, err := sim.RunApp(prof, sim.SIPT(cpu.OOO(), 32, 2, core.ModeCombined),
+	sipt, err := sim.RunApp(context.Background(), prof, sim.SIPT(cpu.OOO(), 32, 2, core.ModeCombined),
 		vm.ScenarioNormal, seed, records)
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,125 @@
+// Service quickstart: drive a running siptd daemon through its HTTP
+// API with nothing but the standard library.
+//
+// Start the daemon, then run the client:
+//
+//	go run ./cmd/siptd -addr 127.0.0.1:8080 &
+//	go run ./examples/service -addr 127.0.0.1:8080
+//
+// The client submits one interactive run and one bulk sweep, polls
+// both jobs to completion, and prints the result tables. It exits
+// non-zero if either job fails — scripts/serve_smoke.sh relies on
+// that to gate CI.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"sipt/internal/report"
+)
+
+// jobView mirrors the serve.JobView JSON contract.
+type jobView struct {
+	ID        string          `json:"id"`
+	Kind      string          `json:"kind"`
+	Status    string          `json:"status"`
+	Error     string          `json:"error,omitempty"`
+	ElapsedMS float64         `json:"elapsed_ms,omitempty"`
+	Tables    []*report.Table `json:"tables,omitempty"`
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "siptd address (host:port)")
+	records := flag.Uint64("records", 20_000, "trace length per simulation")
+	flag.Parse()
+	base := "http://" + *addr
+
+	// 1. An interactive run: the headline SIPT configuration.
+	runID := submit(base, "/v1/run", map[string]any{
+		"app":     "mcf",
+		"l1":      "32K2w",
+		"mode":    "combined",
+		"records": *records,
+	})
+	fmt.Printf("submitted run   %s\n", runID)
+
+	// 2. A bulk sweep: Fig. 5 restricted to two apps.
+	sweepID := submit(base, "/v1/sweep", map[string]any{
+		"experiment": "fig5",
+		"apps":       []string{"mcf", "gcc"},
+		"records":    *records,
+	})
+	fmt.Printf("submitted sweep %s\n", sweepID)
+
+	for _, id := range []string{runID, sweepID} {
+		v := wait(base, id, 5*time.Minute)
+		fmt.Printf("\n%s %s finished in %.0f ms\n\n", v.Kind, v.ID, v.ElapsedMS)
+		for _, t := range v.Tables {
+			if err := t.Render(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+// submit POSTs a JSON body and returns the accepted job's ID.
+func submit(base, path string, body map[string]any) string {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e) //nolint:errcheck
+		log.Fatalf("%s: HTTP %d: %s", path, resp.StatusCode, e.Error)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		log.Fatal(err)
+	}
+	return sub.ID
+}
+
+// wait polls a job until it is terminal, failing the program on any
+// outcome other than done.
+func wait(base, id string, timeout time.Duration) jobView {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var v jobView
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		switch v.Status {
+		case "done":
+			return v
+		case "failed", "canceled":
+			log.Fatalf("job %s ended %s: %s", id, v.Status, v.Error)
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("job %s still %s after %v", id, v.Status, timeout)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

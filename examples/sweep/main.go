@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -34,7 +35,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	base, err := sim.RunApp(prof, sim.Baseline(cpu.OOO()), vm.ScenarioNormal, 1, *records)
+	base, err := sim.RunApp(context.Background(), prof, sim.Baseline(cpu.OOO()), vm.ScenarioNormal, 1, *records)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,17 +48,17 @@ func main() {
 	for _, g := range geoms {
 		cc := cache.Config{SizeBytes: uint64(g[0]) << 10, Ways: g[1], LineBytes: 64}
 		lat := cacti.Params(g[0], g[1], sim.FreqGHz).LatencyCycles
-		ideal, err := sim.RunApp(prof, sim.SIPT(cpu.OOO(), g[0], g[1], core.ModeIdeal),
+		ideal, err := sim.RunApp(context.Background(), prof, sim.SIPT(cpu.OOO(), g[0], g[1], core.ModeIdeal),
 			vm.ScenarioNormal, 1, *records)
 		if err != nil {
 			log.Fatal(err)
 		}
-		pipt, err := sim.RunApp(prof, sim.SIPT(cpu.OOO(), g[0], g[1], core.ModeVIPT),
+		pipt, err := sim.RunApp(context.Background(), prof, sim.SIPT(cpu.OOO(), g[0], g[1], core.ModeVIPT),
 			vm.ScenarioNormal, 1, *records)
 		if err != nil {
 			log.Fatal(err)
 		}
-		sipt, err := sim.RunApp(prof, sim.SIPT(cpu.OOO(), g[0], g[1], core.ModeCombined),
+		sipt, err := sim.RunApp(context.Background(), prof, sim.SIPT(cpu.OOO(), g[0], g[1], core.ModeCombined),
 			vm.ScenarioNormal, 1, *records)
 		if err != nil {
 			log.Fatal(err)

@@ -15,6 +15,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"sipt/internal/cache"
 	"sipt/internal/memaddr"
@@ -59,6 +60,17 @@ func (m Mode) String() string {
 	default:
 		return "unknown"
 	}
+}
+
+// ParseMode inverts String: it resolves a user-supplied mode label
+// (case-insensitive) for the CLI flags and the siptd API.
+func ParseMode(s string) (Mode, error) {
+	for m := ModeVIPT; m <= ModeCombined; m++ {
+		if strings.EqualFold(s, m.String()) {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("core: bad mode %q (vipt|ideal|naive|bypass|combined)", s)
 }
 
 // Config describes a SIPT L1.

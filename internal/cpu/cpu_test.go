@@ -1,6 +1,8 @@
 package cpu
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"sipt/internal/trace"
@@ -48,7 +50,7 @@ func TestIPCBoundedByWidth(t *testing.T) {
 	for i := range recs {
 		recs[i] = loadRec(uint64(0x400000+i%16*4), 5, 8) // independent
 	}
-	res, err := c.Run(trace.NewSliceReader(recs), 0)
+	res, err := c.Run(context.Background(), trace.NewSliceReader(recs), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +76,7 @@ func TestOOOHidesMostIndependentLatency(t *testing.T) {
 		for i := range recs {
 			recs[i] = loadRec(uint64(0x400000+i%16*4), 3, 10)
 		}
-		res, _ := c.Run(trace.NewSliceReader(recs), 0)
+		res, _ := c.Run(context.Background(), trace.NewSliceReader(recs), 0)
 		return res.IPC()
 	}
 	fast, slow := run(2), run(4)
@@ -96,7 +98,7 @@ func TestOOOMissesKeepMLP(t *testing.T) {
 	for i := range recs {
 		recs[i] = loadRec(uint64(0x400000+i%16*4), 3, 6)
 	}
-	res, _ := c.Run(trace.NewSliceReader(recs), 0)
+	res, _ := c.Run(context.Background(), trace.NewSliceReader(recs), 0)
 	serialised := 4.0 / 200.0 // 4 instructions per 200-cycle stall
 	if res.IPC() < serialised*5 {
 		t.Errorf("miss MLP destroyed: IPC %.3f", res.IPC())
@@ -113,7 +115,7 @@ func TestOOOChasePenalisedByLatency(t *testing.T) {
 		for i := range recs {
 			recs[i] = loadRec(0x400000, 2, 1) // one chasing PC
 		}
-		res, _ := c.Run(trace.NewSliceReader(recs), 0)
+		res, _ := c.Run(context.Background(), trace.NewSliceReader(recs), 0)
 		return res.IPC()
 	}
 	fast, slow := run(2), run(4)
@@ -134,7 +136,7 @@ func TestROBThrottlesMLP(t *testing.T) {
 		for i := range recs {
 			recs[i] = loadRec(uint64(0x400000+i%32*4), 4, 10)
 		}
-		res, _ := c.Run(trace.NewSliceReader(recs), 0)
+		res, _ := c.Run(context.Background(), trace.NewSliceReader(recs), 0)
 		return res.IPC()
 	}
 	big, small := run(192), run(8)
@@ -152,7 +154,7 @@ func TestInOrderStallsOnUse(t *testing.T) {
 		for i := range recs {
 			recs[i] = loadRec(uint64(0x400000+i%16*4), 3, 2)
 		}
-		res, _ := c.Run(trace.NewSliceReader(recs), 0)
+		res, _ := c.Run(context.Background(), trace.NewSliceReader(recs), 0)
 		return res.IPC()
 	}
 	fast, slow := run(2), run(6)
@@ -167,8 +169,8 @@ func TestInOrderSlowerThanOOO(t *testing.T) {
 		recs[i] = loadRec(uint64(0x400000+i%8*4), 2, 2)
 	}
 	memA, memB := &fixedMem{lat: 4}, &fixedMem{lat: 4}
-	ooo, _ := NewCore(OOO(), memA).Run(trace.NewSliceReader(recs), 0)
-	ino, _ := NewCore(InOrder(), memB).Run(trace.NewSliceReader(recs), 0)
+	ooo, _ := NewCore(OOO(), memA).Run(context.Background(), trace.NewSliceReader(recs), 0)
+	ino, _ := NewCore(InOrder(), memB).Run(context.Background(), trace.NewSliceReader(recs), 0)
 	if ooo.IPC() <= ino.IPC() {
 		t.Errorf("OOO IPC %.3f <= in-order IPC %.3f", ooo.IPC(), ino.IPC())
 	}
@@ -183,7 +185,7 @@ func TestStoresDoNotStall(t *testing.T) {
 	for i := range recs {
 		recs[i] = storeRec(uint64(0x400000+i%8*4), 5)
 	}
-	res, _ := c.Run(trace.NewSliceReader(recs), 0)
+	res, _ := c.Run(context.Background(), trace.NewSliceReader(recs), 0)
 	if res.IPC() < float64(OOO().Width)*0.9 {
 		t.Errorf("store stream IPC %.2f; stores must not stall the core", res.IPC())
 	}
@@ -199,7 +201,7 @@ func TestMemSeesMonotonicIssueTimes(t *testing.T) {
 	for i := range recs {
 		recs[i] = loadRec(uint64(0x400000+i%4*4), 1, 2)
 	}
-	if _, err := c.Run(trace.NewSliceReader(recs), 0); err != nil {
+	if _, err := c.Run(context.Background(), trace.NewSliceReader(recs), 0); err != nil {
 		t.Fatal(err)
 	}
 	for i := 1; i < len(mem.issues); i++ {
@@ -216,7 +218,7 @@ func TestRunHonoursMaxRecords(t *testing.T) {
 	for i := range recs {
 		recs[i] = loadRec(0x400000, 0, 5)
 	}
-	res, err := c.Run(trace.NewSliceReader(recs), 10)
+	res, err := c.Run(context.Background(), trace.NewSliceReader(recs), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +230,7 @@ func TestRunHonoursMaxRecords(t *testing.T) {
 func TestGapInstructionsCounted(t *testing.T) {
 	mem := &fixedMem{lat: 1}
 	c := NewCore(OOO(), mem)
-	res, err := c.Run(trace.NewSliceReader([]trace.Record{loadRec(0x400000, 9, 5)}), 0)
+	res, err := c.Run(context.Background(), trace.NewSliceReader([]trace.Record{loadRec(0x400000, 9, 5)}), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +256,7 @@ func TestDeterministic(t *testing.T) {
 		for i := range recs {
 			recs[i] = loadRec(uint64(0x400000+i%16*4), uint16(i%7), uint8(1+i%10))
 		}
-		res, _ := c.Run(trace.NewSliceReader(recs), 0)
+		res, _ := c.Run(context.Background(), trace.NewSliceReader(recs), 0)
 		return res
 	}
 	if mk() != mk() {
@@ -283,7 +285,7 @@ func TestLatencyMonotonicity(t *testing.T) {
 			var prev uint64
 			for _, lat := range []int{1, 2, 4, 8, 30, 100} {
 				c := NewCore(cfg, &fixedMem{lat: lat})
-				res, err := c.Run(trace.NewSliceReader(recs), 0)
+				res, err := c.Run(context.Background(), trace.NewSliceReader(recs), 0)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -308,9 +310,66 @@ func TestWiderCoreNeverSlower(t *testing.T) {
 	narrow.Width = 2
 	wide := OOO()
 	wide.Width = 8
-	rn, _ := NewCore(narrow, &fixedMem{lat: 3}).Run(trace.NewSliceReader(recs), 0)
-	rw, _ := NewCore(wide, &fixedMem{lat: 3}).Run(trace.NewSliceReader(recs), 0)
+	rn, _ := NewCore(narrow, &fixedMem{lat: 3}).Run(context.Background(), trace.NewSliceReader(recs), 0)
+	rw, _ := NewCore(wide, &fixedMem{lat: 3}).Run(context.Background(), trace.NewSliceReader(recs), 0)
 	if rw.Cycles > rn.Cycles {
 		t.Errorf("8-wide (%d cycles) slower than 2-wide (%d)", rw.Cycles, rn.Cycles)
 	}
 }
+
+// TestRunCancelledContext verifies a cancelled context stops Run with
+// the context's error before the trace is consumed.
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	mem := &fixedMem{lat: 1}
+	c := NewCore(OOO(), mem)
+	recs := make([]trace.Record, 10)
+	for i := range recs {
+		recs[i] = loadRec(0x400000, 0, 5)
+	}
+	res, err := c.Run(ctx, trace.NewSliceReader(recs), 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run err = %v, want context.Canceled", err)
+	}
+	if res.Loads != 0 {
+		t.Errorf("cancelled-before-start run executed %d loads", res.Loads)
+	}
+}
+
+// TestRunStopsWithinCheckInterval cancels mid-run and asserts the loop
+// notices within one CtxCheckInterval worth of records.
+func TestRunStopsWithinCheckInterval(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	mem := &fixedMem{lat: 1}
+	c := NewCore(OOO(), mem)
+	recs := make([]trace.Record, 3*CtxCheckInterval)
+	for i := range recs {
+		recs[i] = loadRec(0x400000, 0, 5)
+	}
+	// Cancel from a reader wrapper once some records have flowed: the
+	// next interval boundary must abort the run.
+	base := trace.NewSliceReader(recs)
+	n := 0
+	r := readerFunc(func() (trace.Record, error) {
+		n++
+		if n == 100 {
+			cancel()
+		}
+		return base.Next()
+	})
+	res, err := c.Run(ctx, r, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run err = %v, want context.Canceled", err)
+	}
+	if res.Loads > CtxCheckInterval+100 {
+		t.Errorf("run consumed %d records after cancellation (check interval %d)",
+			res.Loads, CtxCheckInterval)
+	}
+}
+
+// readerFunc adapts a closure to trace.Reader (and deliberately not to
+// trace.InPlaceReader, so the generic loop is exercised too).
+type readerFunc func() (trace.Record, error)
+
+func (f readerFunc) Next() (trace.Record, error) { return f() }

@@ -5,12 +5,14 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"sipt/internal/memo"
 	"sipt/internal/report"
 	"sipt/internal/sim"
 	"sipt/internal/vm"
@@ -27,6 +29,10 @@ type Options struct {
 	Apps []string
 	// Workers bounds concurrent simulations (0 = GOMAXPROCS).
 	Workers int
+	// CacheEntries bounds the memoisation cache (0 =
+	// memo.DefaultCapacity). A resident process (siptd) relies on this
+	// bound; one-shot CLI runs never reach it.
+	CacheEntries int
 }
 
 // DefaultRecords is the harness trace length per app.
@@ -53,70 +59,105 @@ func (o Options) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// runEntry is one memoised simulation. The sync.Once gives the cache
-// singleflight semantics: concurrent Runs of the same key wait for one
-// simulation instead of each paying for their own.
-type runEntry struct {
-	once sync.Once
-	st   sim.Stats
-	err  error
+// runnerShared is the state all derived views of one Runner share: the
+// bounded memo cache and the simulation counter. The cache gives
+// singleflight semantics (concurrent Runs of the same key wait for one
+// simulation) and, unlike the unbounded map it replaced, stays within a
+// fixed entry budget — a resident daemon serving sweeps for days cannot
+// leak results.
+type runnerShared struct {
+	cache *memo.Cache[sim.Stats]
+	sims  atomic.Uint64
 }
 
 // Runner executes simulations with memoisation, so figures sharing runs
 // (e.g. Fig. 6/7 and Fig. 13/14 share baselines) pay once — including
 // when the sharing requests arrive concurrently from parallel workers.
+//
+// Derived runners (WithContext, WithOptions) share the cache and the
+// simulation counter with their parent; the siptd daemon uses this to
+// serve many requests with different options from one bounded cache.
 type Runner struct {
-	opts  Options
-	mu    sync.Mutex
-	cache map[string]*runEntry
-	sims  atomic.Uint64
+	opts Options
+	ctx  context.Context // base context for Run calls; nil = Background
+	sh   *runnerShared
 }
 
-// NewRunner creates a Runner.
+// NewRunner creates a Runner with a fresh cache.
 func NewRunner(opts Options) *Runner {
-	return &Runner{opts: opts, cache: make(map[string]*runEntry)}
+	return &Runner{
+		opts: opts,
+		sh:   &runnerShared{cache: memo.New[sim.Stats](opts.CacheEntries, 0)},
+	}
 }
 
-// Simulations returns how many simulations actually ran (cache misses);
-// the benchmark harness reports it alongside wall time.
-func (r *Runner) Simulations() uint64 { return r.sims.Load() }
+// WithContext returns a view of r whose Run calls are bound to ctx
+// (cancellation and deadlines propagate into the simulation loops). The
+// view shares r's cache and counters.
+func (r *Runner) WithContext(ctx context.Context) *Runner {
+	r2 := *r
+	r2.ctx = ctx
+	return &r2
+}
+
+// WithOptions returns a view of r running under different options while
+// sharing its cache and counters. The memo key covers every option that
+// affects results (seed, records), so heterogeneous views can never
+// alias each other's entries. CacheEntries is fixed at construction and
+// ignored here.
+func (r *Runner) WithOptions(opts Options) *Runner {
+	r2 := *r
+	r2.opts = opts
+	return &r2
+}
+
+// Context returns the context Run calls are bound to (never nil).
+func (r *Runner) Context() context.Context {
+	if r.ctx == nil {
+		return context.Background()
+	}
+	return r.ctx
+}
+
+// Simulations returns how many simulations actually started (cache
+// misses); the benchmark harness reports it alongside wall time.
+func (r *Runner) Simulations() uint64 { return r.sh.sims.Load() }
+
+// CacheStats snapshots the shared memo cache counters (hits, misses,
+// evictions, live entries) for the daemon's /metrics endpoint.
+func (r *Runner) CacheStats() memo.Stats { return r.sh.cache.Stats() }
 
 // Options returns the runner's options.
 func (r *Runner) Options() Options { return r.opts }
 
 // key derives the memoisation key from the *full* sim.Config (plus the
-// app, scenario, and trace length). Formatting the whole struct keeps
-// the key exhaustive by construction: a config field that changes
+// app, scenario, trace length, and seed). Formatting the whole struct
+// keeps the key exhaustive by construction: a config field that changes
 // simulation behaviour (e.g. Cores, which scales the LLC) can never be
 // silently omitted, and newly added fields are picked up automatically.
+// Seed and records are in the key because derived views (WithOptions)
+// share one cache across heterogeneous requests.
 func (r *Runner) key(app string, cfg sim.Config, sc vm.Scenario) string {
-	return fmt.Sprintf("%s|%+v|%s|%d", app, cfg, sc, r.opts.records())
+	return fmt.Sprintf("%s|%+v|%s|%d|%d", app, cfg, sc, r.opts.records(), r.opts.Seed)
 }
 
 // Run simulates (memoised) one app on one config under a scenario.
-// Concurrent calls with the same key share a single simulation.
+// Concurrent calls with the same key share a single simulation. Failed
+// runs — including ones cancelled through the runner's context — are
+// not cached: the next Run of that key retries.
 func (r *Runner) Run(app string, cfg sim.Config, sc vm.Scenario) (sim.Stats, error) {
-	k := r.key(app, cfg, sc)
-	r.mu.Lock()
-	e, ok := r.cache[k]
-	if !ok {
-		e = &runEntry{}
-		r.cache[k] = e
-	}
-	r.mu.Unlock()
-	e.once.Do(func() {
-		r.sims.Add(1)
+	return r.sh.cache.Do(r.key(app, cfg, sc), func() (sim.Stats, error) {
+		r.sh.sims.Add(1)
 		prof, err := workload.Lookup(app)
 		if err != nil {
-			e.err = err
-			return
+			return sim.Stats{}, err
 		}
-		e.st, e.err = sim.RunApp(prof, cfg, sc, r.opts.Seed, r.opts.records())
-		if e.err != nil {
-			e.err = fmt.Errorf("exp: %s on %s/%s: %w", app, cfg.Label(), sc, e.err)
+		st, err := sim.RunApp(r.ctx, prof, cfg, sc, r.opts.Seed, r.opts.records())
+		if err != nil {
+			return sim.Stats{}, fmt.Errorf("exp: %s on %s/%s: %w", app, cfg.Label(), sc, err)
 		}
+		return st, nil
 	})
-	return e.st, e.err
 }
 
 // forEachApp runs fn over the app list with bounded concurrency and

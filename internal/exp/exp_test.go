@@ -265,7 +265,7 @@ func TestMemoisationReusesRuns(t *testing.T) {
 	if _, err := Fig6(r); err != nil {
 		t.Fatal(err)
 	}
-	n := len(r.cache)
+	n := r.CacheStats().Entries
 	if n == 0 {
 		t.Fatal("nothing cached")
 	}
@@ -273,8 +273,8 @@ func TestMemoisationReusesRuns(t *testing.T) {
 	if _, err := Fig7(r); err != nil {
 		t.Fatal(err)
 	}
-	if len(r.cache) != n {
-		t.Errorf("cache grew from %d to %d; Fig6/Fig7 should share runs", n, len(r.cache))
+	if got := r.CacheStats().Entries; got != n {
+		t.Errorf("cache grew from %d to %d; Fig6/Fig7 should share runs", n, got)
 	}
 }
 

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"sipt/internal/core"
 	"sipt/internal/cpu"
 	"sipt/internal/memaddr"
@@ -99,7 +100,7 @@ func ExtColoring(r *Runner) ([]*report.Table, error) {
 		if err != nil {
 			return row{}, err
 		}
-		colored, err := sim.RunTrace(app, gen, sim.SIPT(cpu.OOO(), 32, 2, core.ModeNaive), r.opts.Seed)
+		colored, err := sim.RunTrace(r.Context(), app, gen, sim.SIPT(cpu.OOO(), 32, 2, core.ModeNaive), r.opts.Seed)
 		if err != nil {
 			return row{}, err
 		}
@@ -151,7 +152,7 @@ func ExtICache(r *Runner) ([]*report.Table, error) {
 		if err != nil {
 			return row{}, err
 		}
-		naive, combined, err := icacheFastFractions(prof, r.opts.Seed, r.opts.records()/4)
+		naive, combined, err := icacheFastFractions(r.Context(), prof, r.opts.Seed, r.opts.records()/4)
 		if err != nil {
 			return row{}, err
 		}
@@ -174,7 +175,7 @@ func ExtICache(r *Runner) ([]*report.Table, error) {
 // profile's code layout and measures both the raw 2-bit survival
 // (naive) and the SIPT engine's fast fraction under the combined
 // predictor, using a 32K/2w L1I.
-func icacheFastFractions(prof workload.Profile, seed int64, fetches uint64) (naive, combined float64, err error) {
+func icacheFastFractions(ctx context.Context, prof workload.Profile, seed int64, fetches uint64) (naive, combined float64, err error) {
 	sys := sim.NewSystem(vm.ScenarioNormal, seed, prof)
 	gen, err := workload.NewIFetchGenerator(prof, sys, seed, fetches)
 	if err != nil {
@@ -195,7 +196,7 @@ func icacheFastFractions(prof workload.Profile, seed int64, fetches uint64) (nai
 	}
 	naive = float64(fast) / float64(len(recs))
 
-	st, err := sim.RunTrace(prof.Name+"/text", trace.NewSliceReader(recs),
+	st, err := sim.RunTrace(ctx, prof.Name+"/text", trace.NewSliceReader(recs),
 		sim.SIPT(cpu.OOO(), 32, 2, core.ModeCombined), seed)
 	if err != nil {
 		return 0, 0, err

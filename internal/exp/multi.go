@@ -44,7 +44,7 @@ func Fig15(r *Runner) ([]*report.Table, error) {
 
 			baseCfg := sim.Baseline(cpu.OOO())
 			baseCfg.Cores = 4
-			base, err := sim.RunMix(mix, baseCfg, vm.ScenarioNormal, r.opts.Seed, r.opts.records())
+			base, err := sim.RunMix(r.Context(), mix, baseCfg, vm.ScenarioNormal, r.opts.Seed, r.opts.records())
 			if err != nil {
 				errs[i] = err
 				return
@@ -52,7 +52,7 @@ func Fig15(r *Runner) ([]*report.Table, error) {
 			for gi, g := range geoms {
 				cfg := sim.SIPT(cpu.OOO(), g[0], g[1], core.ModeCombined)
 				cfg.Cores = 4
-				ms, err := sim.RunMix(mix, cfg, vm.ScenarioNormal, r.opts.Seed, r.opts.records())
+				ms, err := sim.RunMix(r.Context(), mix, cfg, vm.ScenarioNormal, r.opts.Seed, r.opts.records())
 				if err != nil {
 					errs[i] = err
 					return

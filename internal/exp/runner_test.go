@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -107,5 +109,110 @@ func TestRunnerSingleflight(t *testing.T) {
 			t.Errorf("run %d returned different stats: %+v vs %+v",
 				i, results[i].Core, results[0].Core)
 		}
+	}
+}
+
+// TestRunnerCacheBounded is the unbounded-memo-leak regression test: a
+// Runner capped at CacheEntries must evict rather than grow when driven
+// through many distinct configurations, while keys still resident keep
+// hitting without re-simulating. (The 10k-distinct-key scale version of
+// this property runs against the cache itself in internal/memo, where
+// computes are cheap; here real simulations verify the Runner wiring.)
+func TestRunnerCacheBounded(t *testing.T) {
+	const cap = 8
+	r := NewRunner(Options{Records: 500, Seed: 1, Workers: 1, CacheEntries: cap})
+
+	// 24 distinct configs: 4 geometries x 3 modes x 2 scenarios.
+	var keys int
+	for _, g := range sim.SIPTGeometries() {
+		for _, m := range []core.Mode{core.ModeVIPT, core.ModeNaive, core.ModeCombined} {
+			for _, sc := range []vm.Scenario{vm.ScenarioNormal, vm.ScenarioFragmented} {
+				if _, err := r.Run("h264ref", sim.SIPT(cpu.OOO(), g[0], g[1], m), sc); err != nil {
+					t.Fatal(err)
+				}
+				keys++
+				if n := r.CacheStats().Entries; n > cap {
+					t.Fatalf("after %d distinct configs cache holds %d entries, cap %d", keys, n, cap)
+				}
+			}
+		}
+	}
+	st := r.CacheStats()
+	if st.Evictions == 0 {
+		t.Errorf("%d distinct configs through a %d-entry cache evicted nothing", keys, cap)
+	}
+	if r.Simulations() != uint64(keys) {
+		t.Errorf("simulations = %d, want %d (all distinct)", r.Simulations(), keys)
+	}
+
+	// The most recent config is resident: re-running it must hit the
+	// cache, not simulate again.
+	before := r.Simulations()
+	cfg := sim.SIPT(cpu.OOO(), 128, 4, core.ModeCombined)
+	if _, err := r.Run("h264ref", cfg, vm.ScenarioFragmented); err != nil {
+		t.Fatal(err)
+	}
+	if r.Simulations() != before {
+		t.Error("repeat of a resident config re-simulated instead of hitting the cache")
+	}
+	if r.CacheStats().Hits == 0 {
+		t.Error("hit counter never advanced")
+	}
+}
+
+// TestRunnerSharedViewsShareCache verifies WithOptions/WithContext
+// views memoise into one cache without aliasing across seeds.
+func TestRunnerSharedViewsShareCache(t *testing.T) {
+	r := NewRunner(Options{Records: 500, Seed: 1, Workers: 1})
+	cfg := sim.SIPT(cpu.OOO(), 32, 2, core.ModeNaive)
+	st1, err := r.Run("h264ref", cfg, vm.ScenarioNormal)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same options via a context-bound view: cache hit.
+	v := r.WithContext(context.Background())
+	st2, err := v.Run("h264ref", cfg, vm.ScenarioNormal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Simulations() != 1 {
+		t.Errorf("simulations = %d, want 1 (views share the cache)", r.Simulations())
+	}
+	if st1.Core != st2.Core {
+		t.Error("views returned different stats for one key")
+	}
+
+	// A different seed through WithOptions must not alias.
+	v2 := r.WithOptions(Options{Records: 500, Seed: 2, Workers: 1})
+	st3, err := v2.Run("h264ref", cfg, vm.ScenarioNormal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Simulations() != 2 {
+		t.Errorf("simulations = %d, want 2 (distinct seed must re-simulate)", r.Simulations())
+	}
+	if st3.Core == st1.Core {
+		t.Error("seed 2 returned seed 1's cached stats (key misses seed)")
+	}
+}
+
+// TestRunnerCancelledRunNotCached verifies a context-cancelled Run is
+// retried, not replayed from the cache.
+func TestRunnerCancelledRunNotCached(t *testing.T) {
+	r := NewRunner(Options{Records: 50_000_000, Seed: 1, Workers: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := sim.SIPT(cpu.OOO(), 32, 2, core.ModeNaive)
+	if _, err := r.WithContext(ctx).Run("h264ref", cfg, vm.ScenarioNormal); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := r.CacheStats().Entries; n != 0 {
+		t.Fatalf("cancelled run left %d cache entries", n)
+	}
+	// Retry with a live context and a sane length succeeds.
+	v := r.WithOptions(Options{Records: 500, Seed: 1, Workers: 1})
+	if _, err := v.Run("h264ref", cfg, vm.ScenarioNormal); err != nil {
+		t.Fatal(err)
 	}
 }

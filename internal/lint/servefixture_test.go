@@ -1,0 +1,36 @@
+package lint_test
+
+import (
+	"testing"
+
+	"sipt/internal/lint"
+	"sipt/internal/lint/linttest"
+)
+
+// TestDetRandServeShape runs detrand over a fixture shaped like the
+// serving layer (internal/serve + internal/sched): map-lookup job
+// registries and //siptlint:allow-acknowledged clock reads pass, while
+// naked wall-clock reads and map iteration are still flagged. This
+// pins the contract siptd's packages are written against.
+func TestDetRandServeShape(t *testing.T) {
+	linttest.Run(t, "testdata/servefixture", lint.DetRand, "sipt/internal/servefixture")
+}
+
+// TestHotAllocServeShape confirms the serving fixture's annotated hot
+// path (metrics observation) is allocation-free under hotalloc: the
+// analyzer must report nothing (the // want comments in the fixture
+// belong to detrand, so this check is done without the linttest
+// harness).
+func TestHotAllocServeShape(t *testing.T) {
+	prog, err := lint.LoadDir("testdata/servefixture", "sipt/internal/servefixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run(prog, []*lint.Analyzer{lint.HotAlloc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("hotalloc flagged the serving hot path: %s: %s", d.Pos, d.Message)
+	}
+}

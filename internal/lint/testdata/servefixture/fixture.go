@@ -1,0 +1,72 @@
+// Package servefixture mirrors the serving layer's shape
+// (internal/serve + internal/sched) so the lint suite pins the
+// contract the daemon relies on: a job registry may *look up* by key
+// but never range a map; every wall-clock read needs a justified
+// //siptlint:allow; hot-path annotations stay allocation-free even in
+// serving code.
+package servefixture
+
+import "time"
+
+// job mimics a serve.Job record.
+type job struct {
+	id  string
+	lat int64
+}
+
+// registry is map-for-lookup plus insertion-ordered slice — the
+// detrand-safe store shape internal/serve uses.
+type registry struct {
+	byID  map[string]*job
+	order []string
+}
+
+// Get is a pure map lookup: no iteration, nothing to flag.
+func (r *registry) Get(id string) (*job, bool) {
+	j, ok := r.byID[id]
+	return j, ok
+}
+
+// Oldest walks the ordered slice, never the map: clean.
+func (r *registry) Oldest() *job {
+	for _, id := range r.order {
+		if j, ok := r.byID[id]; ok {
+			return j
+		}
+	}
+	return nil
+}
+
+// Broken ranges the map from an exported entry point: the randomised
+// iteration order would make eviction nondeterministic.
+func (r *registry) Broken() int {
+	n := 0
+	for range r.byID { // want "range over map"
+		n++
+	}
+	return n
+}
+
+// NakedClock reads the wall clock without an acknowledgement: flagged.
+func NakedClock() int64 {
+	return time.Now().UnixNano() // want "time.Now"
+}
+
+// MeteredClock is the sanctioned form — one isolated read with a
+// justification, exactly like internal/serve's clock.go.
+func MeteredClock() int64 {
+	//siptlint:allow detrand: operator-facing latency metering, never feeds simulation state
+	return time.Now().UnixNano()
+}
+
+// Observe is a serving-side hot path (counter bumps on every request);
+// the hotalloc contract holds for the serving layer too.
+//
+//sipt:hotpath
+func Observe(r *registry, id string) int64 {
+	j, ok := r.Get(id)
+	if !ok {
+		return 0
+	}
+	return j.lat
+}

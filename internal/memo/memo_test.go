@@ -1,0 +1,164 @@
+package memo
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestBoundedAcrossManyDistinctKeys is the regression test for the
+// unbounded exp.Runner memo map: 10k distinct keys through a small
+// cache must stay within the capacity bound (evicting, not growing),
+// while keys still resident keep hitting.
+func TestBoundedAcrossManyDistinctKeys(t *testing.T) {
+	const capTotal = 64
+	c := New[int](capTotal, 8)
+	var computes atomic.Int64
+	for i := 0; i < 10_000; i++ {
+		v, err := c.Do(fmt.Sprintf("key-%d", i), func() (int, error) {
+			computes.Add(1)
+			return i * 2, nil
+		})
+		if err != nil || v != i*2 {
+			t.Fatalf("Do(key-%d) = %d, %v", i, v, err)
+		}
+		if n := c.Len(); n > capTotal {
+			t.Fatalf("after %d inserts cache holds %d entries, cap %d", i+1, n, capTotal)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Error("10k distinct keys through a 64-entry cache evicted nothing")
+	}
+	if st.Misses != 10_000 || computes.Load() != 10_000 {
+		t.Errorf("misses = %d, computes = %d, want 10000 each", st.Misses, computes.Load())
+	}
+	if st.Entries > capTotal {
+		t.Errorf("final entries = %d, cap %d", st.Entries, capTotal)
+	}
+
+	// The most recently used keys are still resident: repeating the last
+	// key must hit, not recompute.
+	before := computes.Load()
+	if _, err := c.Do("key-9999", func() (int, error) {
+		computes.Add(1)
+		return 0, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if computes.Load() != before {
+		t.Error("repeat of a resident key recomputed instead of hitting")
+	}
+	if c.Stats().Hits == 0 {
+		t.Error("hit counter never advanced")
+	}
+}
+
+// TestSingleflight verifies concurrent Do calls of one key share a
+// single compute and all observe its value.
+func TestSingleflight(t *testing.T) {
+	c := New[string](16, 2)
+	var computes atomic.Int64
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([]string, 32)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.Do("shared", func() (string, error) {
+				computes.Add(1)
+				<-release // hold the flight open so everyone piles on
+				return "value", nil
+			})
+			if err != nil {
+				t.Errorf("goroutine %d: %v", i, err)
+				return
+			}
+			results[i] = v
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+	if computes.Load() != 1 {
+		t.Errorf("computes = %d, want 1", computes.Load())
+	}
+	for i, v := range results {
+		if v != "value" {
+			t.Errorf("goroutine %d saw %q", i, v)
+		}
+	}
+}
+
+// TestErrorsAreNotCached verifies a failed compute is forgotten: the
+// key retries on the next Do instead of replaying the error.
+func TestErrorsAreNotCached(t *testing.T) {
+	c := New[int](16, 2)
+	boom := errors.New("boom")
+	calls := 0
+	_, err := c.Do("k", func() (int, error) { calls++; return 0, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("first Do err = %v, want boom", err)
+	}
+	if n := c.Len(); n != 0 {
+		t.Fatalf("failed entry retained: Len = %d", n)
+	}
+	v, err := c.Do("k", func() (int, error) { calls++; return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("retry Do = %d, %v", v, err)
+	}
+	if calls != 2 {
+		t.Fatalf("compute calls = %d, want 2 (error retried)", calls)
+	}
+	// And the successful retry is now cached.
+	v, err = c.Do("k", func() (int, error) { calls++; return 0, nil })
+	if err != nil || v != 7 || calls != 2 {
+		t.Fatalf("cached Do = %d, %v, calls %d; want 7, nil, 2", v, err, calls)
+	}
+}
+
+// TestConcurrentDistinctKeys hammers the cache from many goroutines
+// with overlapping key sets (run under -race in CI).
+func TestConcurrentDistinctKeys(t *testing.T) {
+	c := New[int](128, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				k := fmt.Sprintf("key-%d", i%97)
+				v, err := c.Do(k, func() (int, error) { return i % 97, nil })
+				if err != nil {
+					t.Errorf("Do(%s): %v", k, err)
+					return
+				}
+				if v != i%97 {
+					t.Errorf("Do(%s) = %d, want %d", k, v, i%97)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.Len(); n > 128 {
+		t.Errorf("entries = %d exceeds cap", n)
+	}
+}
+
+// TestCapOneShard covers the degenerate geometry: capacity smaller than
+// the shard count must still admit one entry per shard.
+func TestCapOneShard(t *testing.T) {
+	c := New[int](2, 16)
+	for i := 0; i < 50; i++ {
+		v, err := c.Do(fmt.Sprintf("k%d", i), func() (int, error) { return i, nil })
+		if err != nil || v != i {
+			t.Fatalf("Do = %d, %v", v, err)
+		}
+	}
+	if n := c.Len(); n > 2 {
+		t.Errorf("entries = %d, cap 2", n)
+	}
+}

@@ -1,20 +1,25 @@
-// Package report renders experiment results as aligned text tables and
-// CSV, the output formats of cmd/siptbench. Each paper table/figure is
-// regenerated as one Table whose rows mirror the paper's series.
+// Package report renders experiment results as aligned text tables,
+// CSV, Markdown, and JSON — the output formats of cmd/siptbench and the
+// siptd HTTP API. Each paper table/figure is regenerated as one Table
+// whose rows mirror the paper's series.
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
 )
 
-// Table is a titled grid of string cells with a header row.
+// Table is a titled grid of string cells with a header row. The JSON
+// field order below is part of the siptd API: encoding/json emits
+// struct fields in declaration order, so marshalling is deterministic
+// and golden-testable byte for byte.
 type Table struct {
-	Title   string
-	Note    string
-	Columns []string
-	Rows    [][]string
+	Title   string     `json:"title"`
+	Note    string     `json:"note,omitempty"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
 }
 
 // AddRow appends a row; it panics if the arity differs from Columns
@@ -106,6 +111,31 @@ func (t *Table) RenderMarkdown(w io.Writer) error {
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// Document is the JSON envelope the siptd API returns for a set of
+// tables (one experiment, or a single-run summary).
+type Document struct {
+	Tables []*Table `json:"tables"`
+}
+
+// RenderJSON writes the tables as an indented JSON Document. Output is
+// deterministic: field order follows the struct declarations and every
+// collection is a slice.
+func RenderJSON(w io.Writer, tables []*Table) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Document{Tables: tables})
+}
+
+// ParseJSON is the inverse of RenderJSON; API clients (and the
+// round-trip tests) use it to decode a Document.
+func ParseJSON(r io.Reader) ([]*Table, error) {
+	var doc Document
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("report: decoding document: %w", err)
+	}
+	return doc.Tables, nil
 }
 
 // RenderCSV writes the table as CSV (RFC-4180-style quoting for cells

@@ -1,9 +1,16 @@
 package report
 
 import (
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
+
+// update regenerates golden fixtures: go test ./internal/report -update
+var update = flag.Bool("update", false, "rewrite golden fixtures")
 
 func sample() *Table {
 	t := &Table{
@@ -113,5 +120,84 @@ func TestRenderMarkdownEscapesPipes(t *testing.T) {
 	}
 	if !strings.Contains(b.String(), `x\|y`) {
 		t.Error("pipe not escaped")
+	}
+}
+
+// jsonFixtureTables builds the tables behind testdata/tables.json.
+func jsonFixtureTables() []*Table {
+	t1 := &Table{
+		Title:   "Fig. X: example",
+		Note:    "normalised to baseline",
+		Columns: []string{"app", "ipc", "energy"},
+	}
+	t1.AddRow("mcf", "1.042", "0.911")
+	t1.AddRow("gcc", "1.017", "0.954")
+	t2 := &Table{
+		Title:   "Run summary",
+		Columns: []string{"metric", "value"},
+	}
+	t2.AddRow("IPC", "1.3370")
+	return []*Table{t1, t2}
+}
+
+// TestRenderJSONGolden pins the exact bytes of the API's JSON encoding:
+// field order, indentation, and omitempty behaviour are all contract.
+// Regenerate with -update after a deliberate format change.
+func TestRenderJSONGolden(t *testing.T) {
+	var b strings.Builder
+	if err := RenderJSON(&b, jsonFixtureTables()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "tables.json")
+	if *update {
+		if err := os.WriteFile(golden, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	if b.String() != string(want) {
+		t.Errorf("JSON encoding drifted from golden fixture:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+// TestRenderJSONDeterministic encodes the same tables repeatedly and
+// requires byte-identical output.
+func TestRenderJSONDeterministic(t *testing.T) {
+	var first string
+	for i := 0; i < 5; i++ {
+		var b strings.Builder
+		if err := RenderJSON(&b, jsonFixtureTables()); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = b.String()
+		} else if b.String() != first {
+			t.Fatalf("encoding %d differs from encoding 0", i)
+		}
+	}
+}
+
+// TestJSONRoundTrip verifies ParseJSON inverts RenderJSON exactly.
+func TestJSONRoundTrip(t *testing.T) {
+	in := jsonFixtureTables()
+	var b strings.Builder
+	if err := RenderJSON(&b, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseJSON(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\nin:  %+v\nout: %+v", in, out)
+	}
+}
+
+func TestParseJSONRejectsGarbage(t *testing.T) {
+	if _, err := ParseJSON(strings.NewReader("{not json")); err == nil {
+		t.Error("ParseJSON accepted malformed input")
 	}
 }

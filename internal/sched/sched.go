@@ -1,0 +1,220 @@
+// Package sched is the siptd daemon's job scheduler: a bounded-queue
+// worker pool with two priority classes, per-job contexts, backpressure
+// (a full queue rejects instead of blocking the submitter), and a
+// graceful drain that finishes every accepted job before returning.
+//
+// Priorities model the service's two traffic shapes: Interactive
+// single-simulation requests, which a user is waiting on, and Bulk
+// sweeps, which grind through many simulations. Workers always prefer
+// waiting interactive work, so a long sweep cannot starve a single run
+// — but an in-flight bulk job is never preempted (simulations are not
+// checkpointable; cancellation via its context is the only interrupt).
+//
+// The package contains no clock and draws no randomness: timing and
+// latency metering belong to the caller (internal/serve), keeping the
+// detrand lint contract trivially intact.
+package sched
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+
+	"sipt/internal/metrics"
+)
+
+// Priority selects a queue class.
+type Priority uint8
+
+const (
+	// Interactive jobs (single runs) are dequeued before bulk work.
+	Interactive Priority = iota
+	// Bulk jobs (sweeps) run when no interactive work is waiting.
+	Bulk
+	numPriorities
+)
+
+// String names the priority for metrics and logs.
+func (p Priority) String() string {
+	switch p {
+	case Interactive:
+		return "interactive"
+	case Bulk:
+		return "bulk"
+	}
+	return "invalid"
+}
+
+// ErrQueueFull is returned by Submit when the priority class's queue is
+// at capacity; HTTP callers translate it to 429 + Retry-After.
+var ErrQueueFull = errors.New("sched: queue full")
+
+// ErrDraining is returned by Submit once Drain has begun; HTTP callers
+// translate it to 503.
+var ErrDraining = errors.New("sched: pool draining")
+
+// task is one accepted unit of work.
+type task struct {
+	ctx context.Context
+	fn  func(context.Context)
+}
+
+// Config sizes a Pool.
+type Config struct {
+	// Workers is the number of concurrent executors (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds each priority class's waiting queue (0 = 64).
+	// Accepted-but-waiting jobs beyond this are rejected with
+	// ErrQueueFull.
+	QueueDepth int
+	// Registry receives the pool's metrics (nil = a private registry,
+	// i.e. effectively unexported metrics).
+	Registry *metrics.Registry
+}
+
+// Pool is the worker pool. Construct with New; all methods are safe for
+// concurrent use.
+type Pool struct {
+	queues [numPriorities]chan task
+
+	mu       sync.Mutex
+	draining bool
+
+	workers sync.WaitGroup
+
+	submitted *metrics.Counter
+	rejected  *metrics.Counter
+	completed *metrics.Counter
+	depth     *metrics.Gauge
+}
+
+// New builds the pool and starts its workers.
+func New(cfg Config) *Pool {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 64
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	p := &Pool{
+		submitted: reg.Counter("sched_jobs_submitted_total", "jobs accepted into a queue"),
+		rejected:  reg.Counter("sched_jobs_rejected_total", "jobs rejected by backpressure"),
+		completed: reg.Counter("sched_jobs_completed_total", "jobs whose function returned"),
+		depth:     reg.Gauge("sched_queue_depth", "jobs waiting in queues"),
+	}
+	for i := range p.queues {
+		p.queues[i] = make(chan task, depth)
+	}
+	p.workers.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Submit enqueues fn under the given priority. fn always receives ctx
+// and is responsible for honouring its cancellation — a job whose
+// context is already dead still runs (and should return immediately),
+// so the submitter's bookkeeping sees every accepted job exactly once.
+// Returns ErrQueueFull under backpressure and ErrDraining after Drain
+// has begun.
+func (p *Pool) Submit(ctx context.Context, pri Priority, fn func(context.Context)) error {
+	if pri >= numPriorities {
+		return errors.New("sched: invalid priority")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.draining {
+		p.rejected.Inc()
+		return ErrDraining
+	}
+	select {
+	case p.queues[pri] <- task{ctx: ctx, fn: fn}:
+		p.submitted.Inc()
+		p.depth.Add(1)
+		return nil
+	default:
+		p.rejected.Inc()
+		return ErrQueueFull
+	}
+}
+
+// Drain stops admission and blocks until every accepted job — queued or
+// in flight — has completed. It is idempotent and safe to call from
+// multiple goroutines; all callers return once the pool is empty.
+func (p *Pool) Drain() {
+	p.mu.Lock()
+	if !p.draining {
+		p.draining = true
+		for i := range p.queues {
+			close(p.queues[i])
+		}
+	}
+	p.mu.Unlock()
+	p.workers.Wait()
+}
+
+// Draining reports whether Drain has begun.
+func (p *Pool) Draining() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.draining
+}
+
+// Depth returns the number of jobs currently waiting in queues.
+func (p *Pool) Depth() int { return int(p.depth.Load()) }
+
+// run executes one task and maintains the counters.
+func (p *Pool) run(t task) {
+	p.depth.Add(-1)
+	t.fn(t.ctx)
+	p.completed.Inc()
+}
+
+// worker executes tasks, preferring interactive work, until both queues
+// are closed and drained. Receiving from a closed channel first yields
+// its remaining buffered tasks, so drain-after-close naturally finishes
+// every accepted job.
+func (p *Pool) worker() {
+	defer p.workers.Done()
+	inter, bulk := p.queues[Interactive], p.queues[Bulk]
+	for inter != nil || bulk != nil {
+		// Fast path: take waiting interactive work before looking at
+		// bulk. A nil-ed channel blocks forever, which in a select with
+		// a default simply falls through.
+		select {
+		case t, ok := <-inter:
+			if !ok {
+				inter = nil
+				continue
+			}
+			p.run(t)
+			continue
+		default:
+		}
+		select {
+		case t, ok := <-inter:
+			if !ok {
+				inter = nil
+				continue
+			}
+			p.run(t)
+		case t, ok := <-bulk:
+			if !ok {
+				bulk = nil
+				continue
+			}
+			p.run(t)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunsSubmittedJobs(t *testing.T) {
+	p := New(Config{Workers: 4, QueueDepth: 64})
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		pri := Interactive
+		if i%2 == 0 {
+			pri = Bulk
+		}
+		if err := p.Submit(context.Background(), pri, func(context.Context) {
+			defer wg.Done()
+			ran.Add(1)
+		}); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	wg.Wait()
+	if ran.Load() != 32 {
+		t.Errorf("ran = %d, want 32", ran.Load())
+	}
+	p.Drain()
+}
+
+func TestBackpressureRejectsWhenFull(t *testing.T) {
+	p := New(Config{Workers: 1, QueueDepth: 1})
+	block := make(chan struct{})
+	started := make(chan struct{})
+
+	// Occupy the single worker...
+	if err := p.Submit(context.Background(), Interactive, func(context.Context) {
+		close(started)
+		<-block
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	// ...fill the queue...
+	if err := p.Submit(context.Background(), Interactive, func(context.Context) {}); err != nil {
+		t.Fatal(err)
+	}
+	// ...and the next submission must be rejected, not blocked.
+	err := p.Submit(context.Background(), Interactive, func(context.Context) {})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	// The bulk queue is a separate class with its own capacity.
+	if err := p.Submit(context.Background(), Bulk, func(context.Context) {}); err != nil {
+		t.Fatalf("bulk submit after interactive-full: %v", err)
+	}
+	close(block)
+	p.Drain()
+}
+
+// TestInteractivePreferredOverBulk loads both queues while the only
+// worker is blocked, then checks every waiting interactive job runs
+// before any waiting bulk job.
+func TestInteractivePreferredOverBulk(t *testing.T) {
+	p := New(Config{Workers: 1, QueueDepth: 16})
+	block := make(chan struct{})
+	started := make(chan struct{})
+	if err := p.Submit(context.Background(), Bulk, func(context.Context) {
+		close(started)
+		<-block
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	var mu sync.Mutex
+	var order []Priority
+	record := func(pri Priority) func(context.Context) {
+		return func(context.Context) {
+			mu.Lock()
+			order = append(order, pri)
+			mu.Unlock()
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if err := p.Submit(context.Background(), Bulk, record(Bulk)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if err := p.Submit(context.Background(), Interactive, record(Interactive)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(block)
+	p.Drain()
+
+	if len(order) != 8 {
+		t.Fatalf("ran %d jobs, want 8", len(order))
+	}
+	for i, pri := range order[:4] {
+		if pri != Interactive {
+			t.Fatalf("position %d ran %v; all interactive jobs must precede bulk (order %v)",
+				i, pri, order)
+		}
+	}
+}
+
+// TestDrainFinishesAcceptedJobs verifies drain semantics: every job
+// accepted before Drain runs to completion, submissions after Drain are
+// rejected with ErrDraining.
+func TestDrainFinishesAcceptedJobs(t *testing.T) {
+	p := New(Config{Workers: 2, QueueDepth: 64})
+	var ran atomic.Int64
+	const jobs = 40
+	for i := 0; i < jobs; i++ {
+		if err := p.Submit(context.Background(), Bulk, func(context.Context) {
+			time.Sleep(time.Millisecond)
+			ran.Add(1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Drain()
+	if ran.Load() != jobs {
+		t.Errorf("drain returned with %d/%d jobs complete", ran.Load(), jobs)
+	}
+	err := p.Submit(context.Background(), Interactive, func(context.Context) {})
+	if !errors.Is(err, ErrDraining) {
+		t.Errorf("post-drain submit err = %v, want ErrDraining", err)
+	}
+	if !p.Draining() {
+		t.Error("Draining() = false after Drain")
+	}
+	// Drain is idempotent.
+	p.Drain()
+}
+
+// TestJobReceivesItsContext verifies the per-job context (and its
+// cancellation) reaches the job function.
+func TestJobReceivesItsContext(t *testing.T) {
+	p := New(Config{Workers: 1, QueueDepth: 4})
+	type key struct{}
+	ctx := context.WithValue(context.Background(), key{}, "v")
+	ctx, cancel := context.WithCancel(ctx)
+	cancel() // dead before the job starts
+
+	got := make(chan error, 1)
+	if err := p.Submit(ctx, Interactive, func(jctx context.Context) {
+		if jctx.Value(key{}) != "v" {
+			got <- errors.New("job saw a different context")
+			return
+		}
+		got <- jctx.Err()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-got; !errors.Is(err, context.Canceled) {
+		t.Errorf("job ctx err = %v, want Canceled (cancelled jobs still run, and see it)", err)
+	}
+	p.Drain()
+}
+
+// TestConcurrentSubmitDrain races many submitters against a drain (run
+// under -race in CI): every job that Submit accepted must execute
+// exactly once, and every rejection must be ErrQueueFull/ErrDraining.
+func TestConcurrentSubmitDrain(t *testing.T) {
+	p := New(Config{Workers: 4, QueueDepth: 8})
+	var accepted, ran atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				err := p.Submit(context.Background(), Priority(i%2), func(context.Context) {
+					ran.Add(1)
+				})
+				switch {
+				case err == nil:
+					accepted.Add(1)
+				case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+				default:
+					t.Errorf("unexpected submit error: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	p.Drain()
+	if ran.Load() != accepted.Load() {
+		t.Errorf("accepted %d jobs but ran %d", accepted.Load(), ran.Load())
+	}
+}
+
+func TestMetricsCounters(t *testing.T) {
+	p := New(Config{Workers: 1, QueueDepth: 1})
+	block := make(chan struct{})
+	started := make(chan struct{})
+	p.Submit(context.Background(), Interactive, func(context.Context) { close(started); <-block })
+	<-started
+	p.Submit(context.Background(), Interactive, func(context.Context) {})
+	p.Submit(context.Background(), Interactive, func(context.Context) {}) // rejected
+	if p.Depth() != 1 {
+		t.Errorf("Depth = %d, want 1", p.Depth())
+	}
+	close(block)
+	p.Drain()
+	if p.submitted.Load() != 2 || p.rejected.Load() != 1 || p.completed.Load() != 2 {
+		t.Errorf("submitted/rejected/completed = %d/%d/%d, want 2/1/2",
+			p.submitted.Load(), p.rejected.Load(), p.completed.Load())
+	}
+	if p.Depth() != 0 {
+		t.Errorf("post-drain Depth = %d", p.Depth())
+	}
+}

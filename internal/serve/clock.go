@@ -1,0 +1,16 @@
+package serve
+
+import "time"
+
+// nowNS is the serving layer's only wall-clock read. Job timestamps and
+// latency histograms are operator-facing metadata; nothing downstream
+// of a simulation ever sees them, so determinism of results is
+// unaffected. Keeping the read in one function makes the exception
+// auditable (and testable: tests may swap clock).
+var clock = func() int64 {
+	//siptlint:allow detrand: operator-facing job latency metering; never reaches simulation state
+	return time.Now().UnixNano()
+}
+
+// nowNS returns the current wall-clock time in nanoseconds.
+func nowNS() int64 { return clock() }

@@ -1,0 +1,417 @@
+// Package serve implements the siptd HTTP API: a thin JSON layer over
+// the experiment harness (internal/exp), the job scheduler
+// (internal/sched), and the metrics registry (internal/metrics).
+//
+// Endpoints:
+//
+//	POST   /v1/run       submit one simulation        -> 202 {id, status}
+//	POST   /v1/sweep     submit one experiment sweep  -> 202 {id, status}
+//	GET    /v1/jobs/{id} job status and, when done, result tables
+//	DELETE /v1/jobs/{id} cancel a queued or running job
+//	GET    /healthz      liveness (503 while draining)
+//	GET    /metrics      Prometheus text format
+//
+// Runs are Interactive-priority (a user is waiting); sweeps are Bulk.
+// A full queue answers 429 with Retry-After; a draining server answers
+// 503. Results are report.Table documents — the same deterministic JSON
+// encoding cmd/siptbench emits.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"sipt/internal/exp"
+	"sipt/internal/metrics"
+	"sipt/internal/report"
+	"sipt/internal/sched"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// Runner executes simulations; its bounded memo cache is shared by
+	// every request. Required.
+	Runner *exp.Runner
+	// Workers / QueueDepth size the scheduler pool (0 = sched
+	// defaults).
+	Workers    int
+	QueueDepth int
+	// MaxJobs bounds retained job records (0 = 256).
+	MaxJobs int
+	// Registry receives serving metrics (nil = a fresh registry).
+	Registry *metrics.Registry
+	// MaxBody bounds request body size in bytes (0 = 1 MiB).
+	MaxBody int64
+}
+
+// Server is the siptd HTTP handler plus its job machinery. Construct
+// with New; it is safe for concurrent use.
+type Server struct {
+	runner  *exp.Runner
+	pool    *sched.Pool
+	reg     *metrics.Registry
+	mux     *http.ServeMux
+	jobs    *jobStore
+	maxBody int64
+
+	// admitMu guards nextID and draining so job IDs are allocated in
+	// admission order and drain is a clean cut: every job admitted
+	// before Drain completes, everything after is rejected.
+	admitMu  sync.Mutex
+	nextID   uint64
+	draining bool
+
+	requests     *metrics.Counter
+	jobsCreated  *metrics.Counter
+	jobsDone     *metrics.Counter
+	jobsFailed   *metrics.Counter
+	jobsCanceled *metrics.Counter
+	rejected429  *metrics.Counter
+	latency      *metrics.Histogram
+	cacheEntries *metrics.Gauge
+	cacheHits    *metrics.Gauge
+	cacheMisses  *metrics.Gauge
+	cacheEvicted *metrics.Gauge
+}
+
+// New builds the server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Runner == nil {
+		panic("serve: Config.Runner is required")
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	maxBody := cfg.MaxBody
+	if maxBody <= 0 {
+		maxBody = 1 << 20
+	}
+	s := &Server{
+		runner:  cfg.Runner,
+		pool:    sched.New(sched.Config{Workers: cfg.Workers, QueueDepth: cfg.QueueDepth, Registry: reg}),
+		reg:     reg,
+		jobs:    newJobStore(cfg.MaxJobs),
+		maxBody: maxBody,
+
+		requests:     reg.Counter("serve_http_requests_total", "HTTP requests received"),
+		jobsCreated:  reg.Counter("serve_jobs_created_total", "jobs admitted"),
+		jobsDone:     reg.Counter("serve_jobs_done_total", "jobs finished successfully"),
+		jobsFailed:   reg.Counter("serve_jobs_failed_total", "jobs finished with an error"),
+		jobsCanceled: reg.Counter("serve_jobs_canceled_total", "jobs stopped by cancellation"),
+		rejected429:  reg.Counter("serve_jobs_rejected_total", "submissions rejected by backpressure"),
+		latency: reg.Histogram("serve_job_latency_ms", "job run latency (ms)",
+			1, 5, 10, 50, 100, 500, 1000, 5000, 10000),
+		cacheEntries: reg.Gauge("serve_result_cache_entries", "memoised results resident"),
+		cacheHits:    reg.Gauge("serve_result_cache_hits", "memo cache hits"),
+		cacheMisses:  reg.Gauge("serve_result_cache_misses", "memo cache misses"),
+		cacheEvicted: reg.Gauge("serve_result_cache_evictions", "memo cache evictions"),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	s.mux.ServeHTTP(w, r)
+}
+
+// Drain stops admission, waits for every accepted job to finish, and
+// returns. cmd/siptd calls this on SIGTERM; tests call it directly.
+func (s *Server) Drain() {
+	s.admitMu.Lock()
+	s.draining = true
+	s.admitMu.Unlock()
+	s.pool.Drain()
+}
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool {
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
+	return s.draining
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// submitResponse is the JSON shape of a 202 from /v1/run and /v1/sweep.
+type submitResponse struct {
+	ID     string `json:"id"`
+	Status Status `json:"status"`
+}
+
+// submit admits a job: allocates its ID, hands it to the scheduler, and
+// registers it — all under the admission lock, so IDs are dense, in
+// admission order, and a job is either fully admitted (it will run and
+// its record is visible) or fully rejected.
+func (s *Server) submit(kind string, pri sched.Priority, timeout time.Duration,
+	run func(ctx context.Context) ([]*report.Table, error)) (*Job, error) {
+
+	base := context.Background()
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		base, cancel = context.WithTimeout(base, timeout)
+	} else {
+		base, cancel = context.WithCancel(base)
+	}
+
+	s.admitMu.Lock()
+	if s.draining {
+		s.admitMu.Unlock()
+		cancel()
+		return nil, sched.ErrDraining
+	}
+	id := s.nextID + 1
+	j := &Job{
+		id:          fmt.Sprintf("job-%d", id),
+		kind:        kind,
+		cancel:      cancel,
+		done:        make(chan struct{}),
+		status:      StatusQueued,
+		submittedNS: nowNS(),
+	}
+	err := s.pool.Submit(base, pri, func(ctx context.Context) { s.runJob(j, ctx, run) })
+	if err == nil {
+		s.nextID = id
+		s.jobs.add(j)
+		s.jobsCreated.Inc()
+	}
+	s.admitMu.Unlock()
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	return j, nil
+}
+
+// runJob executes one admitted job on a scheduler worker and settles
+// its terminal state and metrics.
+func (s *Server) runJob(j *Job, ctx context.Context,
+	run func(ctx context.Context) ([]*report.Table, error)) {
+
+	defer j.cancel() // release the timeout timer, if any
+	j.setRunning(nowNS())
+	tables, err := run(ctx)
+	var latNS int64
+	switch {
+	case err == nil:
+		latNS = j.finish(StatusDone, tables, "", nowNS())
+		s.jobsDone.Inc()
+	case errors.Is(err, context.Canceled):
+		latNS = j.finish(StatusCanceled, nil, err.Error(), nowNS())
+		s.jobsCanceled.Inc()
+	default:
+		latNS = j.finish(StatusFailed, nil, err.Error(), nowNS())
+		s.jobsFailed.Inc()
+	}
+	s.latency.Observe(latNS / 1e6)
+}
+
+// rejectSubmit translates scheduler admission errors to HTTP.
+func (s *Server) rejectSubmit(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, sched.ErrQueueFull):
+		s.rejected429.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "queue full; retry later")
+	case errors.Is(err, sched.ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "server draining")
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// RunRequest is the body of POST /v1/run. Zero values take the
+// documented defaults.
+type RunRequest struct {
+	App      string `json:"app"`                // workload name; required
+	L1       string `json:"l1,omitempty"`       // geometry, e.g. "32K2w" (default)
+	Mode     string `json:"mode,omitempty"`     // vipt|ideal|naive|bypass|combined (default combined)
+	Core     string `json:"core,omitempty"`     // ooo|inorder (default ooo)
+	Scenario string `json:"scenario,omitempty"` // normal|fragmented|thp-off|no-contig (default normal)
+	WayPred  bool   `json:"waypred,omitempty"`
+	Records  uint64 `json:"records,omitempty"` // trace length (0 = harness default)
+	Seed     int64  `json:"seed,omitempty"`
+	Timeout  int64  `json:"timeout_ms,omitempty"` // per-job deadline (0 = none)
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	run, err := buildRun(s.runner, req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j, err := s.submit("run", sched.Interactive, time.Duration(req.Timeout)*time.Millisecond, run)
+	if err != nil {
+		s.rejectSubmit(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, submitResponse{ID: j.ID(), Status: j.Status()})
+}
+
+// SweepRequest is the body of POST /v1/sweep.
+type SweepRequest struct {
+	Experiment string   `json:"experiment"`     // exp ID, e.g. "fig6"; required
+	Apps       []string `json:"apps,omitempty"` // restrict the app list
+	Records    uint64   `json:"records,omitempty"`
+	Seed       int64    `json:"seed,omitempty"`
+	Timeout    int64    `json:"timeout_ms,omitempty"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	e, err := exp.Lookup(req.Experiment)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	base := s.runner.Options()
+	opts := exp.Options{
+		Records: req.Records,
+		Seed:    req.Seed,
+		Apps:    req.Apps,
+		Workers: base.Workers,
+	}
+	if opts.Records == 0 {
+		opts.Records = base.Records
+	}
+	if opts.Seed == 0 {
+		opts.Seed = base.Seed
+	}
+	run := func(ctx context.Context) ([]*report.Table, error) {
+		return e.Run(s.runner.WithOptions(opts).WithContext(ctx))
+	}
+	j, err := s.submit("sweep", sched.Bulk, time.Duration(req.Timeout)*time.Millisecond, run)
+	if err != nil {
+		s.rejectSubmit(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, submitResponse{ID: j.ID(), Status: j.Status()})
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	j.Cancel()
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{"ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	cs := s.runner.CacheStats()
+	s.cacheEntries.Set(int64(cs.Entries))
+	s.cacheHits.Set(int64(cs.Hits))
+	s.cacheMisses.Set(int64(cs.Misses))
+	s.cacheEvicted.Set(int64(cs.Evictions))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.reg.WriteTo(w) //nolint:errcheck // client gone; nothing to do
+}
+
+// decodeBody strictly decodes a single JSON object request body.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+// buildRun validates a RunRequest and returns the closure that executes
+// it through the runner's shared memo cache.
+func buildRun(runner *exp.Runner, req RunRequest) (func(ctx context.Context) ([]*report.Table, error), error) {
+	if req.App == "" {
+		return nil, errors.New("missing app")
+	}
+	cfg, sc, label, err := runConfig(req)
+	if err != nil {
+		return nil, err
+	}
+	base := runner.Options()
+	opts := exp.Options{Records: req.Records, Seed: req.Seed, Workers: base.Workers}
+	if opts.Records == 0 {
+		opts.Records = base.Records
+	}
+	if opts.Seed == 0 {
+		opts.Seed = base.Seed
+	}
+	app := req.App
+	return func(ctx context.Context) ([]*report.Table, error) {
+		st, err := runner.WithOptions(opts).WithContext(ctx).Run(app, cfg, sc)
+		if err != nil {
+			return nil, err
+		}
+		t := &report.Table{
+			Title:   "Run summary",
+			Note:    fmt.Sprintf("%s on %s, scenario %s", app, label, sc),
+			Columns: []string{"metric", "value"},
+		}
+		t.AddRow("IPC", fmt.Sprintf("%.4f", st.IPC()))
+		t.AddRow("instructions", fmt.Sprintf("%d", st.Core.Instructions))
+		t.AddRow("cycles", fmt.Sprintf("%d", st.Core.Cycles))
+		t.AddRow("l1_accesses", fmt.Sprintf("%d", st.L1.Accesses))
+		t.AddRow("l1_hit_rate", fmt.Sprintf("%.4f", st.L1C.HitRate()))
+		t.AddRow("fast_fraction", fmt.Sprintf("%.4f", st.L1.FastFraction()))
+		t.AddRow("extra_access_rate", fmt.Sprintf("%.4f", st.L1.ExtraAccessRate()))
+		t.AddRow("energy_j", fmt.Sprintf("%.4g", st.Energy.Total()))
+		return []*report.Table{t}, nil
+	}, nil
+}

@@ -1,0 +1,285 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sipt/internal/exp"
+)
+
+// jsonBody wraps a request body literal.
+func jsonBody(s string) io.Reader { return strings.NewReader(s) }
+
+// TestStressConcurrentClients drives the server with 64+ concurrent
+// clients mixing duplicate and distinct configurations (run under
+// -race in CI). It asserts the admission invariants end to end:
+//
+//   - no accepted job is lost or duplicated: every 202 carries a unique
+//     ID, every such job reaches a terminal state, and the counters
+//     agree;
+//   - duplicate configurations share simulations through the memo
+//     cache's singleflight (far fewer simulations than accepted jobs);
+//   - cancelled jobs stop early;
+//   - drain completes every accepted job and rejects later work.
+func TestStressConcurrentClients(t *testing.T) {
+	const (
+		clients     = 64
+		perClient   = 2 // shared-config submissions per client
+		distinct    = 8 // distinct shared configurations
+		cancelJobs  = 8
+		hugeRecords = 200_000_000 // cancelled jobs must not run this out
+	)
+	runner := exp.NewRunner(exp.Options{Records: 2_000, Seed: 1, CacheEntries: 256})
+	s, ts := testServer(t, Config{Runner: runner, Workers: 4, QueueDepth: 256})
+
+	type accepted struct {
+		id       string
+		canceled bool
+	}
+	var mu sync.Mutex
+	var got []accepted
+	errs := make(chan error, clients+cancelJobs)
+
+	submit := func(body string) (string, error) {
+		resp, err := http.Post(ts.URL+"/v1/run", "application/json", jsonBody(body))
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			return "", fmt.Errorf("status %d", resp.StatusCode)
+		}
+		var sub submitResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+			return "", err
+		}
+		return sub.ID, nil
+	}
+
+	var wg sync.WaitGroup
+	// Shared-config clients: client i submits configs i%distinct and
+	// (i+1)%distinct — every config is requested ~16 times.
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < perClient; k++ {
+				seed := (i+k)%distinct + 1
+				id, err := submit(fmt.Sprintf(`{"app":"mcf","seed":%d}`, seed))
+				if err != nil {
+					errs <- fmt.Errorf("client %d: %v", i, err)
+					return
+				}
+				mu.Lock()
+				got = append(got, accepted{id: id})
+				mu.Unlock()
+			}
+		}(i)
+	}
+	// Cancellation clients: submit a run far too long to complete and
+	// cancel it immediately; distinct seeds keep these out of the
+	// shared-config cache keys.
+	for i := 0; i < cancelJobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id, err := submit(fmt.Sprintf(`{"app":"mcf","seed":%d,"records":%d}`, 1000+i, hugeRecords))
+			if err != nil {
+				errs <- fmt.Errorf("cancel client %d: %v", i, err)
+				return
+			}
+			req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+			if _, derr := http.DefaultClient.Do(req); derr != nil {
+				errs <- derr
+				return
+			}
+			mu.Lock()
+			got = append(got, accepted{id: id, canceled: true})
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Drain completes every accepted job; a multi-minute return here
+	// would mean a cancelled job kept simulating.
+	drainStart := time.Now()
+	s.Drain()
+	if d := time.Since(drainStart); d > 60*time.Second {
+		t.Fatalf("drain took %v; cancelled jobs did not stop early", d)
+	}
+
+	// No lost or duplicated jobs: unique IDs, all terminal.
+	total := clients*perClient + cancelJobs
+	if len(got) != total {
+		t.Fatalf("accepted %d jobs, want %d", len(got), total)
+	}
+	seen := make(map[string]bool, total)
+	doneJobs, canceledJobs := 0, 0
+	for _, a := range got {
+		if seen[a.id] {
+			t.Fatalf("duplicate job ID %s", a.id)
+		}
+		seen[a.id] = true
+		j, ok := s.jobs.get(a.id)
+		if !ok {
+			t.Fatalf("job %s lost from the store", a.id)
+		}
+		st := j.Status()
+		if !st.Terminal() {
+			t.Fatalf("job %s still %s after drain", a.id, st)
+		}
+		switch st {
+		case StatusDone:
+			doneJobs++
+		case StatusCanceled:
+			canceledJobs++
+		default:
+			t.Fatalf("job %s ended %s (%+v)", a.id, st, j.View())
+		}
+		if a.canceled && st == StatusDone {
+			t.Fatalf("cancelled job %s ran to completion of %d records", a.id, hugeRecords)
+		}
+	}
+	if doneJobs != clients*perClient {
+		t.Errorf("done = %d, want %d", doneJobs, clients*perClient)
+	}
+	if canceledJobs != cancelJobs {
+		t.Errorf("canceled = %d, want %d", canceledJobs, cancelJobs)
+	}
+
+	// Singleflight: the 128 shared-config jobs cover only `distinct`
+	// configurations, so at most distinct simulations ran for them (the
+	// cancelled jobs may each have started one before stopping).
+	if sims := runner.Simulations(); sims > distinct+cancelJobs {
+		t.Errorf("ran %d simulations for %d distinct configs (+%d cancelled); singleflight sharing failed",
+			sims, distinct, cancelJobs)
+	}
+
+	// Post-drain submissions are rejected.
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", jsonBody(`{"app":"mcf"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-drain submit = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestStressBackpressure429 pins the backpressure path deterministically:
+// with one worker occupied and the one queue slot filled, every one of
+// 64 concurrent submissions must get 429 + Retry-After — none may block
+// or be accepted.
+func TestStressBackpressure429(t *testing.T) {
+	runner := exp.NewRunner(exp.Options{Records: 200_000_000, Seed: 1, CacheEntries: 16})
+	s, ts := testServer(t, Config{Runner: runner, Workers: 1, QueueDepth: 1})
+
+	submit := func(seed int) (string, int) {
+		resp, err := http.Post(ts.URL+"/v1/run", "application/json",
+			jsonBody(fmt.Sprintf(`{"app":"mcf","seed":%d}`, seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sub submitResponse
+		json.NewDecoder(resp.Body).Decode(&sub) //nolint:errcheck
+		return sub.ID, resp.StatusCode
+	}
+
+	// Occupy the worker and wait until the job is actually running.
+	blockerID, code := submit(1)
+	if code != http.StatusAccepted {
+		t.Fatalf("blocker status = %d", code)
+	}
+	waitRunning(t, ts.URL, blockerID, 30*time.Second)
+	// Fill the single interactive queue slot.
+	queuedID, code := submit(2)
+	if code != http.StatusAccepted {
+		t.Fatalf("queued status = %d", code)
+	}
+
+	// The flood: every submission must bounce with 429 + Retry-After.
+	var wg sync.WaitGroup
+	codes := make([]int, 64)
+	retryAfter := make([]string, 64)
+	for i := range codes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/run", "application/json",
+				jsonBody(fmt.Sprintf(`{"app":"mcf","seed":%d}`, 100+i)))
+			if err != nil {
+				codes[i] = -1
+				return
+			}
+			resp.Body.Close()
+			codes[i] = resp.StatusCode
+			retryAfter[i] = resp.Header.Get("Retry-After")
+		}(i)
+	}
+	wg.Wait()
+	for i, c := range codes {
+		if c != http.StatusTooManyRequests {
+			t.Fatalf("flood request %d: status %d, want 429", i, c)
+		}
+		if retryAfter[i] == "" {
+			t.Errorf("flood request %d: no Retry-After header", i)
+		}
+	}
+
+	// Cancel both held jobs; drain must then return promptly.
+	for _, id := range []string{blockerID, queuedID} {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+		if _, err := http.DefaultClient.Do(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := time.Now()
+	s.Drain()
+	if d := time.Since(start); d > 30*time.Second {
+		t.Fatalf("drain took %v after cancellation", d)
+	}
+	for _, id := range []string{blockerID, queuedID} {
+		j, ok := s.jobs.get(id)
+		if !ok {
+			t.Fatalf("job %s lost", id)
+		}
+		if st := j.Status(); st != StatusCanceled {
+			t.Errorf("job %s = %s, want canceled", id, st)
+		}
+	}
+}
+
+// waitRunning polls until the job leaves the queued state.
+func waitRunning(t *testing.T, base, id string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v JobView
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if v.Status != StatusQueued {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still queued after %v", id, timeout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -6,6 +6,7 @@ package sim
 
 import (
 	"fmt"
+	"strings"
 
 	"sipt/internal/cache"
 	"sipt/internal/cacti"
@@ -48,6 +49,18 @@ func Baseline(c cpu.Config) Config {
 // SIPT returns a SIPT system with the given L1 geometry and mode.
 func SIPT(c cpu.Config, sizeKiB, ways int, mode core.Mode) Config {
 	return Config{Core: c, L1SizeKiB: sizeKiB, L1Ways: ways, Mode: mode, Cores: 1}
+}
+
+// ParseGeometry resolves an L1 geometry label like "32K2w"
+// (case-insensitive) into {sizeKiB, ways}; the CLI flags and the siptd
+// API both accept this form.
+func ParseGeometry(s string) (sizeKiB, ways int, err error) {
+	var n int
+	n, err = fmt.Sscanf(strings.ToUpper(s), "%dK%dW", &sizeKiB, &ways)
+	if err != nil || n != 2 {
+		return 0, 0, fmt.Errorf("sim: bad L1 geometry %q (want e.g. 32K2w)", s)
+	}
+	return sizeKiB, ways, nil
 }
 
 // SIPTGeometries lists the four SIPT L1 configurations of Tab. II as

@@ -5,6 +5,7 @@ package sim
 // cores together.
 
 import (
+	"context"
 	"testing"
 
 	"sipt/internal/core"
@@ -24,7 +25,7 @@ func TestHitMissStreamIdenticalAcrossModes(t *testing.T) {
 		core.ModeBypass, core.ModeCombined}
 	var ref Stats
 	for i, m := range modes {
-		st, err := RunApp(prof, SIPT(cpu.OOO(), 32, 2, m), vm.ScenarioNormal, 3, testRecords)
+		st, err := RunApp(context.Background(), prof, SIPT(cpu.OOO(), 32, 2, m), vm.ScenarioNormal, 3, testRecords)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -49,7 +50,7 @@ func TestHitMissStreamIdenticalAcrossModes(t *testing.T) {
 // cache counters: every L1 miss goes to the L2 exactly once; every L2
 // miss goes to the LLC exactly once; every LLC miss reads DRAM.
 func TestPathStatsConsistent(t *testing.T) {
-	st, err := RunApp(smallProf(t, "mcf", 4), Baseline(cpu.OOO()), vm.ScenarioNormal, 1, testRecords)
+	st, err := RunApp(context.Background(), smallProf(t, "mcf", 4), Baseline(cpu.OOO()), vm.ScenarioNormal, 1, testRecords)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestPathStatsConsistent(t *testing.T) {
 // TestTwoLevelHierarchyPath verifies the in-order system has no L2 in
 // its miss path.
 func TestTwoLevelHierarchyPath(t *testing.T) {
-	st, err := RunApp(smallProf(t, "mcf", 4), Baseline(cpu.InOrder()), vm.ScenarioNormal, 1, testRecords)
+	st, err := RunApp(context.Background(), smallProf(t, "mcf", 4), Baseline(cpu.InOrder()), vm.ScenarioNormal, 1, testRecords)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestTwoLevelHierarchyPath(t *testing.T) {
 func TestExtraAccessesOnlyInSpeculatingModes(t *testing.T) {
 	prof := smallProf(t, "cactusADM", 2)
 	for _, m := range []core.Mode{core.ModeVIPT, core.ModeIdeal} {
-		st, err := RunApp(prof, SIPT(cpu.OOO(), 32, 2, m), vm.ScenarioNormal, 1, testRecords)
+		st, err := RunApp(context.Background(), prof, SIPT(cpu.OOO(), 32, 2, m), vm.ScenarioNormal, 1, testRecords)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -95,7 +96,7 @@ func TestExtraAccessesOnlyInSpeculatingModes(t *testing.T) {
 			t.Errorf("mode %v produced %d extra accesses", m, st.L1.Extra)
 		}
 	}
-	st, err := RunApp(prof, SIPT(cpu.OOO(), 32, 2, core.ModeNaive), vm.ScenarioNormal, 1, testRecords)
+	st, err := RunApp(context.Background(), prof, SIPT(cpu.OOO(), 32, 2, core.ModeNaive), vm.ScenarioNormal, 1, testRecords)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestLatencyOrderingAcrossModes(t *testing.T) {
 	prof := smallProf(t, "calculix", 2)
 	cycles := map[core.Mode]uint64{}
 	for _, m := range []core.Mode{core.ModeVIPT, core.ModeIdeal, core.ModeNaive, core.ModeCombined} {
-		st, err := RunApp(prof, SIPT(cpu.OOO(), 32, 2, m), vm.ScenarioNormal, 1, testRecords)
+		st, err := RunApp(context.Background(), prof, SIPT(cpu.OOO(), 32, 2, m), vm.ScenarioNormal, 1, testRecords)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -134,7 +135,7 @@ func TestLatencyOrderingAcrossModes(t *testing.T) {
 func TestMixDeterministic(t *testing.T) {
 	mix := workload.Mixes()[2]
 	run := func() MixStats {
-		ms, err := RunMix(mix, SIPT(cpu.OOO(), 32, 2, core.ModeCombined),
+		ms, err := RunMix(context.Background(), mix, SIPT(cpu.OOO(), 32, 2, core.ModeCombined),
 			vm.ScenarioNormal, 9, 3000)
 		if err != nil {
 			t.Fatal(err)
@@ -158,11 +159,11 @@ func TestMixDeterministic(t *testing.T) {
 func TestMixSharedLLCContention(t *testing.T) {
 	mix := workload.Mix{Name: "test", Apps: [4]string{"mcf", "mcf", "mcf", "mcf"}}
 	cfg := Baseline(cpu.OOO())
-	ms, err := RunMix(mix, cfg, vm.ScenarioNormal, 5, 5000)
+	ms, err := RunMix(context.Background(), mix, cfg, vm.ScenarioNormal, 5, 5000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	single, err := RunApp(workload.MustLookup("mcf"), Baseline(cpu.OOO()),
+	single, err := RunApp(context.Background(), workload.MustLookup("mcf"), Baseline(cpu.OOO()),
 		vm.ScenarioNormal, 5, 5000)
 	if err != nil {
 		t.Fatal(err)
@@ -181,12 +182,12 @@ func TestMixSharedLLCContention(t *testing.T) {
 // fraction of a huge-page-dependent app.
 func TestFragmentedScenarioDegradesAccuracy(t *testing.T) {
 	prof := smallProf(t, "libquantum", 8)
-	normal, err := RunApp(prof, SIPT(cpu.OOO(), 32, 2, core.ModeCombined),
+	normal, err := RunApp(context.Background(), prof, SIPT(cpu.OOO(), 32, 2, core.ModeCombined),
 		vm.ScenarioNormal, 1, testRecords)
 	if err != nil {
 		t.Fatal(err)
 	}
-	frag, err := RunApp(prof, SIPT(cpu.OOO(), 32, 2, core.ModeCombined),
+	frag, err := RunApp(context.Background(), prof, SIPT(cpu.OOO(), 32, 2, core.ModeCombined),
 		vm.ScenarioFragmented, 1, testRecords)
 	if err != nil {
 		t.Fatal(err)
@@ -201,11 +202,11 @@ func TestFragmentedScenarioDegradesAccuracy(t *testing.T) {
 // with more L1 array reads must burn at least as much L1 dynamic energy.
 func TestEnergyMonotoneInExtraAccesses(t *testing.T) {
 	prof := smallProf(t, "gromacs", 2)
-	naive, err := RunApp(prof, SIPT(cpu.OOO(), 32, 2, core.ModeNaive), vm.ScenarioNormal, 1, testRecords)
+	naive, err := RunApp(context.Background(), prof, SIPT(cpu.OOO(), 32, 2, core.ModeNaive), vm.ScenarioNormal, 1, testRecords)
 	if err != nil {
 		t.Fatal(err)
 	}
-	comb, err := RunApp(prof, SIPT(cpu.OOO(), 32, 2, core.ModeCombined), vm.ScenarioNormal, 1, testRecords)
+	comb, err := RunApp(context.Background(), prof, SIPT(cpu.OOO(), 32, 2, core.ModeCombined), vm.ScenarioNormal, 1, testRecords)
 	if err != nil {
 		t.Fatal(err)
 	}

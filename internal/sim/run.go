@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -80,8 +81,10 @@ func NewSystem(sc vm.Scenario, seed int64, profs ...workload.Profile) *vm.System
 // RunApp simulates one workload on one system configuration, using a
 // fresh physical memory in the given scenario. records bounds the trace
 // length (0 means DefaultRecords). The run is deterministic in
-// (profile, cfg, scenario, seed).
-func RunApp(prof workload.Profile, cfg Config, sc vm.Scenario, seed int64, records uint64) (Stats, error) {
+// (profile, cfg, scenario, seed). Cancellation or deadline expiry of
+// ctx stops the run promptly (within cpu.CtxCheckInterval records) and
+// returns an error wrapping ctx.Err(); nil ctx runs to completion.
+func RunApp(ctx context.Context, prof workload.Profile, cfg Config, sc vm.Scenario, seed int64, records uint64) (Stats, error) {
 	if err := cfg.Validate(); err != nil {
 		return Stats{}, err
 	}
@@ -93,27 +96,27 @@ func RunApp(prof workload.Profile, cfg Config, sc vm.Scenario, seed int64, recor
 	if err != nil {
 		return Stats{}, err
 	}
-	return runReader(prof.Name, gen, cfg, seed, 0)
+	return runReader(ctx, prof.Name, gen, cfg, seed, 0)
 }
 
 // RunTrace simulates a pre-materialised trace (used by tools replaying
-// trace files).
-func RunTrace(name string, r trace.Reader, cfg Config, seed int64) (Stats, error) {
+// trace files). Context semantics match RunApp.
+func RunTrace(ctx context.Context, name string, r trace.Reader, cfg Config, seed int64) (Stats, error) {
 	if err := cfg.Validate(); err != nil {
 		return Stats{}, err
 	}
-	return runReader(name, r, cfg, seed, 0)
+	return runReader(ctx, name, r, cfg, seed, 0)
 }
 
 // runReader wires up one single-core system and drains the reader.
-func runReader(name string, r trace.Reader, cfg Config, seed int64, maxRecords uint64) (Stats, error) {
+func runReader(ctx context.Context, name string, r trace.Reader, cfg Config, seed int64, maxRecords uint64) (Stats, error) {
 	acct := energy.New(cfg.energyParams())
 	llc := newSharedLLC(cfg.llcConfig())
 	mem := dram.New(dramConfig())
 	h := newHierarchy(cfg, seed, llc, mem, acct)
 	c := cpu.NewCore(cfg.Core, h)
 
-	res, err := c.Run(r, maxRecords)
+	res, err := c.Run(ctx, r, maxRecords)
 	if err != nil {
 		return Stats{}, fmt.Errorf("sim: running %s on %s: %w", name, cfg.Label(), err)
 	}
@@ -184,7 +187,12 @@ func (m MixStats) ExtraAccessRate() float64 {
 // with private L1/L2/TLB share the (4x) LLC and DRAM. Per the paper,
 // traces are recycled until the last core completes its initial trace;
 // each core's IPC is snapshotted when its own first pass completes.
-func RunMix(mix workload.Mix, cfg Config, sc vm.Scenario, seed int64, recordsPerCore uint64) (MixStats, error) {
+// Context semantics match RunApp: the interleave loop polls ctx every
+// cpu.CtxCheckInterval steps.
+func RunMix(ctx context.Context, mix workload.Mix, cfg Config, sc vm.Scenario, seed int64, recordsPerCore uint64) (MixStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg.Cores = 4
 	if err := cfg.Validate(); err != nil {
 		return MixStats{}, err
@@ -232,7 +240,14 @@ func RunMix(mix workload.Mix, cfg Config, sc vm.Scenario, seed int64, recordsPer
 	// for the stragglers, per the paper's methodology; only their IPC
 	// snapshot is frozen at the end of their own first pass.
 	remaining := 4
+	var steps uint64
 	for remaining > 0 {
+		if steps&(cpu.CtxCheckInterval-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return MixStats{}, fmt.Errorf("sim: mix %s: %w", mix.Name, err)
+			}
+		}
+		steps++
 		li := -1
 		var minCycles uint64
 		for i, l := range lanes {

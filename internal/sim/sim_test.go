@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"sipt/internal/core"
@@ -70,7 +71,7 @@ func TestHierarchyLevels(t *testing.T) {
 }
 
 func TestRunAppBaseline(t *testing.T) {
-	st, err := RunApp(smallProf(t, "h264ref", 2), Baseline(cpu.OOO()),
+	st, err := RunApp(context.Background(), smallProf(t, "h264ref", 2), Baseline(cpu.OOO()),
 		vm.ScenarioNormal, 1, testRecords)
 	if err != nil {
 		t.Fatal(err)
@@ -100,7 +101,7 @@ func TestRunAppBaseline(t *testing.T) {
 
 func TestRunAppDeterministic(t *testing.T) {
 	run := func() Stats {
-		st, err := RunApp(smallProf(t, "gcc", 2), SIPT(cpu.OOO(), 32, 2, core.ModeCombined),
+		st, err := RunApp(context.Background(), smallProf(t, "gcc", 2), SIPT(cpu.OOO(), 32, 2, core.ModeCombined),
 			vm.ScenarioNormal, 7, testRecords)
 		if err != nil {
 			t.Fatal(err)
@@ -115,11 +116,11 @@ func TestRunAppDeterministic(t *testing.T) {
 
 func TestSIPTIdealFasterThanBaselineOnLatencySensitiveApp(t *testing.T) {
 	prof := smallProf(t, "h264ref", 2)
-	base, err := RunApp(prof, Baseline(cpu.OOO()), vm.ScenarioNormal, 1, testRecords)
+	base, err := RunApp(context.Background(), prof, Baseline(cpu.OOO()), vm.ScenarioNormal, 1, testRecords)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ideal, err := RunApp(prof, SIPT(cpu.OOO(), 32, 2, core.ModeIdeal),
+	ideal, err := RunApp(context.Background(), prof, SIPT(cpu.OOO(), 32, 2, core.ModeIdeal),
 		vm.ScenarioNormal, 1, testRecords)
 	if err != nil {
 		t.Fatal(err)
@@ -134,12 +135,12 @@ func TestCombinedBeatsNaiveOnBadSpeculationApp(t *testing.T) {
 	// calculix is one of the paper's seven low-speculation apps: naive
 	// SIPT generates many extra accesses; combined mostly fixes it.
 	prof := smallProf(t, "calculix", 2)
-	naive, err := RunApp(prof, SIPT(cpu.OOO(), 32, 2, core.ModeNaive),
+	naive, err := RunApp(context.Background(), prof, SIPT(cpu.OOO(), 32, 2, core.ModeNaive),
 		vm.ScenarioNormal, 1, testRecords)
 	if err != nil {
 		t.Fatal(err)
 	}
-	comb, err := RunApp(prof, SIPT(cpu.OOO(), 32, 2, core.ModeCombined),
+	comb, err := RunApp(context.Background(), prof, SIPT(cpu.OOO(), 32, 2, core.ModeCombined),
 		vm.ScenarioNormal, 1, testRecords)
 	if err != nil {
 		t.Fatal(err)
@@ -159,12 +160,12 @@ func TestCombinedBeatsNaiveOnBadSpeculationApp(t *testing.T) {
 
 func TestBypassKillsExtraAccesses(t *testing.T) {
 	prof := smallProf(t, "calculix", 2)
-	naive, err := RunApp(prof, SIPT(cpu.OOO(), 32, 2, core.ModeNaive),
+	naive, err := RunApp(context.Background(), prof, SIPT(cpu.OOO(), 32, 2, core.ModeNaive),
 		vm.ScenarioNormal, 1, testRecords)
 	if err != nil {
 		t.Fatal(err)
 	}
-	byp, err := RunApp(prof, SIPT(cpu.OOO(), 32, 2, core.ModeBypass),
+	byp, err := RunApp(context.Background(), prof, SIPT(cpu.OOO(), 32, 2, core.ModeBypass),
 		vm.ScenarioNormal, 1, testRecords)
 	if err != nil {
 		t.Fatal(err)
@@ -179,7 +180,7 @@ func TestBypassKillsExtraAccesses(t *testing.T) {
 }
 
 func TestHugePageAppSpeculatesWell(t *testing.T) {
-	st, err := RunApp(smallProf(t, "libquantum", 8), SIPT(cpu.OOO(), 32, 2, core.ModeNaive),
+	st, err := RunApp(context.Background(), smallProf(t, "libquantum", 8), SIPT(cpu.OOO(), 32, 2, core.ModeNaive),
 		vm.ScenarioNormal, 1, testRecords)
 	if err != nil {
 		t.Fatal(err)
@@ -191,11 +192,11 @@ func TestHugePageAppSpeculatesWell(t *testing.T) {
 
 func TestEnergySIPTBelowBaseline(t *testing.T) {
 	prof := smallProf(t, "hmmer", 2)
-	base, err := RunApp(prof, Baseline(cpu.OOO()), vm.ScenarioNormal, 1, testRecords)
+	base, err := RunApp(context.Background(), prof, Baseline(cpu.OOO()), vm.ScenarioNormal, 1, testRecords)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sipt, err := RunApp(prof, SIPT(cpu.OOO(), 32, 2, core.ModeCombined),
+	sipt, err := RunApp(context.Background(), prof, SIPT(cpu.OOO(), 32, 2, core.ModeCombined),
 		vm.ScenarioNormal, 1, testRecords)
 	if err != nil {
 		t.Fatal(err)
@@ -208,13 +209,13 @@ func TestEnergySIPTBelowBaseline(t *testing.T) {
 func TestWayPredictionSavesEnergy(t *testing.T) {
 	prof := smallProf(t, "hmmer", 2)
 	plain := Baseline(cpu.OOO())
-	st1, err := RunApp(prof, plain, vm.ScenarioNormal, 1, testRecords)
+	st1, err := RunApp(context.Background(), prof, plain, vm.ScenarioNormal, 1, testRecords)
 	if err != nil {
 		t.Fatal(err)
 	}
 	wp := plain
 	wp.WayPrediction = true
-	st2, err := RunApp(prof, wp, vm.ScenarioNormal, 1, testRecords)
+	st2, err := RunApp(context.Background(), prof, wp, vm.ScenarioNormal, 1, testRecords)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +229,7 @@ func TestWayPredictionSavesEnergy(t *testing.T) {
 }
 
 func TestInOrderRuns(t *testing.T) {
-	st, err := RunApp(smallProf(t, "calculix", 2), Baseline(cpu.InOrder()),
+	st, err := RunApp(context.Background(), smallProf(t, "calculix", 2), Baseline(cpu.InOrder()),
 		vm.ScenarioNormal, 1, testRecords)
 	if err != nil {
 		t.Fatal(err)
@@ -245,7 +246,7 @@ func TestRunMix(t *testing.T) {
 	mix := workload.Mixes()[0] // h264ref, hmmer, perlbench, povray
 	// Shrink footprints via a custom mix of the same names is not
 	// possible (profiles are looked up by name), so use few records.
-	ms, err := RunMix(mix, SIPT(cpu.OOO(), 32, 2, core.ModeCombined),
+	ms, err := RunMix(context.Background(), mix, SIPT(cpu.OOO(), 32, 2, core.ModeCombined),
 		vm.ScenarioNormal, 3, 4000)
 	if err != nil {
 		t.Fatal(err)
@@ -278,7 +279,7 @@ func TestRunMix(t *testing.T) {
 func TestRunMixRecyclesFinishedCores(t *testing.T) {
 	mix := workload.Mixes()[0] // h264ref, hmmer, perlbench, povray
 	const records = 3000
-	ms, err := RunMix(mix, SIPT(cpu.OOO(), 32, 2, core.ModeCombined),
+	ms, err := RunMix(context.Background(), mix, SIPT(cpu.OOO(), 32, 2, core.ModeCombined),
 		vm.ScenarioNormal, 3, records)
 	if err != nil {
 		t.Fatal(err)
@@ -322,7 +323,7 @@ func TestRunAppScenarios(t *testing.T) {
 		if sc == vm.ScenarioNoContig {
 			cfg.NoContig = true
 		}
-		st, err := RunApp(prof, cfg, sc, 5, 10_000)
+		st, err := RunApp(context.Background(), prof, cfg, sc, 5, 10_000)
 		if err != nil {
 			t.Fatalf("%v: %v", sc, err)
 		}

@@ -1,7 +1,9 @@
 package vm
 
 import (
+	"fmt"
 	"math/rand"
+	"strings"
 
 	"sipt/internal/memaddr"
 )
@@ -135,6 +137,17 @@ func (s Scenario) THPEnabled() bool {
 // Scenarios lists all operating conditions in Fig. 18 order.
 func Scenarios() []Scenario {
 	return []Scenario{ScenarioNormal, ScenarioFragmented, ScenarioTHPOff, ScenarioNoContig}
+}
+
+// ParseScenario inverts String: it resolves a user-supplied scenario
+// label (case-insensitive) for the CLI flags and the siptd API.
+func ParseScenario(s string) (Scenario, error) {
+	for _, sc := range Scenarios() {
+		if strings.EqualFold(s, sc.String()) {
+			return sc, nil
+		}
+	}
+	return 0, fmt.Errorf("vm: bad scenario %q (normal|fragmented|thp-off|no-contig)", s)
 }
 
 // System bundles a physical allocator prepared for a scenario.

@@ -1,0 +1,65 @@
+#!/bin/sh
+# Service smoke test: boot siptd on an ephemeral port, drive one run
+# and one sweep through the HTTP API with the quickstart client, then
+# SIGTERM the daemon and require a clean drain (exit 0). CI runs this
+# via `make serve-smoke`; scripts/verify.sh includes it too.
+set -eu
+cd "$(dirname "$0")/.."
+
+tmpdir=$(mktemp -d)
+daemon="$tmpdir/siptd"
+outlog="$tmpdir/siptd.log"
+
+cleanup() {
+    # Belt and braces: kill a daemon that outlived the test.
+    if [ -n "${pid:-}" ] && kill -0 "$pid" 2>/dev/null; then
+        kill -KILL "$pid" 2>/dev/null || true
+    fi
+    rm -rf "$tmpdir"
+}
+trap cleanup EXIT INT TERM
+
+echo '== serve-smoke: build siptd'
+go build -o "$daemon" ./cmd/siptd
+
+echo '== serve-smoke: start daemon on an ephemeral port'
+"$daemon" -addr 127.0.0.1:0 -records 20000 >"$outlog" &
+pid=$!
+
+# Parse "siptd: listening on http://HOST:PORT" from the startup log.
+addr=''
+i=0
+while [ $i -lt 100 ]; do
+    addr=$(sed -n 's|^siptd: listening on http://||p' "$outlog" | head -n 1)
+    [ -n "$addr" ] && break
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo 'serve-smoke: daemon died before listening' >&2
+        cat "$outlog" >&2
+        exit 1
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$addr" ]; then
+    echo 'serve-smoke: no listen line within 10s' >&2
+    cat "$outlog" >&2
+    exit 1
+fi
+echo "== serve-smoke: daemon up at $addr"
+
+echo '== serve-smoke: submit run + sweep via examples/service'
+go run ./examples/service -addr "$addr" -records 20000
+
+echo '== serve-smoke: SIGTERM and wait for graceful drain'
+kill -TERM "$pid"
+if ! wait "$pid"; then
+    echo 'serve-smoke: daemon exited non-zero on SIGTERM' >&2
+    cat "$outlog" >&2
+    exit 1
+fi
+grep -q 'siptd: drained, exiting' "$outlog" || {
+    echo 'serve-smoke: no drain completion line in log' >&2
+    cat "$outlog" >&2
+    exit 1
+}
+echo 'serve-smoke: OK'
