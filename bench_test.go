@@ -18,6 +18,7 @@ import (
 	"sipt/internal/exp"
 	"sipt/internal/memaddr"
 	"sipt/internal/predictor"
+	"sipt/internal/replay"
 	"sipt/internal/sim"
 	"sipt/internal/tlb"
 	"sipt/internal/trace"
@@ -280,3 +281,73 @@ func BenchmarkTraceCodec(b *testing.B) {
 type discard struct{}
 
 func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// ---- trace replay ----
+
+// benchBuffer materialises one app's trace once for the replay benches.
+func benchBuffer(b *testing.B, app string) *replay.Buffer {
+	b.Helper()
+	buf, err := sim.Materialize(workload.MustLookup(app), vm.ScenarioNormal, 1, benchRecords)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return buf
+}
+
+// BenchmarkReplayDecode measures the packed-record decode loop alone:
+// the per-record cost every fused lane shares.
+func BenchmarkReplayDecode(b *testing.B) {
+	buf := benchBuffer(b, "gcc")
+	cur := buf.Cursor()
+	var rec trace.Record
+	b.ReportAllocs()
+	b.SetBytes(replay.BytesPerRecord)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cur.NextInto(&rec); err != nil {
+			cur.Reset()
+		}
+	}
+}
+
+// BenchmarkReplayRun measures one simulation over a pre-materialised
+// buffer — BenchmarkSimulatorThroughput minus generation.
+func BenchmarkReplayRun(b *testing.B) {
+	buf := benchBuffer(b, "h264ref")
+	cfg := sim.SIPT(cpu.OOO(), 32, 2, core.ModeCombined)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := sim.RunBuffer(context.Background(), "h264ref", buf, cfg, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Core.Instructions == 0 {
+			b.Fatal("empty run")
+		}
+	}
+}
+
+// BenchmarkFusedSweep4 advances four configs in lockstep through one
+// decode pass; compare ns/op against 4x BenchmarkReplayRun to see the
+// fusion win.
+func BenchmarkFusedSweep4(b *testing.B) {
+	buf := benchBuffer(b, "h264ref")
+	cfgs := []sim.Config{
+		sim.Baseline(cpu.OOO()),
+		sim.SIPT(cpu.OOO(), 32, 2, core.ModeBypass),
+		sim.SIPT(cpu.OOO(), 32, 2, core.ModeCombined),
+		sim.SIPT(cpu.OOO(), 32, 2, core.ModeIdeal),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sts, err := sim.RunConfigs(context.Background(), "h264ref", buf, cfgs, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(sts) != len(cfgs) {
+			b.Fatal("short sweep")
+		}
+	}
+}

@@ -5,12 +5,13 @@
 //
 //	benchcmp [-threshold pct] old.json new.json
 //
-// For every experiment present in both files it prints old and new
-// records/sec plus the speedup, and exits non-zero if any experiment's
-// records/sec dropped by more than the threshold (default 10%).
-// Allocation-count regressions beyond the threshold are also fatal:
-// allocs/record is deterministic, so unlike wall time it cannot be
-// excused as machine noise.
+// For every experiment present in both files it prints a delta table —
+// old and new records/sec with the relative change, and old and new
+// allocs/record with the relative change — and exits non-zero if any
+// experiment's records/sec dropped by more than the threshold (default
+// 10%). Allocation-count regressions beyond the threshold are also
+// fatal: allocs/record is deterministic, so unlike wall time it cannot
+// be excused as machine noise.
 package main
 
 import (
@@ -55,6 +56,16 @@ func load(path string) (benchFile, error) {
 	return f, nil
 }
 
+// deltaPct formats the relative change from old to new as a signed
+// percentage ("n/a" when old is zero, so a division cannot blow up on
+// hand-edited files).
+func deltaPct(old, new float64) string {
+	if old == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", (new-old)/old*100)
+}
+
 func main() {
 	threshold := flag.Float64("threshold", 10, "regression threshold in percent")
 	flag.Parse()
@@ -80,8 +91,8 @@ func main() {
 	limit := 1 - *threshold/100
 	failed := false
 	compared := 0
-	fmt.Printf("%-8s %14s %14s %8s %10s %10s\n",
-		"exp", "old rec/s", "new rec/s", "speedup", "old allocs", "new allocs")
+	fmt.Printf("%-8s %14s %14s %9s %10s %10s %9s\n",
+		"exp", "old rec/s", "new rec/s", "Δrec/s", "old allocs", "new allocs", "Δallocs")
 	for _, o := range old.Experiments {
 		n, ok := newByID[o.ID]
 		if !ok {
@@ -90,10 +101,6 @@ func main() {
 			continue
 		}
 		compared++
-		speedup := 0.0
-		if o.RecordsPerSec > 0 {
-			speedup = n.RecordsPerSec / o.RecordsPerSec
-		}
 		verdict := ""
 		if o.RecordsPerSec > 0 && n.RecordsPerSec < o.RecordsPerSec*limit {
 			verdict = "  THROUGHPUT REGRESSION"
@@ -107,9 +114,10 @@ func main() {
 			verdict += "  ALLOC REGRESSION"
 			failed = true
 		}
-		fmt.Printf("%-8s %14.0f %14.0f %7.2fx %10.2f %10.2f%s\n",
-			o.ID, o.RecordsPerSec, n.RecordsPerSec, speedup,
-			o.AllocsPerRecord, n.AllocsPerRecord, verdict)
+		fmt.Printf("%-8s %14.0f %14.0f %9s %10.2f %10.2f %9s%s\n",
+			o.ID, o.RecordsPerSec, n.RecordsPerSec, deltaPct(o.RecordsPerSec, n.RecordsPerSec),
+			o.AllocsPerRecord, n.AllocsPerRecord, deltaPct(o.AllocsPerRecord, n.AllocsPerRecord),
+			verdict)
 	}
 	if compared == 0 {
 		fmt.Fprintln(os.Stderr, "benchcmp: no experiments in common")

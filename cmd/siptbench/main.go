@@ -18,6 +18,8 @@
 //	-list        list experiment ids and exit
 //	-bench       run the fixed benchmark subset, write BENCH_<seed>.json
 //	-benchout P  override the benchmark output path
+//	-cpuprofile P  write a CPU profile to P (view with go tool pprof)
+//	-memprofile P  write an end-of-run heap profile to P
 //
 // The -bench mode ignores -records/-apps/-workers: its settings are
 // pinned (see bench.go) so results are comparable across runs and
@@ -29,13 +31,55 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"sipt/internal/exp"
 )
 
+// main delegates to run so deferred profile writers fire before exit.
 func main() {
+	os.Exit(run())
+}
+
+// startCPUProfile begins CPU profiling into path and returns a stop
+// function, or nil on failure (already reported).
+func startCPUProfile(path string) func() {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "siptbench: cpuprofile: %v\n", err)
+		return nil
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "siptbench: cpuprofile: %v\n", err)
+		f.Close()
+		return nil
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}
+}
+
+// writeMemProfile records an end-of-run heap profile after forcing a
+// collection, so the snapshot reflects live retention (the trace pool,
+// memo cache) rather than transient garbage.
+func writeMemProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "siptbench: memprofile: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "siptbench: memprofile: %v\n", err)
+	}
+}
+
+func run() int {
 	records := flag.Uint64("records", exp.DefaultRecords, "per-app trace length")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	apps := flag.String("apps", "", "comma-separated app subset")
@@ -46,7 +90,18 @@ func main() {
 	bench := flag.Bool("bench", false, "run the fixed benchmark subset and write BENCH_<seed>.json")
 	benchOut := flag.String("benchout", "", "benchmark output path (default BENCH_<seed>.json)")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memProfile := flag.String("memprofile", "", "write an end-of-run heap profile to this path")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		if stop := startCPUProfile(*cpuProfile); stop != nil {
+			defer stop()
+		}
+	}
+	if *memProfile != "" {
+		defer writeMemProfile(*memProfile)
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -62,16 +117,16 @@ func main() {
 		}
 		if err := runBench(*seed, path); err != nil {
 			fmt.Fprintf(os.Stderr, "siptbench: bench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	if *list {
 		for _, e := range exp.All() {
 			fmt.Printf("%-6s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
 	opts := exp.Options{Records: *records, Seed: *seed, Workers: *workers}
@@ -90,13 +145,13 @@ func main() {
 		e, err := exp.Lookup(id)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
 		start := time.Now()
 		tables, err := e.Run(runner)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "siptbench: %s: %v\n", id, err)
-			os.Exit(1)
+			return 1
 		}
 		for _, t := range tables {
 			var rerr error
@@ -110,10 +165,11 @@ func main() {
 			}
 			if rerr != nil {
 				fmt.Fprintf(os.Stderr, "siptbench: rendering %s: %v\n", id, rerr)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Println()
 		}
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
 }

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	siptd [-addr :8080] [-workers N] [-queue N] [-records N] [-seed N]
-//	      [-cache N] [-maxjobs N]
+//	      [-cache N] [-maxjobs N] [-trace-pool-mb N]
 //
 // On startup it prints one line, "siptd: listening on http://ADDR",
 // which scripts/serve_smoke.sh parses to find the ephemeral port. On
@@ -50,6 +50,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	seed := fs.Int64("seed", 1, "default simulation seed")
 	cacheEntries := fs.Int("cache", 0, "result cache capacity in entries (0 = default)")
 	maxJobs := fs.Int("maxjobs", 0, "retained job records (0 = default)")
+	tracePoolMB := fs.Int("trace-pool-mb", 0, "materialised trace pool budget in MiB (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -58,6 +59,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		Records:      *records,
 		Seed:         *seed,
 		CacheEntries: *cacheEntries,
+		TracePoolMB:  *tracePoolMB,
 	})
 	srv := serve.New(serve.Config{
 		Runner:     runner,

@@ -106,12 +106,12 @@ type Cache struct {
 	clock    uint32
 	stats    Stats
 
-	// lastSet/lastTag/lastWay memoise the previous demand hit: word
-	// walks re-access the same line several times in a row, and a
-	// repeated hit of the most-recently-touched line needs no way scan
-	// and no stamp update (the line is already the newest everywhere its
-	// stamp could be compared). Fill and Invalidate clear the memo.
-	lastSet uint64
+	// lastTag/lastWay memoise the previous demand hit: word walks
+	// re-access the same line several times in a row, and a repeated hit
+	// of the most-recently-touched line needs no way scan and no stamp
+	// update (the line is already the newest everywhere its stamp could
+	// be compared). The tag keeps every bit above the line offset, so it
+	// identifies the set too. Fill and Invalidate clear the memo.
 	lastTag uint64
 	lastWay int16
 	lastHit bool
@@ -240,7 +240,7 @@ func (c *Cache) Access(pa memaddr.PAddr, write bool) AccessResult {
 	c.stats.Accesses++
 	si := c.SetOf(pa)
 	tag := c.tagOf(pa)
-	if c.lastHit && c.lastSet == si && c.lastTag == tag {
+	if c.lastHit && c.lastTag == tag {
 		// Repeated hit of the most recent line: it is the MRU way of its
 		// set by construction, so the predictor would have fetched it.
 		if write {
@@ -260,7 +260,7 @@ func (c *Cache) Access(pa memaddr.PAddr, write bool) AccessResult {
 				set[i].dirty = true
 			}
 			c.stats.Hits++
-			c.lastSet, c.lastTag, c.lastWay, c.lastHit = si, tag, int16(i), true
+			c.lastTag, c.lastWay, c.lastHit = tag, int16(i), true
 			return AccessResult{Hit: true, Way: i, MRUHit: i == mru}
 		}
 	}

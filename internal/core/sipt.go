@@ -274,6 +274,17 @@ func (l *L1) IDBStats() predictor.IDBStats {
 //
 //sipt:hotpath
 func (l *L1) Access(pc uint64, va memaddr.VAddr, pa memaddr.PAddr, store bool) Result {
+	var res Result
+	l.AccessInto(&res, pc, va, pa, store)
+	return res
+}
+
+// AccessInto is Access writing through res: the hierarchy's per-record
+// path uses it to avoid returning the Result struct by value.
+//
+//sipt:hotpath
+func (l *L1) AccessInto(res *Result, pc uint64, va memaddr.VAddr, pa memaddr.PAddr, store bool) {
+	*res = Result{}
 	l.stats.Accesses++
 	if store {
 		l.stats.Stores++
@@ -281,7 +292,7 @@ func (l *L1) Access(pc uint64, va memaddr.VAddr, pa memaddr.PAddr, store bool) R
 		l.stats.Loads++
 	}
 
-	res := l.indexPath(pc, va, pa)
+	l.indexPath(res, pc, va, pa)
 
 	// Functional access: always physical, independent of speculation.
 	ar := l.cache.Access(pa, store)
@@ -318,21 +329,23 @@ func (l *L1) Access(pc uint64, va memaddr.VAddr, pa memaddr.PAddr, store bool) R
 		l.stats.Slow++
 		l.stats.Extra++
 	}
-	return res
 }
 
-// indexPath runs the mode-specific speculation flow and returns the
-// timing skeleton (latency, array slots, outcome class).
+// indexPath runs the mode-specific speculation flow and fills res with
+// the timing skeleton (latency, array slots, outcome class). Writing
+// through a pointer instead of returning the 40-byte Result avoids a
+// per-record struct copy on this hot path.
 //
 //sipt:hotpath
-func (l *L1) indexPath(pc uint64, va memaddr.VAddr, pa memaddr.PAddr) Result {
+func (l *L1) indexPath(res *Result, pc uint64, va memaddr.VAddr, pa memaddr.PAddr) {
 	lat := l.cfg.Cache.LatencyCycles
 	slowLat := l.cfg.TLBLatency + lat
 
 	// Geometries within VIPT constraints never speculate: the offset
 	// bits are exact in every mode.
 	if l.specBits == 0 {
-		return Result{Latency: lat, ArraySlots: 1, Fast: true}
+		res.Latency, res.ArraySlots, res.Fast = lat, 1, true
+		return
 	}
 
 	unchanged := memaddr.BitsUnchanged(va, pa, l.specBits)
@@ -341,30 +354,32 @@ func (l *L1) indexPath(pc uint64, va memaddr.VAddr, pa memaddr.PAddr) Result {
 	case ModeVIPT:
 		// Infeasible geometry under VIPT: behaves as PIPT (kept for
 		// ablation studies).
-		return Result{Latency: slowLat, ArraySlots: 1, Bypassed: true}
+		res.Latency, res.ArraySlots, res.Bypassed = slowLat, 1, true
 
 	case ModeIdeal:
-		return Result{Latency: lat, ArraySlots: 1, Fast: true}
+		res.Latency, res.ArraySlots, res.Fast = lat, 1, true
 
 	case ModeNaive:
 		if unchanged {
-			return Result{Latency: lat, ArraySlots: 1, Fast: true}
+			res.Latency, res.ArraySlots, res.Fast = lat, 1, true
+		} else {
+			res.Latency, res.ArraySlots, res.Extra = slowLat, 2, true
 		}
-		return Result{Latency: slowLat, ArraySlots: 2, Extra: true}
 
 	case ModeBypass:
 		speculate := l.bypass.Predict(pc)
 		l.bypass.Train(pc, speculate, unchanged)
-		if !speculate {
-			return Result{Latency: slowLat, ArraySlots: 1, Bypassed: true}
+		switch {
+		case !speculate:
+			res.Latency, res.ArraySlots, res.Bypassed = slowLat, 1, true
+		case unchanged:
+			res.Latency, res.ArraySlots, res.Fast = lat, 1, true
+		default:
+			res.Latency, res.ArraySlots, res.Extra = slowLat, 2, true
 		}
-		if unchanged {
-			return Result{Latency: lat, ArraySlots: 1, Fast: true}
-		}
-		return Result{Latency: slowLat, ArraySlots: 2, Extra: true}
 
 	default: // ModeCombined
-		return l.combinedPath(pc, va, pa, unchanged, lat, slowLat)
+		l.combinedPath(res, pc, va, pa, unchanged, lat, slowLat)
 	}
 }
 
@@ -375,8 +390,8 @@ func (l *L1) indexPath(pc uint64, va memaddr.VAddr, pa memaddr.PAddr) Result {
 // translation.
 //
 //sipt:hotpath
-func (l *L1) combinedPath(pc uint64, va memaddr.VAddr, pa memaddr.PAddr,
-	unchanged bool, lat, slowLat int) Result {
+func (l *L1) combinedPath(res *Result, pc uint64, va memaddr.VAddr, pa memaddr.PAddr,
+	unchanged bool, lat, slowLat int) {
 
 	speculate := l.bypass.Predict(pc)
 	l.bypass.Train(pc, speculate, unchanged)
@@ -384,14 +399,16 @@ func (l *L1) combinedPath(pc uint64, va memaddr.VAddr, pa memaddr.PAddr,
 	if speculate {
 		if unchanged {
 			l.stats.FastSpec++
-			return Result{Latency: lat, ArraySlots: 1, Fast: true}
+			res.Latency, res.ArraySlots, res.Fast = lat, 1, true
+			return
 		}
 		// The IDB still learns the true delta from this misspeculation.
 		if l.idb != nil {
 			l.idb.Train(pc, uint64(va.PageNum()),
 				memaddr.IndexDelta(va, pa, l.specBits), false, false)
 		}
-		return Result{Latency: slowLat, ArraySlots: 2, Extra: true}
+		res.Latency, res.ArraySlots, res.Extra = slowLat, 2, true
+		return
 	}
 
 	// Bypass decision: predict the index-bit values instead.
@@ -420,9 +437,10 @@ func (l *L1) combinedPath(pc uint64, va memaddr.VAddr, pa memaddr.PAddr,
 		// too ("we also label as IDB hits those fast accesses that use
 		// the reversed bypass prediction").
 		l.stats.FastIDB++
-		return Result{Latency: lat, ArraySlots: 1, Fast: true}
+		res.Latency, res.ArraySlots, res.Fast = lat, 1, true
+		return
 	}
-	return Result{Latency: slowLat, ArraySlots: 2, Extra: true}
+	res.Latency, res.ArraySlots, res.Extra = slowLat, 2, true
 }
 
 // Fill installs a line fetched from the next level.

@@ -433,3 +433,11 @@ func (c *Core) Run(ctx context.Context, r trace.Reader, maxRecords uint64) (Resu
 
 // Step exposes single-record stepping for multicore interleaving.
 func (c *Core) Step(rec trace.Record) { c.step(&rec) }
+
+// StepPtr is Step without the record copy: the fused multi-config
+// replay loop decodes each record once and steps N cores with the same
+// pointer. The core must not retain or mutate *rec (step already obeys
+// the MemSystem contract).
+//
+//sipt:hotpath
+func (c *Core) StepPtr(rec *trace.Record) { c.step(rec) }

@@ -14,7 +14,6 @@ import (
 	"sipt/internal/sim"
 	"sipt/internal/trace"
 	"sipt/internal/vm"
-	"sipt/internal/workload"
 )
 
 // bypassPredictor abstracts the predictors compared in the ablation.
@@ -54,12 +53,7 @@ func AblationPredictor(r *Runner) ([]*report.Table, error) {
 	const bits = 2
 	type row struct{ acc []float64 }
 	rows, err := forEachApp(r, func(app string) (row, error) {
-		prof, err := workload.Lookup(app)
-		if err != nil {
-			return row{}, err
-		}
-		sys := sim.NewSystem(vm.ScenarioNormal, r.opts.Seed, prof)
-		gen, err := workload.NewGenerator(prof, sys, r.opts.Seed, r.opts.records())
+		gen, err := r.traceReader(app, vm.ScenarioNormal)
 		if err != nil {
 			return row{}, err
 		}
@@ -123,12 +117,7 @@ func AblationIDB(r *Runner) ([]*report.Table, error) {
 	const bits = 2
 	type row struct{ hit []float64 }
 	rows, err := forEachApp(r, func(app string) (row, error) {
-		prof, err := workload.Lookup(app)
-		if err != nil {
-			return row{}, err
-		}
-		sys := sim.NewSystem(vm.ScenarioNormal, r.opts.Seed, prof)
-		gen, err := workload.NewGenerator(prof, sys, r.opts.Seed, r.opts.records())
+		gen, err := r.traceReader(app, vm.ScenarioNormal)
 		if err != nil {
 			return row{}, err
 		}
@@ -192,12 +181,7 @@ func AblationWayPredictor(r *Runner) ([]*report.Table, error) {
 	type row struct{ acc [4]float64 }
 	rows, err := forEachApp(r, func(app string) (row, error) {
 		var rw row
-		prof, err := workload.Lookup(app)
-		if err != nil {
-			return rw, err
-		}
-		sys := sim.NewSystem(vm.ScenarioNormal, r.opts.Seed, prof)
-		gen, err := workload.NewGenerator(prof, sys, r.opts.Seed, r.opts.records())
+		gen, err := r.traceReader(app, vm.ScenarioNormal)
 		if err != nil {
 			return rw, err
 		}
@@ -259,16 +243,17 @@ func AblationSlowPath(r *Runner) ([]*report.Table, error) {
 	type row struct{ rel [5]float64 }
 	rows, err := forEachApp(r, func(app string) (row, error) {
 		var rw row
-		b, err := r.Run(app, sim.Baseline(cpu.OOO()), vm.ScenarioNormal)
+		cfgs := []sim.Config{sim.Baseline(cpu.OOO())}
+		for _, m := range modes {
+			cfgs = append(cfgs, sim.SIPT(cpu.OOO(), 32, 2, m))
+		}
+		sts, err := r.RunConfigs(app, cfgs, vm.ScenarioNormal)
 		if err != nil {
 			return rw, err
 		}
-		for i, m := range modes {
-			st, err := r.Run(app, sim.SIPT(cpu.OOO(), 32, 2, m), vm.ScenarioNormal)
-			if err != nil {
-				return rw, err
-			}
-			rw.rel[i] = st.IPC() / b.IPC()
+		b := sts[0]
+		for i := range modes {
+			rw.rel[i] = sts[i+1].IPC() / b.IPC()
 		}
 		return rw, nil
 	})

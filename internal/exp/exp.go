@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 
 	"sipt/internal/memo"
+	"sipt/internal/replay"
 	"sipt/internal/report"
 	"sipt/internal/sim"
 	"sipt/internal/vm"
@@ -33,6 +34,15 @@ type Options struct {
 	// memo.DefaultCapacity). A resident process (siptd) relies on this
 	// bound; one-shot CLI runs never reach it.
 	CacheEntries int
+	// TracePoolMB bounds the shared materialised-trace pool in MiB (0 =
+	// replay.DefaultBudgetBytes). Like CacheEntries it is fixed at
+	// construction; WithOptions views ignore it.
+	TracePoolMB int
+	// LiveGen disables trace materialisation: every run streams from a
+	// live generator, as before the replay engine. Results are identical
+	// either way (the golden and fused-equality tests depend on it);
+	// the switch trades the pool's memory for repeated generation.
+	LiveGen bool
 }
 
 // DefaultRecords is the harness trace length per app.
@@ -67,7 +77,11 @@ func (o Options) workers() int {
 // leak results.
 type runnerShared struct {
 	cache *memo.Cache[sim.Stats]
-	sims  atomic.Uint64
+	// traces holds materialised record buffers, shared the same way:
+	// byte-budgeted, singleflight, one entry per (app, scenario, seed,
+	// records).
+	traces *replay.Pool
+	sims   atomic.Uint64
 }
 
 // Runner executes simulations with memoisation, so figures sharing runs
@@ -83,12 +97,17 @@ type Runner struct {
 	sh   *runnerShared
 }
 
-// NewRunner creates a Runner with a fresh cache.
+// NewRunner creates a Runner with a fresh result cache and trace pool.
 func NewRunner(opts Options) *Runner {
-	return &Runner{
-		opts: opts,
-		sh:   &runnerShared{cache: memo.New[sim.Stats](opts.CacheEntries, 0)},
-	}
+	sh := &runnerShared{cache: memo.New[sim.Stats](opts.CacheEntries, 0)}
+	sh.traces = replay.NewPool(int64(opts.TracePoolMB)<<20, 0, func(k replay.Key) (*replay.Buffer, error) {
+		prof, err := workload.Lookup(k.App)
+		if err != nil {
+			return nil, err
+		}
+		return sim.Materialize(prof, k.Scenario, k.Seed, k.Records)
+	})
+	return &Runner{opts: opts, sh: sh}
 }
 
 // WithContext returns a view of r whose Run calls are bound to ctx
@@ -144,19 +163,14 @@ func (r *Runner) key(app string, cfg sim.Config, sc vm.Scenario) string {
 // Run simulates (memoised) one app on one config under a scenario.
 // Concurrent calls with the same key share a single simulation. Failed
 // runs — including ones cancelled through the runner's context — are
-// not cached: the next Run of that key retries.
+// not cached: the next Run of that key retries. The simulation replays
+// the app's pooled materialised trace when available (see replay.go)
+// and streams from a live generator otherwise; both produce identical
+// stats.
 func (r *Runner) Run(app string, cfg sim.Config, sc vm.Scenario) (sim.Stats, error) {
 	return r.sh.cache.Do(r.key(app, cfg, sc), func() (sim.Stats, error) {
 		r.sh.sims.Add(1)
-		prof, err := workload.Lookup(app)
-		if err != nil {
-			return sim.Stats{}, err
-		}
-		st, err := sim.RunApp(r.ctx, prof, cfg, sc, r.opts.Seed, r.opts.records())
-		if err != nil {
-			return sim.Stats{}, fmt.Errorf("exp: %s on %s/%s: %w", app, cfg.Label(), sc, err)
-		}
-		return st, nil
+		return r.runUncached(app, cfg, sc)
 	})
 }
 

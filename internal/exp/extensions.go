@@ -80,18 +80,15 @@ func ExtColoring(r *Runner) ([]*report.Table, error) {
 		if err != nil {
 			return row{}, err
 		}
-		base, err := r.Run(app, sim.Baseline(cpu.OOO()), vm.ScenarioNormal)
+		sts, err := r.RunConfigs(app, []sim.Config{
+			sim.Baseline(cpu.OOO()),
+			sim.SIPT(cpu.OOO(), 32, 2, core.ModeNaive),
+			sim.SIPT(cpu.OOO(), 32, 2, core.ModeCombined),
+		}, vm.ScenarioNormal)
 		if err != nil {
 			return row{}, err
 		}
-		naive, err := r.Run(app, sim.SIPT(cpu.OOO(), 32, 2, core.ModeNaive), vm.ScenarioNormal)
-		if err != nil {
-			return row{}, err
-		}
-		comb, err := r.Run(app, sim.SIPT(cpu.OOO(), 32, 2, core.ModeCombined), vm.ScenarioNormal)
-		if err != nil {
-			return row{}, err
-		}
+		base, naive, comb := sts[0], sts[1], sts[2]
 		// Colored run: build the system by hand (coloring is not a
 		// vm.Scenario; it is an allocation policy).
 		sys := sim.NewSystem(vm.ScenarioTHPOff, r.opts.Seed, prof)

@@ -116,17 +116,19 @@ func Fig18(r *Runner) ([]*report.Table, error) {
 			}
 			rows, err := forEachApp(r, func(app string) (row, error) {
 				var rw row
-				base, err := r.Run(app, sim.Baseline(coreCfg), sc)
+				cfgs := []sim.Config{sim.Baseline(coreCfg)}
+				for _, g := range geoms {
+					cfg := sim.SIPT(coreCfg, g[0], g[1], core.ModeCombined)
+					cfg.NoContig = sc == vm.ScenarioNoContig
+					cfgs = append(cfgs, cfg)
+				}
+				sts, err := r.RunConfigs(app, cfgs, sc)
 				if err != nil {
 					return rw, err
 				}
+				base := sts[0]
 				for gi, g := range geoms {
-					cfg := sim.SIPT(coreCfg, g[0], g[1], core.ModeCombined)
-					cfg.NoContig = sc == vm.ScenarioNoContig
-					st, err := r.Run(app, cfg, sc)
-					if err != nil {
-						return rw, err
-					}
+					st := sts[gi+1]
 					rw.ipc[gi] = st.IPC() / base.IPC()
 					rw.energy[gi] = st.Energy.Total() / base.Energy.Total()
 					if g[0] == 32 && g[1] == 2 {

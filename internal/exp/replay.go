@@ -1,0 +1,181 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+
+	"sipt/internal/replay"
+	"sipt/internal/sim"
+	"sipt/internal/trace"
+	"sipt/internal/vm"
+	"sipt/internal/workload"
+)
+
+// errLiveGen marks a runner whose options disable trace materialisation
+// (Options.LiveGen); replay-aware paths treat it like ErrUnpackable and
+// stream from live generators instead.
+var errLiveGen = errors.New("exp: live generation requested")
+
+// poolKey is the trace-pool key for one (app, scenario) under the
+// runner's current options. Records and seed are in the key, so derived
+// views (WithOptions) sharing one pool never alias.
+func (r *Runner) poolKey(app string, sc vm.Scenario) replay.Key {
+	return replay.Key{App: app, Scenario: sc, Seed: r.opts.Seed, Records: r.opts.records()}
+}
+
+// buffer returns the shared materialised trace for (app, sc), building
+// it on first use. Errors wrapping replay.ErrUnpackable or errLiveGen
+// mean "stream live instead"; anything else is a real failure.
+func (r *Runner) buffer(app string, sc vm.Scenario) (*replay.Buffer, error) {
+	if r.opts.LiveGen {
+		return nil, errLiveGen
+	}
+	// A trace the pool cannot retain would be rebuilt on every request —
+	// strictly worse than live generation (which also honours the run's
+	// context mid-trace, where materialisation does not).
+	records := r.opts.records()
+	if records > uint64(r.sh.traces.MaxBufferBytes())/replay.BytesPerRecord {
+		return nil, errLiveGen
+	}
+	return r.sh.traces.Get(r.poolKey(app, sc))
+}
+
+// useLive reports whether err is one of the deliberate
+// fall-back-to-live-generation conditions.
+func useLive(err error) bool {
+	return errors.Is(err, replay.ErrUnpackable) || errors.Is(err, errLiveGen)
+}
+
+// traceReader returns (app, sc)'s record stream under the runner's
+// options: a cursor over the pooled buffer when materialisation is
+// available, else a fresh live generator producing the identical
+// records. Figures that analyse raw traces (Fig. 5, the predictor
+// ablations) drain this instead of constructing generators by hand, so
+// they too share one materialisation per app.
+func (r *Runner) traceReader(app string, sc vm.Scenario) (trace.Reader, error) {
+	buf, err := r.buffer(app, sc)
+	if err == nil {
+		return buf.Cursor(), nil
+	}
+	if !useLive(err) {
+		return nil, err
+	}
+	prof, err := workload.Lookup(app)
+	if err != nil {
+		return nil, err
+	}
+	sys := sim.NewSystem(sc, r.opts.Seed, prof)
+	return workload.NewGenerator(prof, sys, r.opts.Seed, r.opts.records())
+}
+
+// runLive is the pre-replay Run body: generate and simulate in one
+// pass.
+func (r *Runner) runLive(app string, cfg sim.Config, sc vm.Scenario) (sim.Stats, error) {
+	prof, err := workload.Lookup(app)
+	if err != nil {
+		return sim.Stats{}, err
+	}
+	st, err := sim.RunApp(r.ctx, prof, cfg, sc, r.opts.Seed, r.opts.records())
+	if err != nil {
+		return sim.Stats{}, fmt.Errorf("exp: %s on %s/%s: %w", app, cfg.Label(), sc, err)
+	}
+	return st, nil
+}
+
+// runUncached executes one simulation, preferring replay from the
+// shared trace pool (generation paid once per app, not once per config)
+// and falling back to a live generator when materialisation is
+// unavailable. Replay reproduces the live run bit-for-bit (see
+// internal/sim TestRunBufferMatchesRunApp), so the two paths are
+// interchangeable.
+func (r *Runner) runUncached(app string, cfg sim.Config, sc vm.Scenario) (sim.Stats, error) {
+	buf, err := r.buffer(app, sc)
+	if err != nil {
+		if useLive(err) {
+			return r.runLive(app, cfg, sc)
+		}
+		return sim.Stats{}, err
+	}
+	st, err := sim.RunBuffer(r.ctx, app, buf, cfg, r.opts.Seed)
+	if err != nil {
+		return sim.Stats{}, fmt.Errorf("exp: %s on %s/%s: %w", app, cfg.Label(), sc, err)
+	}
+	return st, nil
+}
+
+// RunConfigs simulates (memoised) one app across many configs under one
+// scenario, advancing all not-yet-cached configs in lockstep through a
+// single pass over the app's materialised trace (sim.RunConfigs). It
+// returns positionally: out[i] is cfgs[i]'s stats, bit-for-bit what
+// Run(app, cfgs[i], sc) returns. Figures that sweep configurations over
+// a fixed app call this instead of looping Run, turning K decode+sim
+// passes into one decode feeding K simulator states.
+func (r *Runner) RunConfigs(app string, cfgs []sim.Config, sc vm.Scenario) ([]sim.Stats, error) {
+	out := make([]sim.Stats, len(cfgs))
+	keys := make([]string, len(cfgs))
+	cached := make([]bool, len(cfgs))
+
+	// Partition into already-memoised and to-compute, deduplicating the
+	// latter (duplicate configs would otherwise burn a fused lane each).
+	uniqAt := make(map[string]int)
+	var uniq []sim.Config
+	var uniqKeys []string
+	for i, cfg := range cfgs {
+		keys[i] = r.key(app, cfg, sc)
+		if st, ok := r.sh.cache.Get(keys[i]); ok {
+			out[i] = st
+			cached[i] = true
+			continue
+		}
+		if _, seen := uniqAt[keys[i]]; !seen {
+			uniqAt[keys[i]] = len(uniq)
+			uniq = append(uniq, cfg)
+			uniqKeys = append(uniqKeys, keys[i])
+		}
+	}
+	if len(uniq) == 0 {
+		return out, nil
+	}
+
+	buf, err := r.buffer(app, sc)
+	if err != nil {
+		if useLive(err) {
+			// No materialised trace: degrade to memoised solo runs.
+			for i := range cfgs {
+				if cached[i] {
+					continue
+				}
+				if out[i], err = r.Run(app, cfgs[i], sc); err != nil {
+					return nil, err
+				}
+			}
+			return out, nil
+		}
+		return nil, err
+	}
+
+	fused, err := sim.RunConfigs(r.ctx, app, buf, uniq, r.opts.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("exp: fused %s/%s (%d configs): %w", app, sc, len(uniq), err)
+	}
+	r.sh.sims.Add(uint64(len(uniq)))
+
+	// Publish through the memo cache so later Run/RunConfigs calls (and
+	// figures sharing baselines) hit. A racing solo computation of the
+	// same key wins harmlessly: both computed identical stats.
+	for i := range cfgs {
+		if cached[i] {
+			continue
+		}
+		st := fused[uniqAt[keys[i]]]
+		out[i], err = r.sh.cache.Do(keys[i], func() (sim.Stats, error) { return st, nil })
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// TraceStats snapshots the shared trace pool counters for the daemon's
+// /metrics endpoint.
+func (r *Runner) TraceStats() replay.Stats { return r.sh.traces.Stats() }

@@ -11,7 +11,6 @@ import (
 	"sipt/internal/report"
 	"sipt/internal/sim"
 	"sipt/internal/vm"
-	"sipt/internal/workload"
 )
 
 // idealConfigs are the Sec. III design points modelled as ideal caches
@@ -40,17 +39,14 @@ func ipcSweep(r *Runner, title string, coreCfg cpu.Config, configs []sim.Config)
 	base := sim.Baseline(coreCfg)
 	type row struct{ rel []float64 }
 	rows, err := forEachApp(r, func(app string) (row, error) {
-		b, err := r.Run(app, base, vm.ScenarioNormal)
+		sts, err := r.RunConfigs(app, append([]sim.Config{base}, configs...), vm.ScenarioNormal)
 		if err != nil {
 			return row{}, err
 		}
+		b := sts[0]
 		rel := make([]float64, len(configs))
-		for i, cfg := range configs {
-			st, err := r.Run(app, cfg, vm.ScenarioNormal)
-			if err != nil {
-				return row{}, err
-			}
-			rel[i] = st.IPC() / b.IPC()
+		for i := range configs {
+			rel[i] = sts[i+1].IPC() / b.IPC()
 		}
 		return row{rel: rel}, nil
 	})
@@ -105,12 +101,7 @@ func Fig5(r *Runner) ([]*report.Table, error) {
 	}
 	type row struct{ k1, k2, k3, huge float64 }
 	rows, err := forEachApp(r, func(app string) (row, error) {
-		prof, err := workload.Lookup(app)
-		if err != nil {
-			return row{}, err
-		}
-		sys := sim.NewSystem(vm.ScenarioNormal, r.opts.Seed, prof)
-		gen, err := workload.NewGenerator(prof, sys, r.opts.Seed, r.opts.records())
+		gen, err := r.traceReader(app, vm.ScenarioNormal)
 		if err != nil {
 			return row{}, err
 		}
@@ -165,18 +156,15 @@ func siptIPCFigure(r *Runner, title string, mode core.Mode) (*report.Table, erro
 	}
 	type row struct{ ipc, ideal, extra float64 }
 	rows, err := forEachApp(r, func(app string) (row, error) {
-		b, err := r.Run(app, sim.Baseline(cpu.OOO()), vm.ScenarioNormal)
+		sts, err := r.RunConfigs(app, []sim.Config{
+			sim.Baseline(cpu.OOO()),
+			sim.SIPT(cpu.OOO(), 32, 2, mode),
+			sim.SIPT(cpu.OOO(), 32, 2, core.ModeIdeal),
+		}, vm.ScenarioNormal)
 		if err != nil {
 			return row{}, err
 		}
-		s, err := r.Run(app, sim.SIPT(cpu.OOO(), 32, 2, mode), vm.ScenarioNormal)
-		if err != nil {
-			return row{}, err
-		}
-		id, err := r.Run(app, sim.SIPT(cpu.OOO(), 32, 2, core.ModeIdeal), vm.ScenarioNormal)
-		if err != nil {
-			return row{}, err
-		}
+		b, s, id := sts[0], sts[1], sts[2]
 		return row{s.IPC() / b.IPC(), id.IPC() / b.IPC(), s.L1.ExtraAccessRate()}, nil
 	})
 	if err != nil {
@@ -202,18 +190,15 @@ func siptEnergyFigure(r *Runner, title string, mode core.Mode) (*report.Table, e
 	}
 	type row struct{ e, ie, ds, db float64 }
 	rows, err := forEachApp(r, func(app string) (row, error) {
-		b, err := r.Run(app, sim.Baseline(cpu.OOO()), vm.ScenarioNormal)
+		sts, err := r.RunConfigs(app, []sim.Config{
+			sim.Baseline(cpu.OOO()),
+			sim.SIPT(cpu.OOO(), 32, 2, mode),
+			sim.SIPT(cpu.OOO(), 32, 2, core.ModeIdeal),
+		}, vm.ScenarioNormal)
 		if err != nil {
 			return row{}, err
 		}
-		s, err := r.Run(app, sim.SIPT(cpu.OOO(), 32, 2, mode), vm.ScenarioNormal)
-		if err != nil {
-			return row{}, err
-		}
-		id, err := r.Run(app, sim.SIPT(cpu.OOO(), 32, 2, core.ModeIdeal), vm.ScenarioNormal)
-		if err != nil {
-			return row{}, err
-		}
+		b, s, id := sts[0], sts[1], sts[2]
 		bt := b.Energy.Total()
 		return row{
 			e:  s.Energy.Total() / bt,
@@ -275,12 +260,16 @@ func Fig9(r *Runner) ([]*report.Table, error) {
 	type row struct{ vals [3][4]float64 }
 	rows, err := forEachApp(r, func(app string) (row, error) {
 		var rw row
-		for gi, g := range bitGeometries() {
-			st, err := r.Run(app, sim.SIPT(cpu.OOO(), g[1], g[2], core.ModeBypass), vm.ScenarioNormal)
-			if err != nil {
-				return rw, err
-			}
-			p := st.Bypass
+		cfgs := make([]sim.Config, 0, len(bitGeometries()))
+		for _, g := range bitGeometries() {
+			cfgs = append(cfgs, sim.SIPT(cpu.OOO(), g[1], g[2], core.ModeBypass))
+		}
+		sts, err := r.RunConfigs(app, cfgs, vm.ScenarioNormal)
+		if err != nil {
+			return rw, err
+		}
+		for gi := range bitGeometries() {
+			p := sts[gi].Bypass
 			n := float64(p.Predictions)
 			if n == 0 {
 				continue
@@ -318,11 +307,16 @@ func Fig12(r *Runner) ([]*report.Table, error) {
 	type row struct{ vals [3][3]float64 }
 	rows, err := forEachApp(r, func(app string) (row, error) {
 		var rw row
-		for gi, g := range bitGeometries() {
-			st, err := r.Run(app, sim.SIPT(cpu.OOO(), g[1], g[2], core.ModeCombined), vm.ScenarioNormal)
-			if err != nil {
-				return rw, err
-			}
+		cfgs := make([]sim.Config, 0, len(bitGeometries()))
+		for _, g := range bitGeometries() {
+			cfgs = append(cfgs, sim.SIPT(cpu.OOO(), g[1], g[2], core.ModeCombined))
+		}
+		sts, err := r.RunConfigs(app, cfgs, vm.ScenarioNormal)
+		if err != nil {
+			return rw, err
+		}
+		for gi := range bitGeometries() {
+			st := sts[gi]
 			n := float64(st.L1.Accesses)
 			if n == 0 {
 				continue
@@ -369,6 +363,25 @@ func Fig14(r *Runner) ([]*report.Table, error) {
 	return []*report.Table{t}, nil
 }
 
+// wayPredConfigs is the five-system sweep Figs. 16/17 share: baseline,
+// baseline+WP, SIPT+IDB, SIPT+IDB+WP, and the perfect-WP ideal.
+func wayPredConfigs() []sim.Config {
+	bwpCfg := sim.Baseline(cpu.OOO())
+	bwpCfg.WayPrediction = true
+	swpCfg := sim.SIPT(cpu.OOO(), 32, 2, core.ModeCombined)
+	swpCfg.WayPrediction = true
+	idCfg := sim.SIPT(cpu.OOO(), 32, 2, core.ModeIdeal)
+	idCfg.WayPrediction = true
+	idCfg.PerfectWayPrediction = true
+	return []sim.Config{
+		sim.Baseline(cpu.OOO()),
+		bwpCfg,
+		sim.SIPT(cpu.OOO(), 32, 2, core.ModeCombined),
+		swpCfg,
+		idCfg,
+	}
+}
+
 // Fig16 regenerates Fig. 16: way prediction on baseline and on SIPT.
 func Fig16(r *Runner) ([]*report.Table, error) {
 	t := &report.Table{
@@ -378,33 +391,11 @@ func Fig16(r *Runner) ([]*report.Table, error) {
 	}
 	type row struct{ bwp, s, swp, id, accB, accS float64 }
 	rows, err := forEachApp(r, func(app string) (row, error) {
-		b, err := r.Run(app, sim.Baseline(cpu.OOO()), vm.ScenarioNormal)
+		sts, err := r.RunConfigs(app, wayPredConfigs(), vm.ScenarioNormal)
 		if err != nil {
 			return row{}, err
 		}
-		bwpCfg := sim.Baseline(cpu.OOO())
-		bwpCfg.WayPrediction = true
-		bwp, err := r.Run(app, bwpCfg, vm.ScenarioNormal)
-		if err != nil {
-			return row{}, err
-		}
-		s, err := r.Run(app, sim.SIPT(cpu.OOO(), 32, 2, core.ModeCombined), vm.ScenarioNormal)
-		if err != nil {
-			return row{}, err
-		}
-		swpCfg := sim.SIPT(cpu.OOO(), 32, 2, core.ModeCombined)
-		swpCfg.WayPrediction = true
-		swp, err := r.Run(app, swpCfg, vm.ScenarioNormal)
-		if err != nil {
-			return row{}, err
-		}
-		idCfg := sim.SIPT(cpu.OOO(), 32, 2, core.ModeIdeal)
-		idCfg.WayPrediction = true
-		idCfg.PerfectWayPrediction = true
-		id, err := r.Run(app, idCfg, vm.ScenarioNormal)
-		if err != nil {
-			return row{}, err
-		}
+		b, bwp, s, swp, id := sts[0], sts[1], sts[2], sts[3], sts[4]
 		return row{
 			bwp: bwp.IPC() / b.IPC(), s: s.IPC() / b.IPC(), swp: swp.IPC() / b.IPC(),
 			id: id.IPC() / b.IPC(), accB: bwp.L1.WayAccuracy(), accS: swp.L1.WayAccuracy(),
@@ -435,33 +426,11 @@ func Fig17(r *Runner) ([]*report.Table, error) {
 	}
 	type row struct{ bwp, s, swp, id float64 }
 	rows, err := forEachApp(r, func(app string) (row, error) {
-		b, err := r.Run(app, sim.Baseline(cpu.OOO()), vm.ScenarioNormal)
+		sts, err := r.RunConfigs(app, wayPredConfigs(), vm.ScenarioNormal)
 		if err != nil {
 			return row{}, err
 		}
-		bwpCfg := sim.Baseline(cpu.OOO())
-		bwpCfg.WayPrediction = true
-		bwp, err := r.Run(app, bwpCfg, vm.ScenarioNormal)
-		if err != nil {
-			return row{}, err
-		}
-		s, err := r.Run(app, sim.SIPT(cpu.OOO(), 32, 2, core.ModeCombined), vm.ScenarioNormal)
-		if err != nil {
-			return row{}, err
-		}
-		swpCfg := sim.SIPT(cpu.OOO(), 32, 2, core.ModeCombined)
-		swpCfg.WayPrediction = true
-		swp, err := r.Run(app, swpCfg, vm.ScenarioNormal)
-		if err != nil {
-			return row{}, err
-		}
-		idCfg := sim.SIPT(cpu.OOO(), 32, 2, core.ModeIdeal)
-		idCfg.WayPrediction = true
-		idCfg.PerfectWayPrediction = true
-		id, err := r.Run(app, idCfg, vm.ScenarioNormal)
-		if err != nil {
-			return row{}, err
-		}
+		b, bwp, s, swp, id := sts[0], sts[1], sts[2], sts[3], sts[4]
 		bt := b.Energy.Total()
 		return row{bwp.Energy.Total() / bt, s.Energy.Total() / bt,
 			swp.Energy.Total() / bt, id.Energy.Total() / bt}, nil

@@ -36,6 +36,41 @@ func hotGood(xs []int, i int) int {
 	return q.x
 }
 
+// record mirrors the shape of a packed trace record as the replay
+// decode loop (internal/replay Cursor.NextInto) reassembles it.
+type record struct {
+	va, pa uint64
+	flags  uint8
+}
+
+// hotDecode is the clean decode-loop shape: two word loads plus
+// shift/mask reassembly into a caller-owned record. Nothing here may
+// allocate.
+//
+//sipt:hotpath
+func hotDecode(words []uint64, pos int, rec *record) int {
+	w0 := words[pos]
+	w1 := words[pos+1]
+	rec.va = w0>>28<<12 | w0>>16&0xfff
+	rec.pa = w1 >> 28 << 12
+	rec.flags = uint8(w1 & 3)
+	return pos + 2
+}
+
+// hotDecodeBad materialises while decoding — the classic way a decode
+// loop regains its per-record allocation.
+//
+//sipt:hotpath
+func hotDecodeBad(words []uint64, out []record) []record {
+	for pos := 0; pos+1 < len(words); pos += 2 {
+		out = append(out, record{ // want "append"
+			va: words[pos] >> 28 << 12,
+			pa: words[pos+1] >> 28 << 12,
+		})
+	}
+	return out
+}
+
 // hotAck demonstrates acknowledging an intentional cold branch.
 //
 //sipt:hotpath

@@ -33,6 +33,10 @@ type entry[V any] struct {
 	once sync.Once
 	val  V
 	err  error
+	// done is set (with release semantics) after the compute finished;
+	// Get uses it to peek at completed values without joining the
+	// singleflight.
+	done atomic.Bool
 }
 
 // shard is one lock domain: a lookup map plus an LRU list whose front
@@ -140,6 +144,7 @@ func (c *Cache[V]) Do(key string, compute func() (V, error)) (V, error) {
 
 	e.once.Do(func() {
 		e.val, e.err = compute()
+		e.done.Store(true)
 		if e.err != nil {
 			// Forget failed computations so the key can be retried.
 			s.mu.Lock()
@@ -151,6 +156,27 @@ func (c *Cache[V]) Do(key string, compute func() (V, error)) (V, error) {
 		}
 	})
 	return e.val, e.err
+}
+
+// Get peeks at a completed entry without joining its singleflight: it
+// returns (value, true) only when key's computation has already
+// finished successfully, refreshing the entry's LRU position. In-flight
+// or absent keys return (zero, false) immediately — callers that batch
+// work (the fused sweep path) use this to partition keys into cached
+// and to-compute without blocking on someone else's computation.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		e := el.Value.(*entry[V])
+		if e.done.Load() && e.err == nil {
+			s.order.MoveToFront(el)
+			return e.val, true
+		}
+	}
+	var zero V
+	return zero, false
 }
 
 // Len returns the current number of live entries.

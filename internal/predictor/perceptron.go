@@ -92,14 +92,27 @@ func (p *Perceptron) index(pc uint64) int {
 }
 
 // output computes y = w0 + sum(x_i * w_i) for the entry selected by pc.
+// The dot product is unrolled: twelve fixed-width terms compile to
+// straight-line loads and multiply-adds, which measurably beats the
+// counted loop on this per-record path.
 //
 //sipt:hotpath
 func (p *Perceptron) output(pc uint64) int32 {
 	w := &p.weights[p.index(pc)]
+	h := &p.history
 	y := int32(w[0])
-	for i := 0; i < HistoryLen; i++ {
-		y += int32(w[i+1]) * int32(p.history[i])
-	}
+	y += int32(w[1]) * int32(h[0])
+	y += int32(w[2]) * int32(h[1])
+	y += int32(w[3]) * int32(h[2])
+	y += int32(w[4]) * int32(h[3])
+	y += int32(w[5]) * int32(h[4])
+	y += int32(w[6]) * int32(h[5])
+	y += int32(w[7]) * int32(h[6])
+	y += int32(w[8]) * int32(h[7])
+	y += int32(w[9]) * int32(h[8])
+	y += int32(w[10]) * int32(h[9])
+	y += int32(w[11]) * int32(h[10])
+	y += int32(w[12]) * int32(h[11])
 	return y
 }
 

@@ -1,0 +1,213 @@
+package replay
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"sipt/internal/vm"
+)
+
+// Key identifies one materialised trace: the tuple that fully
+// determines a synthetic record stream. Distinct seeds, lengths, or
+// scenarios never alias.
+type Key struct {
+	App      string
+	Scenario vm.Scenario
+	Seed     int64
+	Records  uint64
+}
+
+// Materializer builds the buffer for a key on a pool miss. It must be
+// deterministic in the key; sim.Materialize is the canonical one.
+type Materializer func(Key) (*Buffer, error)
+
+// Stats is a point-in-time snapshot of pool effectiveness counters.
+type Stats struct {
+	Hits      uint64 // lookups served from a resident buffer (including in-flight)
+	Misses    uint64 // lookups that started a materialisation
+	Evictions uint64 // buffers dropped to respect the byte budget
+	Entries   int    // resident buffers
+	Bytes     int64  // resident payload bytes (always <= the budget)
+}
+
+// DefaultBudgetBytes bounds the pool when New is given a non-positive
+// budget: 256 MiB holds the full 26-app figure set at the harness's
+// default trace length (26 x 300k x 16 B = 125 MiB) with headroom for a
+// second scenario.
+const DefaultBudgetBytes = 256 << 20
+
+// defaultPoolShards balances lock contention against budget
+// granularity: buffers are megabytes each, so a few shards suffice.
+const defaultPoolShards = 8
+
+// poolEntry is one key's materialisation. The sync.Once provides
+// singleflight: concurrent Gets of one key share a single generator
+// pass.
+type poolEntry struct {
+	key  Key
+	once sync.Once
+	buf  *Buffer
+	err  error
+	// resident is set (under the shard lock) once the buffer completed
+	// and its bytes are accounted; only resident entries are evictable.
+	resident bool
+}
+
+// poolShard is one lock domain: lookup map plus an LRU list (front =
+// most recently used) and the shard's slice of the byte budget.
+type poolShard struct {
+	mu     sync.Mutex
+	items  map[Key]*list.Element
+	order  *list.List
+	budget int64
+	bytes  int64
+}
+
+// Pool is the sharded, byte-budgeted trace cache. Failed
+// materialisations are never cached: waiters observe the error, later
+// Gets retry. A buffer larger than a shard's budget is still returned
+// to callers but not retained, so resident bytes never exceed the
+// budget.
+type Pool struct {
+	shards    []poolShard
+	mat       Materializer
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// NewPool creates a pool bounded to budgetBytes (non-positive =
+// DefaultBudgetBytes) spread over nshards lock domains (non-positive =
+// default). mat is required.
+func NewPool(budgetBytes int64, nshards int, mat Materializer) *Pool {
+	if mat == nil {
+		panic("replay: NewPool requires a Materializer")
+	}
+	if budgetBytes <= 0 {
+		budgetBytes = DefaultBudgetBytes
+	}
+	if nshards <= 0 {
+		nshards = defaultPoolShards
+	}
+	p := &Pool{shards: make([]poolShard, nshards), mat: mat}
+	per := budgetBytes / int64(nshards)
+	if per < 1 {
+		per = 1
+	}
+	for i := range p.shards {
+		p.shards[i].items = make(map[Key]*list.Element)
+		p.shards[i].order = list.New()
+		p.shards[i].budget = per
+	}
+	return p
+}
+
+// shardFor hashes the key with FNV-1a over its fields. A fixed hash
+// keeps shard assignment — and therefore eviction order under pressure
+// — identical across runs (the same determinism argument as
+// memo.Cache).
+func (p *Pool) shardFor(k Key) *poolShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(k.App); i++ {
+		h ^= uint64(k.App[i])
+		h *= prime64
+	}
+	for _, v := range [3]uint64{uint64(k.Scenario), uint64(k.Seed), k.Records} {
+		for s := 0; s < 64; s += 8 {
+			h ^= v >> s & 0xff
+			h *= prime64
+		}
+	}
+	return &p.shards[h%uint64(len(p.shards))]
+}
+
+// MaxBufferBytes returns the largest buffer the pool can retain: one
+// shard's slice of the byte budget. Materialising anything larger is
+// pure waste (the buffer is handed to the caller, then dropped), so
+// callers should stream such traces live instead.
+func (p *Pool) MaxBufferBytes() int64 { return p.shards[0].budget }
+
+// Get returns the materialised buffer for key, building it on first
+// use. Concurrent Gets of the same key share one materialisation.
+func (p *Pool) Get(key Key) (*Buffer, error) {
+	s := p.shardFor(key)
+
+	s.mu.Lock()
+	el, ok := s.items[key]
+	var e *poolEntry
+	if ok {
+		p.hits.Add(1)
+		s.order.MoveToFront(el)
+		e = el.Value.(*poolEntry)
+	} else {
+		p.misses.Add(1)
+		e = &poolEntry{key: key}
+		el = s.order.PushFront(e)
+		s.items[key] = el
+	}
+	s.mu.Unlock()
+
+	e.once.Do(func() {
+		e.buf, e.err = p.mat(key)
+		s.mu.Lock()
+		cur, ok := s.items[e.key]
+		if ok && cur.Value.(*poolEntry) == e {
+			if e.err != nil {
+				// Forget failures so the key can be retried.
+				s.order.Remove(cur)
+				delete(s.items, e.key)
+			} else {
+				e.resident = true
+				s.bytes += e.buf.Bytes()
+				p.enforceBudgetLocked(s)
+			}
+		}
+		s.mu.Unlock()
+	})
+	return e.buf, e.err
+}
+
+// enforceBudgetLocked evicts resident buffers, least recently used
+// first, until the shard is within budget. In-flight entries carry no
+// accounted bytes and are skipped. The most recently used entry is
+// evictable too: a single buffer over budget is dropped immediately
+// (callers keep their reference; the pool just declines to retain it).
+func (p *Pool) enforceBudgetLocked(s *poolShard) {
+	for el := s.order.Back(); el != nil && s.bytes > s.budget; {
+		prev := el.Prev()
+		e := el.Value.(*poolEntry)
+		if e.resident {
+			s.order.Remove(el)
+			delete(s.items, e.key)
+			s.bytes -= e.buf.Bytes()
+			p.evictions.Add(1)
+		}
+		el = prev
+	}
+}
+
+// Stats snapshots the pool counters.
+func (p *Pool) Stats() Stats {
+	st := Stats{
+		Hits:      p.hits.Load(),
+		Misses:    p.misses.Load(),
+		Evictions: p.evictions.Load(),
+	}
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		st.Bytes += s.bytes
+		for el := s.order.Front(); el != nil; el = el.Next() {
+			if el.Value.(*poolEntry).resident {
+				st.Entries++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return st
+}

@@ -77,6 +77,11 @@ type Server struct {
 	cacheHits    *metrics.Gauge
 	cacheMisses  *metrics.Gauge
 	cacheEvicted *metrics.Gauge
+	traceEntries *metrics.Gauge
+	traceBytes   *metrics.Gauge
+	traceHits    *metrics.Gauge
+	traceMisses  *metrics.Gauge
+	traceEvicted *metrics.Gauge
 }
 
 // New builds the server and starts its worker pool.
@@ -111,6 +116,11 @@ func New(cfg Config) *Server {
 		cacheHits:    reg.Gauge("serve_result_cache_hits", "memo cache hits"),
 		cacheMisses:  reg.Gauge("serve_result_cache_misses", "memo cache misses"),
 		cacheEvicted: reg.Gauge("serve_result_cache_evictions", "memo cache evictions"),
+		traceEntries: reg.Gauge("serve_trace_pool_entries", "materialised trace buffers resident"),
+		traceBytes:   reg.Gauge("serve_trace_pool_bytes", "materialised trace bytes resident"),
+		traceHits:    reg.Gauge("serve_trace_pool_hits", "trace pool hits"),
+		traceMisses:  reg.Gauge("serve_trace_pool_misses", "trace pool misses"),
+		traceEvicted: reg.Gauge("serve_trace_pool_evictions", "trace buffers evicted for the byte budget"),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
@@ -361,6 +371,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.cacheHits.Set(int64(cs.Hits))
 	s.cacheMisses.Set(int64(cs.Misses))
 	s.cacheEvicted.Set(int64(cs.Evictions))
+	ts := s.runner.TraceStats()
+	s.traceEntries.Set(int64(ts.Entries))
+	s.traceBytes.Set(ts.Bytes)
+	s.traceHits.Set(int64(ts.Hits))
+	s.traceMisses.Set(int64(ts.Misses))
+	s.traceEvicted.Set(int64(ts.Evictions))
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.reg.WriteTo(w) //nolint:errcheck // client gone; nothing to do
 }

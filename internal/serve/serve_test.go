@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"sipt/internal/exp"
+	"sipt/internal/replay"
 	"sipt/internal/report"
 )
 
@@ -335,4 +337,115 @@ func TestJobStoreEviction(t *testing.T) {
 	if st.len() != 2 {
 		t.Errorf("len = %d, want 2", st.len())
 	}
+}
+
+// TestTracePoolBoundedUnderConcurrentSweeps is the daemon's
+// bounded-memory contract: concurrent sweeps over more trace keys than
+// the pool budget holds must never drive the shared pool past its byte
+// budget (watched while the jobs are in flight), and distinct
+// experiments over the same app must share one materialisation. The
+// pool counters must be visible on /metrics.
+func TestTracePoolBoundedUnderConcurrentSweeps(t *testing.T) {
+	const budgetMB = 1
+	runner := exp.NewRunner(exp.Options{Records: 5_000, Seed: 1, CacheEntries: 256, TracePoolMB: budgetMB})
+	_, ts := testServer(t, Config{Runner: runner})
+
+	// Watch the budget while the sweeps are in flight, not just after.
+	stop := make(chan struct{})
+	watcher := make(chan error, 1)
+	go func() {
+		defer close(watcher)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if st := runner.TraceStats(); st.Bytes > budgetMB<<20 {
+				watcher <- fmt.Errorf("trace pool at %d bytes, budget %d", st.Bytes, budgetMB<<20)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	submit := func(body string) string {
+		t.Helper()
+		resp, b := postJSON(t, ts.URL+"/v1/sweep", body)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("status = %d, body %s", resp.StatusCode, b)
+		}
+		var sub submitResponse
+		if err := json.Unmarshal(b, &sub); err != nil {
+			t.Fatal(err)
+		}
+		return sub.ID
+	}
+
+	// Pressure phase: 12 distinct (app, records) keys materialise
+	// ~1.2 MiB of packed records against a 1 MiB budget, so at least one
+	// shard must evict.
+	apps := []string{"mcf", "gcc", "hmmer", "bzip2"}
+	var ids []string
+	for i := 0; i < 12; i++ {
+		ids = append(ids, submit(fmt.Sprintf(`{"experiment":"fig6","apps":["%s"],"records":%d}`,
+			apps[i%len(apps)], 5_000+250*i)))
+	}
+	for _, id := range ids {
+		if v := waitJob(t, ts.URL, id, 120*time.Second); v.Status != StatusDone {
+			t.Fatalf("job %s = %+v, want done", id, v)
+		}
+	}
+	st := rundownStats(t, runner, budgetMB)
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions despite oversubscribed pool: %+v", st)
+	}
+
+	// Sharing phase: two different experiments on one fresh key. fig6
+	// materialises the trace; fig13's remaining config replays the
+	// still-resident buffer -- a pool hit, not a second generation.
+	id6 := submit(`{"experiment":"fig6","apps":["libquantum"],"records":4321}`)
+	if v := waitJob(t, ts.URL, id6, 120*time.Second); v.Status != StatusDone {
+		t.Fatalf("fig6 job = %+v, want done", v)
+	}
+	id13 := submit(`{"experiment":"fig13","apps":["libquantum"],"records":4321}`)
+	if v := waitJob(t, ts.URL, id13, 120*time.Second); v.Status != StatusDone {
+		t.Fatalf("fig13 job = %+v, want done", v)
+	}
+	if st := runner.TraceStats(); st.Hits == 0 {
+		t.Fatalf("fig13 did not share fig6's materialised trace: %+v", st)
+	}
+
+	close(stop)
+	if err := <-watcher; err != nil {
+		t.Fatal(err)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := readAll(t, mresp)
+	mresp.Body.Close()
+	for _, want := range []string{
+		"serve_trace_pool_bytes",
+		"serve_trace_pool_hits",
+		"serve_trace_pool_misses",
+		"serve_trace_pool_entries",
+		"serve_trace_pool_evictions",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
+// rundownStats asserts the pool is within budget and returns its stats.
+func rundownStats(t *testing.T, runner *exp.Runner, budgetMB int64) replay.Stats {
+	t.Helper()
+	st := runner.TraceStats()
+	if st.Bytes > budgetMB<<20 {
+		t.Fatalf("trace pool %d bytes exceeds %d MiB budget", st.Bytes, budgetMB)
+	}
+	return st
 }

@@ -70,6 +70,10 @@ type Hierarchy struct {
 	// and contends for the L1 cache port").
 	portFree uint64
 
+	// predOn caches cfg.Mode == ModeBypass || ModeCombined for the
+	// per-record predictor-energy branch.
+	predOn bool
+
 	path PathStats
 }
 
@@ -87,6 +91,7 @@ func newHierarchy(cfg Config, seed int64, llc *sharedLLC, mem *dram.DRAM, acct *
 	if cfg.threeLevel() {
 		h.l2 = cache.New(l2Config())
 	}
+	h.predOn = cfg.Mode == core.ModeBypass || cfg.Mode == core.ModeCombined
 	return h
 }
 
@@ -113,7 +118,8 @@ func (h *Hierarchy) L2Stats() cache.Stats {
 //sipt:hotpath
 func (h *Hierarchy) Access(rec *trace.Record, now uint64) cpu.MemResult {
 	store := rec.IsStore()
-	r := h.l1.Access(rec.PC, rec.VA, rec.PA, store)
+	var r core.Result
+	h.l1.AccessInto(&r, rec.PC, rec.VA, rec.PA, store)
 
 	// L1 port: each array read occupies one slot.
 	start := now
@@ -138,7 +144,7 @@ func (h *Hierarchy) Access(rec *trace.Record, now uint64) cpu.MemResult {
 	if r.ArraySlots > 1 {
 		h.acct.AddAccesses(energy.L1, uint64(r.ArraySlots-1))
 	}
-	if h.cfg.Mode == core.ModeBypass || h.cfg.Mode == core.ModeCombined {
+	if h.predOn {
 		h.acct.AddPredictorOps(1)
 	}
 

@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	"sipt/internal/cpu"
+	"sipt/internal/dram"
+	"sipt/internal/energy"
+	"sipt/internal/replay"
+	"sipt/internal/trace"
+	"sipt/internal/vm"
+	"sipt/internal/workload"
+)
+
+// Materialize generates one workload's trace into a packed replay
+// buffer: the identical record stream RunApp would consume live, built
+// with the identical system construction (same scenario, same seed,
+// same allocation phase), so replaying the buffer reproduces RunApp
+// bit-for-bit. records bounds the trace length (0 = DefaultRecords).
+//
+// Traces whose records do not fit the packed encoding return an error
+// wrapping replay.ErrUnpackable; callers fall back to live generation.
+func Materialize(prof workload.Profile, sc vm.Scenario, seed int64, records uint64) (*replay.Buffer, error) {
+	if records == 0 {
+		records = DefaultRecords
+	}
+	sys := NewSystem(sc, seed, prof)
+	gen, err := workload.NewGenerator(prof, sys, seed, records)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := replay.FromReader(gen, int(records))
+	if err != nil {
+		return nil, fmt.Errorf("sim: materialising %s/%s: %w", prof.Name, sc, err)
+	}
+	return buf, nil
+}
+
+// RunBuffer is the replay-aware RunApp: it simulates one configuration
+// streaming from a materialised buffer instead of a live generator.
+// Context semantics match RunApp.
+func RunBuffer(ctx context.Context, name string, buf *replay.Buffer, cfg Config, seed int64) (Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return Stats{}, err
+	}
+	return runReader(ctx, name, buf.Cursor(), cfg, seed, 0)
+}
+
+// cfgState is one configuration's independent machine state inside a
+// fused sweep: its own TLB/cache/predictor hierarchy, LLC, DRAM, energy
+// account, and core — exactly what runReader builds for a solo run.
+type cfgState struct {
+	acct *energy.Account
+	h    *Hierarchy
+	core *cpu.Core
+}
+
+// RunConfigs advances len(cfgs) independent simulated systems through a
+// single pass over one materialised trace: the buffer is decoded once
+// per sweep instead of once per configuration. Each configuration gets
+// the full private machinery of a solo run (per-config LLC and DRAM —
+// these are single-core systems that share nothing), so RunConfigs(buf,
+// cfgs) returns exactly what looping RunBuffer over cfgs would, for a
+// fraction of the decode and none of the re-generation cost.
+//
+// Context semantics match RunApp: the fused loop polls ctx every
+// cpu.CtxCheckInterval records. Results are positional: out[i]
+// corresponds to cfgs[i]. Duplicate configurations are simulated
+// independently (callers that care deduplicate beforehand).
+func RunConfigs(ctx context.Context, name string, buf *replay.Buffer, cfgs []Config, seed int64) ([]Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	states := make([]cfgState, len(cfgs))
+	for i, cfg := range cfgs {
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		acct := energy.New(cfg.energyParams())
+		llc := newSharedLLC(cfg.llcConfig())
+		mem := dram.New(dramConfig())
+		h := newHierarchy(cfg, seed, llc, mem, acct)
+		states[i] = cfgState{acct: acct, h: h, core: cpu.NewCore(cfg.Core, h)}
+	}
+
+	cur := buf.Cursor()
+	var rec trace.Record
+	var n uint64
+	for {
+		if n&(cpu.CtxCheckInterval-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("sim: fused run of %s (%d configs): %w", name, len(cfgs), err)
+			}
+		}
+		if err := cur.NextInto(&rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, err
+		}
+		for i := range states {
+			states[i].core.StepPtr(&rec)
+		}
+		n++
+	}
+
+	out := make([]Stats, len(cfgs))
+	for i, cfg := range cfgs {
+		st := collect(cfg, name, states[i].core.Result(), states[i].h, states[i].acct)
+		if err := st.CheckInvariants(); err != nil {
+			return nil, fmt.Errorf("sim: fused run of %s on %s: %w", name, cfg.Label(), err)
+		}
+		out[i] = st
+	}
+	return out, nil
+}
+
+// RunMixBuffers is the replay-aware RunMix: a quad-core run whose lanes
+// stream from materialised buffers instead of live generators. A lane
+// that finishes its first pass recycles by rewinding its cursor — the
+// identical records again, i.e. "same program, same mapping" — whereas
+// live RunMix rebuilds the address space per pass and its lanes couple
+// through the shared buddy allocator (churn in one lane shifts frames
+// another lane draws). The two are therefore distinct, individually
+// deterministic modes; the experiment harness keeps mixes on the live
+// path (see DESIGN.md §9).
+func RunMixBuffers(ctx context.Context, mix workload.Mix, cfg Config, bufs [4]*replay.Buffer, seed int64) (MixStats, error) {
+	cfg.Cores = 4
+	if err := cfg.Validate(); err != nil {
+		return MixStats{}, err
+	}
+	var srcs [4]mixSource
+	for i, b := range bufs {
+		if b == nil {
+			return MixStats{}, fmt.Errorf("sim: mix %s: nil buffer for lane %d", mix.Name, i)
+		}
+		srcs[i] = b.Cursor()
+	}
+	return runMixLanes(ctx, mix, cfg, srcs, seed)
+}

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"sipt/internal/core"
+	"sipt/internal/cpu"
+	"sipt/internal/replay"
+	"sipt/internal/vm"
+	"sipt/internal/workload"
+)
+
+// TestRunBufferMatchesRunApp is the replay-path determinism contract:
+// materialising a trace and replaying it must reproduce the live run
+// bit-for-bit, field for field.
+func TestRunBufferMatchesRunApp(t *testing.T) {
+	prof := smallProf(t, "libquantum", 4)
+	cfg := SIPT(cpu.OOO(), 32, 2, core.ModeCombined)
+	for _, sc := range []vm.Scenario{vm.ScenarioNormal, vm.ScenarioFragmented} {
+		live, err := RunApp(context.Background(), prof, cfg, sc, 3, testRecords)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, err := Materialize(prof, sc, 3, testRecords)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replayed, err := RunBuffer(context.Background(), prof.Name, buf, cfg, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if live != replayed {
+			t.Errorf("%s: replayed stats differ from live run\nlive:   %+v\nreplay: %+v", sc, live, replayed)
+		}
+	}
+}
+
+// TestRunConfigsMatchesSoloRuns asserts the fused lockstep sweep
+// returns, positionally, exactly what per-config solo replays return —
+// including duplicate configurations.
+func TestRunConfigsMatchesSoloRuns(t *testing.T) {
+	prof := smallProf(t, "gcc", 2)
+	buf, err := Materialize(prof, vm.ScenarioNormal, 7, testRecords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []Config{
+		Baseline(cpu.OOO()),
+		SIPT(cpu.OOO(), 32, 2, core.ModeCombined),
+		SIPT(cpu.OOO(), 64, 4, core.ModeNaive),
+		SIPT(cpu.OOO(), 32, 2, core.ModeCombined), // duplicate: simulated independently
+	}
+	fused, err := RunConfigs(context.Background(), prof.Name, buf, cfgs, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fused) != len(cfgs) {
+		t.Fatalf("got %d results for %d configs", len(fused), len(cfgs))
+	}
+	for i, cfg := range cfgs {
+		solo, err := RunBuffer(context.Background(), prof.Name, buf, cfg, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fused[i] != solo {
+			t.Errorf("config %d (%s): fused differs from solo\nfused: %+v\nsolo:  %+v",
+				i, cfg.Label(), fused[i], solo)
+		}
+	}
+	if fused[1] != fused[3] {
+		t.Error("duplicate configs produced different results")
+	}
+}
+
+// TestRunConfigsCancellation asserts the fused loop honours ctx like
+// the solo paths do.
+func TestRunConfigsCancellation(t *testing.T) {
+	prof := smallProf(t, "gcc", 2)
+	buf, err := Materialize(prof, vm.ScenarioNormal, 7, testRecords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunConfigs(ctx, prof.Name, buf, []Config{Baseline(cpu.OOO())}, 7); err == nil {
+		t.Fatal("cancelled fused run returned nil error")
+	}
+}
+
+// TestRunMixBuffersDeterministic asserts the buffered quad-core mode is
+// reproducible and structurally sound. (It is a distinct mode from live
+// RunMix — cursor recycling replays identical records, while live lanes
+// rebuild their address space per pass — so no cross-mode equality is
+// asserted; see DESIGN.md §9.)
+func TestRunMixBuffersDeterministic(t *testing.T) {
+	mix := workload.Mixes()[0]
+	cfg := SIPT(cpu.OOO(), 32, 2, core.ModeCombined)
+	const recs = 5_000
+
+	run := func() MixStats {
+		profs := make([]workload.Profile, 4)
+		for i, name := range mix.Apps {
+			profs[i] = smallProf(t, name, 2)
+		}
+		sys := NewSystem(vm.ScenarioNormal, 11, profs...)
+		var bufs [4]*replay.Buffer
+		for i := range profs {
+			gen, err := workload.NewGenerator(profs[i], sys, 11+int64(i), recs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf, err := replay.FromReader(gen, recs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bufs[i] = buf
+		}
+		ms, err := RunMixBuffers(context.Background(), mix, cfg, bufs, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ms
+	}
+
+	a, b2 := run(), run()
+	if a.SumIPC() != b2.SumIPC() || a.Cycles != b2.Cycles || a.Consumed != b2.Consumed {
+		t.Errorf("RunMixBuffers not deterministic:\n%+v\n%+v", a, b2)
+	}
+	for i := range a.PerCore {
+		if a.PerCore[i].Core.Instructions == 0 {
+			t.Errorf("core %d executed nothing", i)
+		}
+	}
+}

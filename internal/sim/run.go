@@ -211,12 +211,37 @@ func RunMix(ctx context.Context, mix workload.Mix, cfg Config, sc vm.Scenario, s
 	}
 	sys := NewSystem(sc, seed, profs...)
 
+	var srcs [4]mixSource
+	for i := range srcs {
+		gen, err := workload.NewGenerator(profs[i], sys, seed+int64(i), recordsPerCore)
+		if err != nil {
+			return MixStats{}, err
+		}
+		srcs[i] = gen
+	}
+	return runMixLanes(ctx, mix, cfg, srcs, seed)
+}
+
+// mixSource is a lane's record stream: a live workload.Generator (the
+// paper-faithful RunMix path) or a replay.Cursor (RunMixBuffers). EOF
+// marks the end of one pass; Reset starts the next (recycling).
+type mixSource interface {
+	trace.InPlaceReader
+	trace.Resetter
+}
+
+// runMixLanes is the shared quad-core interleave loop behind RunMix and
+// RunMixBuffers.
+func runMixLanes(ctx context.Context, mix workload.Mix, cfg Config, srcs [4]mixSource, seed int64) (MixStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	acct := energy.New(cfg.energyParams())
 	llc := newSharedLLC(cfg.llcConfig())
 	mem := dram.New(dramConfig())
 
 	type lane struct {
-		gen      *workload.Generator
+		src      mixSource
 		h        *Hierarchy
 		core     *cpu.Core
 		consumed uint64
@@ -225,12 +250,8 @@ func RunMix(ctx context.Context, mix workload.Mix, cfg Config, sc vm.Scenario, s
 	}
 	lanes := make([]*lane, 4)
 	for i := range lanes {
-		gen, err := workload.NewGenerator(profs[i], sys, seed+int64(i), recordsPerCore)
-		if err != nil {
-			return MixStats{}, err
-		}
 		h := newHierarchy(cfg, seed+int64(i), llc, mem, acct)
-		lanes[i] = &lane{gen: gen, h: h, core: cpu.NewCore(cfg.Core, h)}
+		lanes[i] = &lane{src: srcs[i], h: h, core: cpu.NewCore(cfg.Core, h)}
 	}
 
 	// Interleave: always step the core that is earliest in simulated
@@ -241,6 +262,7 @@ func RunMix(ctx context.Context, mix workload.Mix, cfg Config, sc vm.Scenario, s
 	// snapshot is frozen at the end of their own first pass.
 	remaining := 4
 	var steps uint64
+	var rec trace.Record
 	for remaining > 0 {
 		if steps&(cpu.CtxCheckInterval-1) == 0 {
 			if err := ctx.Err(); err != nil {
@@ -257,7 +279,7 @@ func RunMix(ctx context.Context, mix workload.Mix, cfg Config, sc vm.Scenario, s
 			}
 		}
 		l := lanes[li]
-		rec, err := l.gen.Next()
+		err := l.src.NextInto(&rec)
 		if errors.Is(err, io.EOF) {
 			if !l.done {
 				// First pass complete: snapshot this core's result.
@@ -268,15 +290,16 @@ func RunMix(ctx context.Context, mix workload.Mix, cfg Config, sc vm.Scenario, s
 					break
 				}
 			}
-			// Recycle: restart the generator (same program, fresh
-			// mapping, as rerunning the binary would) and keep stepping.
-			l.gen.Reset()
+			// Recycle and keep stepping: a generator restarts (same
+			// program, fresh mapping, as rerunning the binary would); a
+			// replay cursor rewinds to the identical records.
+			l.src.Reset()
 			continue
 		}
 		if err != nil {
 			return MixStats{}, fmt.Errorf("sim: mix %s core %d: %w", mix.Name, li, err)
 		}
-		l.core.Step(rec)
+		l.core.StepPtr(&rec)
 		l.consumed++
 	}
 
