@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race lint vet vuln verify bench fuzz serve-smoke
+.PHONY: all build test race lint vet vuln verify bench fuzz serve-smoke chaos
 
 all: verify
 
@@ -46,6 +46,13 @@ bench:
 # sweep through the HTTP API, then SIGTERM and require a clean drain.
 serve-smoke:
 	scripts/serve_smoke.sh
+
+# Chaos: the fault-injection acceptance suite (internal/fault) under the
+# race detector — seeded panics, evictions, and transient failures
+# against the full serving stack. Short mode keeps it CI-sized.
+chaos:
+	$(GO) test -race -short -run 'TestChaos|TestDecideMatchesFire' ./internal/fault/
+	$(GO) test -race -short -run 'TestPanicIsolation|TestInjectedWorkerPanic' ./internal/sched/
 
 # Native Go fuzzing over the pure bit-math and allocator invariants.
 fuzz:

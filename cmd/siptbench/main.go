@@ -24,12 +24,17 @@
 // The -bench mode ignores -records/-apps/-workers: its settings are
 // pinned (see bench.go) so results are comparable across runs and
 // commits. Compare two result files with cmd/benchcmp.
+//
+// Exit codes: 0 success, 1 failure, 2 bad flags or unknown experiment,
+// 3 the -timeout deadline expired before the run finished.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -39,9 +44,14 @@ import (
 	"sipt/internal/exp"
 )
 
+// exitDeadline is the exit code for a run cut off by -timeout: distinct
+// from ordinary failure (1) so scripts can tell "the experiment is
+// wrong" from "the experiment is slow".
+const exitDeadline = 3
+
 // main delegates to run so deferred profile writers fire before exit.
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // startCPUProfile begins CPU profiling into path and returns a stop
@@ -79,20 +89,24 @@ func writeMemProfile(path string) {
 	}
 }
 
-func run() int {
-	records := flag.Uint64("records", exp.DefaultRecords, "per-app trace length")
-	seed := flag.Int64("seed", 1, "deterministic seed")
-	apps := flag.String("apps", "", "comma-separated app subset")
-	csv := flag.Bool("csv", false, "emit CSV")
-	markdown := flag.Bool("markdown", false, "emit Markdown tables")
-	list := flag.Bool("list", false, "list experiments and exit")
-	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
-	bench := flag.Bool("bench", false, "run the fixed benchmark subset and write BENCH_<seed>.json")
-	benchOut := flag.String("benchout", "", "benchmark output path (default BENCH_<seed>.json)")
-	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
-	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
-	memProfile := flag.String("memprofile", "", "write an end-of-run heap profile to this path")
-	flag.Parse()
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("siptbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	records := fs.Uint64("records", exp.DefaultRecords, "per-app trace length")
+	seed := fs.Int64("seed", 1, "deterministic seed")
+	apps := fs.String("apps", "", "comma-separated app subset")
+	csv := fs.Bool("csv", false, "emit CSV")
+	markdown := fs.Bool("markdown", false, "emit Markdown tables")
+	list := fs.Bool("list", false, "list experiments and exit")
+	workers := fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	bench := fs.Bool("bench", false, "run the fixed benchmark subset and write BENCH_<seed>.json")
+	benchOut := fs.String("benchout", "", "benchmark output path (default BENCH_<seed>.json)")
+	timeout := fs.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this path")
+	memProfile := fs.String("memprofile", "", "write an end-of-run heap profile to this path")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *cpuProfile != "" {
 		if stop := startCPUProfile(*cpuProfile); stop != nil {
@@ -116,7 +130,7 @@ func run() int {
 			path = fmt.Sprintf("BENCH_%d.json", *seed)
 		}
 		if err := runBench(*seed, path); err != nil {
-			fmt.Fprintf(os.Stderr, "siptbench: bench: %v\n", err)
+			fmt.Fprintf(stderr, "siptbench: bench: %v\n", err)
 			return 1
 		}
 		return 0
@@ -124,7 +138,7 @@ func run() int {
 
 	if *list {
 		for _, e := range exp.All() {
-			fmt.Printf("%-6s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-6s %s\n", e.ID, e.Title)
 		}
 		return 0
 	}
@@ -135,7 +149,7 @@ func run() int {
 	}
 	runner := exp.NewRunner(opts).WithContext(ctx)
 
-	ids := flag.Args()
+	ids := fs.Args()
 	if len(ids) == 0 {
 		for _, e := range exp.All() {
 			ids = append(ids, e.ID)
@@ -144,32 +158,36 @@ func run() int {
 	for _, id := range ids {
 		e, err := exp.Lookup(id)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(stderr, err)
 			return 2
 		}
 		start := time.Now()
 		tables, err := e.Run(runner)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "siptbench: %s: %v\n", id, err)
+			if errors.Is(err, context.DeadlineExceeded) {
+				fmt.Fprintf(stderr, "siptbench: %s: deadline exceeded (-timeout elapsed before the run finished)\n", id)
+				return exitDeadline
+			}
+			fmt.Fprintf(stderr, "siptbench: %s: %v\n", id, err)
 			return 1
 		}
 		for _, t := range tables {
 			var rerr error
 			switch {
 			case *csv:
-				rerr = t.RenderCSV(os.Stdout)
+				rerr = t.RenderCSV(stdout)
 			case *markdown:
-				rerr = t.RenderMarkdown(os.Stdout)
+				rerr = t.RenderMarkdown(stdout)
 			default:
-				rerr = t.Render(os.Stdout)
+				rerr = t.Render(stdout)
 			}
 			if rerr != nil {
-				fmt.Fprintf(os.Stderr, "siptbench: rendering %s: %v\n", id, rerr)
+				fmt.Fprintf(stderr, "siptbench: rendering %s: %v\n", id, rerr)
 				return 1
 			}
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
-		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
 	}
 	return 0
 }

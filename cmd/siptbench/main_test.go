@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunDeadlineExitCode: a -timeout too short for the experiment must
+// exit with the dedicated code 3 and a clear "deadline exceeded" line,
+// not a generic failure.
+func TestRunDeadlineExitCode(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-records", "50000000", "-apps", "mcf", "-timeout", "1ms", "fig6"}, &out, &errOut)
+	if code != exitDeadline {
+		t.Fatalf("exit code = %d, want %d (stderr: %s)", code, exitDeadline, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "deadline exceeded") {
+		t.Errorf("stderr = %q, want a clear deadline message", errOut.String())
+	}
+}
+
+// TestRunExitCodes pins the rest of the CLI exit-code contract.
+func TestRunExitCodes(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Errorf("-list exit = %d, want 0", code)
+	}
+	if !strings.Contains(out.String(), "fig6") {
+		t.Error("-list omitted fig6")
+	}
+	if code := run([]string{"-bogus"}, &out, &errOut); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+	if code := run([]string{"fig99"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown experiment exit = %d, want 2", code)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-records", "2000", "-apps", "mcf", "fig5"}, &out, &errOut); code != 0 {
+		t.Errorf("fig5 exit = %d, want 0 (stderr: %s)", code, errOut.String())
+	}
+	if out.Len() == 0 {
+		t.Error("fig5 printed no tables")
+	}
+}

@@ -6,6 +6,12 @@
 //
 //	siptd [-addr :8080] [-workers N] [-queue N] [-records N] [-seed N]
 //	      [-cache N] [-maxjobs N] [-trace-pool-mb N]
+//	      [-faults spec] [-fault-seed N] [-ready-timeout D]
+//
+// -faults arms the deterministic fault-injection framework (see
+// internal/fault) from a spec like "sched.worker.panic:1/64"; it
+// defaults to the SIPT_FAULTS environment variable and is meant for
+// chaos drills and staging, never steady-state production.
 //
 // On startup it prints one line, "siptd: listening on http://ADDR",
 // which scripts/serve_smoke.sh parses to find the ephemeral port. On
@@ -26,6 +32,7 @@ import (
 	"time"
 
 	"sipt/internal/exp"
+	"sipt/internal/fault"
 	"sipt/internal/serve"
 )
 
@@ -51,8 +58,23 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	cacheEntries := fs.Int("cache", 0, "result cache capacity in entries (0 = default)")
 	maxJobs := fs.Int("maxjobs", 0, "retained job records (0 = default)")
 	tracePoolMB := fs.Int("trace-pool-mb", 0, "materialised trace pool budget in MiB (0 = default)")
+	faults := fs.String("faults", os.Getenv(fault.EnvSpec),
+		"fault-injection spec, e.g. sched.worker.panic:1/64 (default $"+fault.EnvSpec+")")
+	faultSeed := fs.Int64("fault-seed", 1, "seed for fault-injection decisions")
+	readyTimeout := fs.Duration("ready-timeout", 0, "/readyz worker heartbeat deadline (0 = default 2s)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *faults != "" {
+		spec, err := fault.ParseSpec(*faults)
+		if err != nil {
+			return err
+		}
+		if err := fault.Arm(spec, *faultSeed); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "siptd: faults armed: %s (seed %d)\n", spec, *faultSeed)
 	}
 
 	runner := exp.NewRunner(exp.Options{
@@ -62,10 +84,11 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		TracePoolMB:  *tracePoolMB,
 	})
 	srv := serve.New(serve.Config{
-		Runner:     runner,
-		Workers:    *workers,
-		QueueDepth: *queue,
-		MaxJobs:    *maxJobs,
+		Runner:       runner,
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		MaxJobs:      *maxJobs,
+		ReadyTimeout: *readyTimeout,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

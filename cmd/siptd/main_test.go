@@ -3,10 +3,13 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"strings"
 	"testing"
 	"time"
+
+	"sipt/internal/fault"
 )
 
 // TestRunServesAndDrains boots the daemon on an ephemeral port, drives
@@ -117,5 +120,54 @@ func waitForAddr(t *testing.T, p *pipe, timeout time.Duration) string {
 		case <-deadline:
 			t.Fatalf("no listen line within %v (got %q)", timeout, line.String())
 		}
+	}
+}
+
+// TestRunFaultFlagsAndReadyz boots the daemon with a (harmless) fault
+// spec armed and checks the startup log announces it, /readyz answers
+// ready, and an unknown point in -faults fails startup fast.
+func TestRunFaultFlagsAndReadyz(t *testing.T) {
+	t.Cleanup(fault.Disarm)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	r, w := newPipe()
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-records", "2000",
+			"-faults", "serve.decode.slow:1/1000000", "-fault-seed", "7",
+			"-ready-timeout", "5s"}, w)
+	}()
+
+	base := "http://" + waitForAddr(t, r, 10*time.Second)
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("readyz = %d, want 200", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run() = %v, want nil", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run() did not return after cancellation")
+	}
+}
+
+// TestRunRejectsUnknownFaultPoint: a typo in -faults must fail startup
+// with ErrUnknownPoint, not silently arm nothing.
+func TestRunRejectsUnknownFaultPoint(t *testing.T) {
+	t.Cleanup(fault.Disarm)
+	_, w := newPipe()
+	err := run(context.Background(), []string{"-addr", "127.0.0.1:0",
+		"-faults", "no.such.point:1/2"}, w)
+	if !errors.Is(err, fault.ErrUnknownPoint) {
+		t.Fatalf("run() = %v, want ErrUnknownPoint", err)
 	}
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"errors"
+	"strings"
 	"time"
 
 	"testing"
@@ -101,5 +102,44 @@ func TestSimContextZeroMeansNoLimit(t *testing.T) {
 	}
 	if ctx.Err() != nil {
 		t.Errorf("fresh no-limit context already errored: %v", ctx.Err())
+	}
+}
+
+// TestRunDeadlineExitCode drives the full CLI: a -timeout too short for
+// the trace must exit with the dedicated code 3 and say "deadline
+// exceeded" plainly on stderr.
+func TestRunDeadlineExitCode(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-app", "mcf", "-records", "50000000", "-timeout", "1ms"}, &out, &errOut)
+	if code != exitDeadline {
+		t.Fatalf("exit code = %d, want %d (stderr: %s)", code, exitDeadline, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "deadline exceeded") {
+		t.Errorf("stderr = %q, want a clear deadline message", errOut.String())
+	}
+}
+
+// TestRunExitCodes pins the rest of the CLI exit-code contract.
+func TestRunExitCodes(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-listapps"}, &out, &errOut); code != 0 {
+		t.Errorf("-listapps exit = %d, want 0", code)
+	}
+	if out.Len() == 0 {
+		t.Error("-listapps printed nothing")
+	}
+	if code := run([]string{"-l1", "banana"}, &out, &errOut); code != 1 {
+		t.Errorf("bad geometry exit = %d, want 1", code)
+	}
+	if code := run([]string{"-bogus"}, &out, &errOut); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-app", "mcf", "-records", "2000"}, &out, &errOut); code != 0 {
+		t.Errorf("normal run exit = %d, want 0 (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "IPC") {
+		t.Error("normal run printed no IPC line")
 	}
 }

@@ -82,6 +82,10 @@ type runnerShared struct {
 	// records).
 	traces *replay.Pool
 	sims   atomic.Uint64
+	// degraded counts runs that fell back to live generation because the
+	// trace pool could not serve them (byte budget, eviction storm) —
+	// the graceful-degradation ladder's observable step.
+	degraded atomic.Uint64
 }
 
 // Runner executes simulations with memoisation, so figures sharing runs
@@ -141,6 +145,11 @@ func (r *Runner) Context() context.Context {
 // Simulations returns how many simulations actually started (cache
 // misses); the benchmark harness reports it alongside wall time.
 func (r *Runner) Simulations() uint64 { return r.sh.sims.Load() }
+
+// DegradedRuns returns how many runs degraded from trace replay to live
+// generation because the pool could not serve them (byte budget or an
+// eviction storm). The daemon exposes it as serve_degraded_runs_total.
+func (r *Runner) DegradedRuns() uint64 { return r.sh.degraded.Load() }
 
 // CacheStats snapshots the shared memo cache counters (hits, misses,
 // evictions, live entries) for the daemon's /metrics endpoint.

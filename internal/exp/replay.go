@@ -16,6 +16,11 @@ import (
 // stream from live generators instead.
 var errLiveGen = errors.New("exp: live generation requested")
 
+// errPoolOversize marks a trace too large for the pool to retain under
+// its byte budget: replaying it would regenerate on every request, so
+// the run degrades to live generation (counted — see noteDegraded).
+var errPoolOversize = errors.New("exp: trace exceeds the pool's retainable size")
+
 // poolKey is the trace-pool key for one (app, scenario) under the
 // runner's current options. Records and seed are in the key, so derived
 // views (WithOptions) sharing one pool never alias.
@@ -35,15 +40,29 @@ func (r *Runner) buffer(app string, sc vm.Scenario) (*replay.Buffer, error) {
 	// context mid-trace, where materialisation does not).
 	records := r.opts.records()
 	if records > uint64(r.sh.traces.MaxBufferBytes())/replay.BytesPerRecord {
-		return nil, errLiveGen
+		return nil, errPoolOversize
 	}
 	return r.sh.traces.Get(r.poolKey(app, sc))
 }
 
 // useLive reports whether err is one of the deliberate
-// fall-back-to-live-generation conditions.
+// fall-back-to-live-generation conditions: an explicit LiveGen request,
+// a scenario the packed format cannot express, or graceful degradation
+// (byte-budget overflow, an eviction storm).
 func useLive(err error) bool {
-	return errors.Is(err, replay.ErrUnpackable) || errors.Is(err, errLiveGen)
+	return errors.Is(err, replay.ErrUnpackable) || errors.Is(err, errLiveGen) ||
+		errors.Is(err, errPoolOversize) || errors.Is(err, replay.ErrEvicted)
+}
+
+// noteDegraded counts live-generation fallbacks that are *degradations*
+// — the pool wanted to serve the trace but could not (byte budget,
+// eviction storm) — as opposed to deliberate choices (Options.LiveGen)
+// or structural impossibility (ErrUnpackable). The daemon exposes the
+// count as serve_degraded_runs_total.
+func (r *Runner) noteDegraded(err error) {
+	if errors.Is(err, errPoolOversize) || errors.Is(err, replay.ErrEvicted) {
+		r.sh.degraded.Add(1)
+	}
 }
 
 // traceReader returns (app, sc)'s record stream under the runner's
@@ -60,6 +79,7 @@ func (r *Runner) traceReader(app string, sc vm.Scenario) (trace.Reader, error) {
 	if !useLive(err) {
 		return nil, err
 	}
+	r.noteDegraded(err)
 	prof, err := workload.Lookup(app)
 	if err != nil {
 		return nil, err
@@ -92,6 +112,7 @@ func (r *Runner) runUncached(app string, cfg sim.Config, sc vm.Scenario) (sim.St
 	buf, err := r.buffer(app, sc)
 	if err != nil {
 		if useLive(err) {
+			r.noteDegraded(err)
 			return r.runLive(app, cfg, sc)
 		}
 		return sim.Stats{}, err
@@ -140,6 +161,7 @@ func (r *Runner) RunConfigs(app string, cfgs []sim.Config, sc vm.Scenario) ([]si
 	buf, err := r.buffer(app, sc)
 	if err != nil {
 		if useLive(err) {
+			r.noteDegraded(err)
 			// No materialised trace: degrade to memoised solo runs.
 			for i := range cfgs {
 				if cached[i] {

@@ -5,14 +5,16 @@
 // go/importer, because this module deliberately has no external
 // dependencies.
 //
-// The four analyzers mechanically enforce the simulator's central
-// guarantees — golden-table determinism and the Stats accounting
-// identities — instead of relying on review vigilance:
+// The analyzers mechanically enforce the simulator's central
+// guarantees — golden-table determinism, the Stats accounting
+// identities, and the failure model — instead of relying on review
+// vigilance:
 //
 //   - detrand: forbids nondeterminism sources in simulation packages.
 //   - statsaccount: enforces paired accounting-counter updates.
 //   - memokey: memo keys must consume every field of their config.
 //   - hotalloc: //sipt:hotpath functions stay allocation- and map-free.
+//   - recoverscope: recover() only at the scheduler's worker boundary.
 //
 // Findings can be acknowledged in place with a justification:
 //
@@ -164,7 +166,7 @@ func HasDirective(doc *ast.CommentGroup, directive string) bool {
 
 // All returns every analyzer in the suite, in report order.
 func All() []*Analyzer {
-	return []*Analyzer{DetRand, StatsAccount, MemoKey, HotAlloc}
+	return []*Analyzer{DetRand, StatsAccount, MemoKey, HotAlloc, RecoverScope}
 }
 
 // ByName resolves a comma-separated analyzer list ("" = all).

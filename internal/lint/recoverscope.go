@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// recoverAllowedPkg is the one package sanctioned to call recover():
+// the scheduler's workers recover per job so a panicking simulation
+// cannot kill the daemon, and everything above them relies on the panic
+// actually reaching that boundary.
+const recoverAllowedPkg = "sipt/internal/sched"
+
+// RecoverScope pins where panic recovery may live. A recover() anywhere
+// else in the simulation tree would swallow a panic mid-simulation and
+// let a half-updated Stats escape as a plausible-looking result —
+// silently corrupt numbers are far worse than a failed job. The failure
+// model (DESIGN.md §10) therefore routes every panic to the scheduler
+// worker, the single place that can settle the job as failed with the
+// stack attached.
+var RecoverScope = &Analyzer{
+	Name: "recoverscope",
+	Doc: `restrict recover() to the scheduler's worker boundary
+
+Flags any call to the builtin recover() in a package under
+sipt/internal/ except sipt/internal/sched. Panic recovery belongs at
+the per-job worker boundary, where the job is settled as failed with
+its stack; recovering inside simulation or serving code would hide the
+panic and publish partially-updated state as a valid result.`,
+	Run: runRecoverScope,
+}
+
+func runRecoverScope(pass *Pass) error {
+	if !inSimScope(pass.Pkg.Path) || pass.Pkg.Path == recoverAllowedPkg {
+		return nil
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "recover" {
+				return true
+			}
+			if _, isBuiltin := pass.Pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true // a shadowing declaration, not the builtin
+			}
+			pass.Reportf(call.Pos(),
+				"recover() outside the scheduler: panic recovery is sanctioned only in %s workers (per-job isolation); let panics propagate to the worker boundary so the job fails with its stack",
+				recoverAllowedPkg)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+package lint_test
+
+import (
+	"testing"
+
+	"sipt/internal/lint"
+	"sipt/internal/lint/linttest"
+)
+
+// TestRecoverScope runs the analyzer over the fixture under a
+// simulation-scope import path: naked recover() calls are flagged,
+// shadowing declarations and acknowledged boundaries are not.
+func TestRecoverScope(t *testing.T) {
+	linttest.Run(t, "testdata/recoverscope", lint.RecoverScope, "sipt/internal/recoverfixture")
+}
+
+// TestRecoverScopeExemptsScheduler loads the same fixture as if it were
+// the scheduler package: the one sanctioned recovery site must produce
+// zero diagnostics, //siptlint:allow or not.
+func TestRecoverScopeExemptsScheduler(t *testing.T) {
+	prog, err := lint.LoadDir("testdata/recoverscope", "sipt/internal/sched")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run(prog, []*lint.Analyzer{lint.RecoverScope})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("recoverscope flagged the exempt scheduler package: %s: %s", d.Pos, d.Message)
+	}
+}

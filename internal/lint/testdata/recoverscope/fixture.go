@@ -1,0 +1,40 @@
+// Package recoverfixture exercises the recoverscope analyzer: recovery
+// hidden inside simulation-shaped code is flagged, shadowing the
+// builtin is not, and an //siptlint:allow acknowledgement suppresses a
+// deliberate boundary.
+package recoverfixture
+
+// inDeferredHandler is the classic swallow-the-panic shape: a deferred
+// closure recovering mid-simulation would publish half-updated state.
+func inDeferredHandler() (err error) {
+	defer func() {
+		if v := recover(); v != nil { // want "recover.. outside the scheduler"
+			_ = v
+		}
+	}()
+	return nil
+}
+
+// directCall: recover outside a deferred function is useless Go, but
+// still evidence someone is trying to intercept panics here.
+func directCall() any {
+	return recover() // want "recover.. outside the scheduler"
+}
+
+// shadowed declares a local identifier named recover; calling it is not
+// the builtin and must not be flagged.
+func shadowed() int {
+	recover := func() int { return 7 }
+	return recover()
+}
+
+// acknowledged is a deliberate recovery boundary with a justification;
+// the allow comment names the analyzer, so it is suppressed.
+func acknowledged() {
+	defer func() {
+		//siptlint:allow recoverscope: deliberate fixture boundary, mirrors the sched worker pattern
+		if v := recover(); v != nil {
+			_ = v
+		}
+	}()
+}

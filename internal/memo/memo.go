@@ -15,7 +15,16 @@ import (
 	"container/list"
 	"sync"
 	"sync/atomic"
+
+	"sipt/internal/fault"
 )
+
+// computeFault is the cache's injection point: armed (e.g.
+// "memo.compute.err:1/8"), a seeded fraction of computes fail with a
+// transient error instead of running. Because errors are never cached,
+// this exercises exactly the forget-and-retry path — waiters observe
+// the injected error, the next Do of the key recomputes.
+var computeFault = fault.NewPoint("memo.compute.err")
 
 // Stats is a point-in-time snapshot of cache effectiveness counters.
 type Stats struct {
@@ -143,7 +152,11 @@ func (c *Cache[V]) Do(key string, compute func() (V, error)) (V, error) {
 	s.mu.Unlock()
 
 	e.once.Do(func() {
-		e.val, e.err = compute()
+		if ferr := computeFault.Err(); ferr != nil {
+			e.err = ferr
+		} else {
+			e.val, e.err = compute()
+		}
 		e.done.Store(true)
 		if e.err != nil {
 			// Forget failed computations so the key can be retried.

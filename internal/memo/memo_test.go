@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"sipt/internal/fault"
 )
 
 // TestBoundedAcrossManyDistinctKeys is the regression test for the
@@ -160,5 +162,108 @@ func TestCapOneShard(t *testing.T) {
 	}
 	if n := c.Len(); n > 2 {
 		t.Errorf("entries = %d, cap 2", n)
+	}
+}
+
+// TestInjectedComputeFaultNotCached arms memo.compute.err at 1/1: every
+// compute fails with the injected transient error, the failure is
+// visible to the caller, and — errors never being cached — disarming
+// lets the very same key compute successfully.
+func TestInjectedComputeFaultNotCached(t *testing.T) {
+	spec, err := fault.ParseSpec("memo.compute.err:1/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.Arm(spec, 42); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fault.Disarm)
+
+	c := New[int](16, 2)
+	calls := 0
+	_, err = c.Do("k", func() (int, error) { calls++; return 7, nil })
+	if err == nil || !fault.IsTransient(err) {
+		t.Fatalf("Do under injected fault = %v, want transient error", err)
+	}
+	if calls != 0 {
+		t.Fatalf("compute ran %d times under an injected failure, want 0", calls)
+	}
+	if n := c.Len(); n != 0 {
+		t.Fatalf("injected failure retained: Len = %d", n)
+	}
+
+	fault.Disarm()
+	v, err := c.Do("k", func() (int, error) { calls++; return 7, nil })
+	if err != nil || v != 7 || calls != 1 {
+		t.Fatalf("post-disarm Do = %d, %v (calls %d); want 7, nil, 1", v, err, calls)
+	}
+}
+
+// TestSingleflightUnderInjectedFaults drives concurrent Do calls of
+// shared keys with memo.compute.err armed at 1/4 while distinct keys
+// churn the same shards for eviction pressure. Invariants: a failed
+// flight's waiters all see the error (no partial values), failed keys
+// always recover on retry, and successful values are always the
+// correct one for their key.
+func TestSingleflightUnderInjectedFaults(t *testing.T) {
+	spec, err := fault.ParseSpec("memo.compute.err:1/4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.Arm(spec, 7); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fault.Disarm)
+
+	c := New[int](32, 4)
+	var wg sync.WaitGroup
+	var transientSeen, okSeen atomic.Int64
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				k := i % 13
+				// Retry across injected failures: the error must never be
+				// sticky, so a bounded retry loop always converges.
+				settled := false
+				for attempt := 0; attempt < 50; attempt++ {
+					v, err := c.Do(fmt.Sprintf("key-%d", k), func() (int, error) { return k * 3, nil })
+					if err != nil {
+						if !fault.IsTransient(err) {
+							t.Errorf("unexpected non-injected error: %v", err)
+							return
+						}
+						transientSeen.Add(1)
+						continue
+					}
+					if v != k*3 {
+						t.Errorf("Do(key-%d) = %d, want %d", k, v, k*3)
+						return
+					}
+					okSeen.Add(1)
+					settled = true
+					break
+				}
+				if !settled {
+					t.Errorf("key-%d never computed through 50 attempts at a 1/4 fault rate", k)
+					return
+				}
+				// Eviction pressure: churn a distinct key through the same
+				// bounded cache so resident entries get displaced while
+				// flights are in progress.
+				_, _ = c.Do(fmt.Sprintf("churn-%d-%d", g, i), func() (int, error) { return 0, nil })
+			}
+		}(g)
+	}
+	wg.Wait()
+	if transientSeen.Load() == 0 {
+		t.Error("fault armed at 1/4 but no injected failure was observed")
+	}
+	if okSeen.Load() == 0 {
+		t.Error("no successful computes")
+	}
+	if n := c.Len(); n > 32 {
+		t.Errorf("entries = %d exceeds cap under fault+eviction churn", n)
 	}
 }

@@ -2,11 +2,26 @@ package replay
 
 import (
 	"container/list"
+	"errors"
 	"sync"
 	"sync/atomic"
 
+	"sipt/internal/fault"
 	"sipt/internal/vm"
 )
+
+// evictStorm is the pool's injection point: armed (e.g.
+// "replay.pool.evict:1/64"), a seeded fraction of Gets behave as if the
+// requested buffer was evicted in a race — the resident entry (if any)
+// is dropped and the lookup fails with ErrEvicted. Callers
+// (internal/exp) degrade to live generation instead of failing the run.
+var evictStorm = fault.NewPoint("replay.pool.evict")
+
+// ErrEvicted reports that the requested buffer was evicted before the
+// caller could pin it. It is transient by nature: the trace is
+// regenerable, so replay-aware callers fall back to live generation
+// (and may repopulate the pool on a later request) rather than failing.
+var ErrEvicted = errors.New("replay: buffer evicted under pressure")
 
 // Key identifies one materialised trace: the tuple that fully
 // determines a synthetic record stream. Distinct seeds, lengths, or
@@ -133,9 +148,15 @@ func (p *Pool) shardFor(k Key) *poolShard {
 func (p *Pool) MaxBufferBytes() int64 { return p.shards[0].budget }
 
 // Get returns the materialised buffer for key, building it on first
-// use. Concurrent Gets of the same key share one materialisation.
+// use. Concurrent Gets of the same key share one materialisation. Under
+// an armed replay.pool.evict fault, a seeded fraction of calls fail
+// with ErrEvicted after dropping the key's resident buffer.
 func (p *Pool) Get(key Key) (*Buffer, error) {
 	s := p.shardFor(key)
+	if evictStorm.Fire() {
+		p.dropResident(s, key)
+		return nil, ErrEvicted
+	}
 
 	s.mu.Lock()
 	el, ok := s.items[key]
@@ -170,6 +191,27 @@ func (p *Pool) Get(key Key) (*Buffer, error) {
 		s.mu.Unlock()
 	})
 	return e.buf, e.err
+}
+
+// dropResident removes key's completed buffer from its shard,
+// simulating an eviction race for the injected storm. In-flight entries
+// are left alone: their bytes are not yet accounted, and yanking a
+// shared singleflight mid-materialisation would fail other waiters too.
+func (p *Pool) dropResident(s *poolShard, key Key) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		return
+	}
+	e := el.Value.(*poolEntry)
+	if !e.resident {
+		return
+	}
+	s.order.Remove(el)
+	delete(s.items, key)
+	s.bytes -= e.buf.Bytes()
+	p.evictions.Add(1)
 }
 
 // enforceBudgetLocked evicts resident buffers, least recently used

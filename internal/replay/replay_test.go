@@ -103,10 +103,10 @@ func TestCursorReset(t *testing.T) {
 // ErrUnpackable rather than silently truncated.
 func TestUnpackable(t *testing.T) {
 	cases := []trace.Record{
-		{PC: 0x100, VA: 0x1000, PA: 0x2000},                  // PC below the synthetic window
-		{PC: 0x400002, VA: 0x1000, PA: 0x2000},               // misaligned PC
-		{PC: 0x400000 + 4<<18, VA: 0x1000, PA: 0x2000},       // PC index overflow
-		{PC: 0x400000, VA: 1 << 48, PA: 0x2000},              // VA beyond 48 bits
+		{PC: 0x100, VA: 0x1000, PA: 0x2000},                   // PC below the synthetic window
+		{PC: 0x400002, VA: 0x1000, PA: 0x2000},                // misaligned PC
+		{PC: 0x400000 + 4<<18, VA: 0x1000, PA: 0x2000},        // PC index overflow
+		{PC: 0x400000, VA: 1 << 48, PA: 0x2000},               // VA beyond 48 bits
 		{PC: 0x400000, VA: 0x1000, PA: 1 << 48},               // PA beyond 48 bits
 		{PC: 0x400000, VA: 0x1000, PA: 0x2000, Flags: 1 << 5}, // undefined flag bit
 	}
@@ -207,9 +207,9 @@ func TestPoolErrorsNotCached(t *testing.T) {
 // the siptd daemon relies on under concurrent sweeps.
 func TestPoolByteBudget(t *testing.T) {
 	const (
-		recsPerBuf  = 256                                 // 4 KiB per buffer
-		budget      = 64 << 10                            // 64 KiB total
-		perShardMax = int64(budget)                       // global bound equals the sum of shard bounds
+		recsPerBuf  = 256           // 4 KiB per buffer
+		budget      = 64 << 10      // 64 KiB total
+		perShardMax = int64(budget) // global bound equals the sum of shard bounds
 	)
 	p := replay.NewPool(budget, 0, func(k replay.Key) (*replay.Buffer, error) {
 		return fakeBuffer(t, recsPerBuf), nil

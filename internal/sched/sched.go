@@ -19,10 +19,17 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
+	"sipt/internal/fault"
 	"sipt/internal/metrics"
 )
+
+// workerPanic is the scheduler's injection point: armed (e.g.
+// "sched.worker.panic:1/64"), a seeded fraction of jobs panic inside a
+// worker, exercising the recovery path the chaos suite asserts on.
+var workerPanic = fault.NewPoint("sched.worker.panic")
 
 // Priority selects a queue class.
 type Priority uint8
@@ -54,10 +61,17 @@ var ErrQueueFull = errors.New("sched: queue full")
 // translate it to 503.
 var ErrDraining = errors.New("sched: pool draining")
 
+// ErrShedding is returned by Submit for Bulk work while the interactive
+// queue is backed up past the shed threshold: load-shedding rejects
+// bulk sweeps before interactive latency degrades. HTTP callers
+// translate it to 429, like ErrQueueFull.
+var ErrShedding = errors.New("sched: shedding bulk work under interactive load")
+
 // task is one accepted unit of work.
 type task struct {
-	ctx context.Context
-	fn  func(context.Context)
+	ctx     context.Context
+	fn      func(context.Context)
+	onPanic func(v any, stack []byte)
 }
 
 // Config sizes a Pool.
@@ -68,6 +82,12 @@ type Config struct {
 	// Accepted-but-waiting jobs beyond this are rejected with
 	// ErrQueueFull.
 	QueueDepth int
+	// ShedBulkAt is the load-shedding threshold: when at least this many
+	// interactive jobs are waiting, Bulk submissions are rejected with
+	// ErrShedding even though the bulk queue has room (interactive work
+	// keeps its headroom). 0 = half the queue depth (at least one); a
+	// negative value disables shedding.
+	ShedBulkAt int
 	// Registry receives the pool's metrics (nil = a private registry,
 	// i.e. effectively unexported metrics).
 	Registry *metrics.Registry
@@ -76,7 +96,9 @@ type Config struct {
 // Pool is the worker pool. Construct with New; all methods are safe for
 // concurrent use.
 type Pool struct {
-	queues [numPriorities]chan task
+	queues  [numPriorities]chan task
+	nworker int
+	shedAt  int // < 0 disables shedding
 
 	mu       sync.Mutex
 	draining bool
@@ -86,6 +108,8 @@ type Pool struct {
 	submitted *metrics.Counter
 	rejected  *metrics.Counter
 	completed *metrics.Counter
+	failed    *metrics.Counter
+	shed      *metrics.Counter
 	depth     *metrics.Gauge
 }
 
@@ -99,14 +123,25 @@ func New(cfg Config) *Pool {
 	if depth <= 0 {
 		depth = 64
 	}
+	shedAt := cfg.ShedBulkAt
+	if shedAt == 0 {
+		shedAt = depth / 2
+		if shedAt < 1 {
+			shedAt = 1
+		}
+	}
 	reg := cfg.Registry
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
 	p := &Pool{
+		nworker:   workers,
+		shedAt:    shedAt,
 		submitted: reg.Counter("sched_jobs_submitted_total", "jobs accepted into a queue"),
 		rejected:  reg.Counter("sched_jobs_rejected_total", "jobs rejected by backpressure"),
-		completed: reg.Counter("sched_jobs_completed_total", "jobs whose function returned"),
+		completed: reg.Counter("sched_jobs_completed_total", "jobs whose function returned normally"),
+		failed:    reg.Counter("sched_jobs_failed_total", "jobs whose function panicked (recovered per-job)"),
+		shed:      reg.Counter("sched_jobs_shed_total", "bulk jobs rejected by load shedding"),
 		depth:     reg.Gauge("sched_queue_depth", "jobs waiting in queues"),
 	}
 	for i := range p.queues {
@@ -119,13 +154,29 @@ func New(cfg Config) *Pool {
 	return p
 }
 
+// Workers returns the pool's resolved worker count (callers size
+// backpressure estimates from it).
+func (p *Pool) Workers() int { return p.nworker }
+
 // Submit enqueues fn under the given priority. fn always receives ctx
 // and is responsible for honouring its cancellation — a job whose
 // context is already dead still runs (and should return immediately),
 // so the submitter's bookkeeping sees every accepted job exactly once.
-// Returns ErrQueueFull under backpressure and ErrDraining after Drain
-// has begun.
+// Returns ErrQueueFull under backpressure, ErrShedding for bulk work
+// shed under interactive load, and ErrDraining after Drain has begun.
 func (p *Pool) Submit(ctx context.Context, pri Priority, fn func(context.Context)) error {
+	return p.SubmitObserved(ctx, pri, fn, nil)
+}
+
+// SubmitObserved is Submit with a panic observer: if fn panics, the
+// worker recovers (the daemon survives), counts the job failed rather
+// than completed, and calls onPanic with the recovered value and the
+// worker's stack so the submitter can settle its own bookkeeping (e.g.
+// mark an HTTP job failed with the stack in its report). A nil onPanic
+// still recovers; the panic is then only visible in the failed counter.
+func (p *Pool) SubmitObserved(ctx context.Context, pri Priority, fn func(context.Context),
+	onPanic func(v any, stack []byte)) error {
+
 	if pri >= numPriorities {
 		return errors.New("sched: invalid priority")
 	}
@@ -138,8 +189,12 @@ func (p *Pool) Submit(ctx context.Context, pri Priority, fn func(context.Context
 		p.rejected.Inc()
 		return ErrDraining
 	}
+	if pri == Bulk && p.shedAt >= 0 && len(p.queues[Interactive]) >= p.shedAt {
+		p.shed.Inc()
+		return ErrShedding
+	}
 	select {
-	case p.queues[pri] <- task{ctx: ctx, fn: fn}:
+	case p.queues[pri] <- task{ctx: ctx, fn: fn, onPanic: onPanic}:
 		p.submitted.Inc()
 		p.depth.Add(1)
 		return nil
@@ -174,11 +229,28 @@ func (p *Pool) Draining() bool {
 // Depth returns the number of jobs currently waiting in queues.
 func (p *Pool) Depth() int { return int(p.depth.Load()) }
 
-// run executes one task and maintains the counters.
+// run executes one task and maintains the counters. A panicking job —
+// injected via sched.worker.panic or a genuine bug in a simulation — is
+// recovered here, isolated to the one job: the worker survives, the
+// pool keeps draining, and the panic is reported through the task's
+// observer with the stack captured at the panic site.
 func (p *Pool) run(t task) {
 	p.depth.Add(-1)
+	defer func() {
+		if v := recover(); v != nil {
+			stack := debug.Stack()
+			p.failed.Inc()
+			if t.onPanic != nil {
+				t.onPanic(v, stack)
+			}
+			return
+		}
+		p.completed.Inc()
+	}()
+	if workerPanic.Fire() {
+		panic("fault: injected worker panic (sched.worker.panic)")
+	}
 	t.fn(t.ctx)
-	p.completed.Inc()
 }
 
 // worker executes tasks, preferring interactive work, until both queues

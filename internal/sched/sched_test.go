@@ -3,10 +3,13 @@ package sched
 import (
 	"context"
 	"errors"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"sipt/internal/fault"
 )
 
 func TestRunsSubmittedJobs(t *testing.T) {
@@ -34,7 +37,8 @@ func TestRunsSubmittedJobs(t *testing.T) {
 }
 
 func TestBackpressureRejectsWhenFull(t *testing.T) {
-	p := New(Config{Workers: 1, QueueDepth: 1})
+	// Shedding disabled: this test pins the per-class queue bound alone.
+	p := New(Config{Workers: 1, QueueDepth: 1, ShedBulkAt: -1})
 	block := make(chan struct{})
 	started := make(chan struct{})
 
@@ -184,7 +188,7 @@ func TestConcurrentSubmitDrain(t *testing.T) {
 				switch {
 				case err == nil:
 					accepted.Add(1)
-				case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+				case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining), errors.Is(err, ErrShedding):
 				default:
 					t.Errorf("unexpected submit error: %v", err)
 				}
@@ -196,6 +200,127 @@ func TestConcurrentSubmitDrain(t *testing.T) {
 	if ran.Load() != accepted.Load() {
 		t.Errorf("accepted %d jobs but ran %d", accepted.Load(), ran.Load())
 	}
+}
+
+// TestPanicIsolation is the recovery contract plus the
+// completed-vs-failed accounting regression test: a panicking job must
+// not kill the worker (later jobs still run), must increment
+// sched_jobs_failed_total — not completed — and must hand its panic
+// value and stack to the observer.
+func TestPanicIsolation(t *testing.T) {
+	p := New(Config{Workers: 1, QueueDepth: 8})
+
+	type report struct {
+		v     any
+		stack string
+	}
+	got := make(chan report, 1)
+	if err := p.SubmitObserved(context.Background(), Interactive,
+		func(context.Context) { panic("boom") },
+		func(v any, stack []byte) { got <- report{v: v, stack: string(stack)} },
+	); err != nil {
+		t.Fatal(err)
+	}
+	r := <-got
+	if r.v != "boom" {
+		t.Errorf("panic value = %v, want boom", r.v)
+	}
+	if !strings.Contains(r.stack, "goroutine ") {
+		t.Errorf("observer stack does not look like a stack:\n%s", r.stack)
+	}
+
+	// The worker survived: a later job on the same single worker runs.
+	ran := make(chan struct{})
+	if err := p.Submit(context.Background(), Interactive, func(context.Context) { close(ran) }); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ran:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker did not survive the panic")
+	}
+
+	// A nil observer still recovers.
+	if err := p.Submit(context.Background(), Bulk, func(context.Context) { panic("quiet") }); err != nil {
+		t.Fatal(err)
+	}
+	p.Drain()
+	if c, f := p.completed.Load(), p.failed.Load(); c != 1 || f != 2 {
+		t.Errorf("completed/failed = %d/%d, want 1/2 (panicked jobs must not count completed)", c, f)
+	}
+}
+
+// TestInjectedWorkerPanic arms the sched.worker.panic point at 1/1 and
+// checks the injected panic takes the same recovery path.
+func TestInjectedWorkerPanic(t *testing.T) {
+	t.Cleanup(fault.Disarm)
+	spec, err := fault.ParseSpec("sched.worker.panic:1/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.Arm(spec, 1); err != nil {
+		t.Fatal(err)
+	}
+	p := New(Config{Workers: 1, QueueDepth: 4})
+	got := make(chan any, 1)
+	ran := false
+	if err := p.SubmitObserved(context.Background(), Interactive,
+		func(context.Context) { ran = true },
+		func(v any, _ []byte) { got <- v },
+	); err != nil {
+		t.Fatal(err)
+	}
+	v := <-got
+	if s, ok := v.(string); !ok || !strings.Contains(s, "sched.worker.panic") {
+		t.Errorf("injected panic value = %v", v)
+	}
+	fault.Disarm()
+	p.Drain()
+	if ran {
+		t.Error("job function ran despite the injected pre-run panic")
+	}
+	if p.failed.Load() != 1 || p.completed.Load() != 0 {
+		t.Errorf("failed/completed = %d/%d, want 1/0", p.failed.Load(), p.completed.Load())
+	}
+}
+
+// TestBulkSheddingUnderInteractiveLoad: once the interactive queue
+// backs up past the threshold, bulk work is rejected with ErrShedding
+// while interactive submissions still use their remaining headroom.
+func TestBulkSheddingUnderInteractiveLoad(t *testing.T) {
+	p := New(Config{Workers: 1, QueueDepth: 8, ShedBulkAt: 2})
+	block := make(chan struct{})
+	started := make(chan struct{})
+	if err := p.Submit(context.Background(), Interactive, func(context.Context) {
+		close(started)
+		<-block
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	// Below the threshold, bulk work is accepted.
+	if err := p.Submit(context.Background(), Bulk, func(context.Context) {}); err != nil {
+		t.Fatalf("bulk below threshold: %v", err)
+	}
+	// Back up the interactive queue to the threshold...
+	for i := 0; i < 2; i++ {
+		if err := p.Submit(context.Background(), Interactive, func(context.Context) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// ...and bulk is now shed, while interactive still goes through.
+	if err := p.Submit(context.Background(), Bulk, func(context.Context) {}); !errors.Is(err, ErrShedding) {
+		t.Fatalf("bulk at threshold: err = %v, want ErrShedding", err)
+	}
+	if err := p.Submit(context.Background(), Interactive, func(context.Context) {}); err != nil {
+		t.Fatalf("interactive at threshold: %v", err)
+	}
+	if p.shed.Load() != 1 {
+		t.Errorf("shed counter = %d, want 1", p.shed.Load())
+	}
+	close(block)
+	p.Drain()
 }
 
 func TestMetricsCounters(t *testing.T) {

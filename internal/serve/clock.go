@@ -14,3 +14,12 @@ var clock = func() int64 {
 
 // nowNS returns the current wall-clock time in nanoseconds.
 func nowNS() int64 { return clock() }
+
+// sleep is the serving layer's only delay primitive, used by the
+// transient-retry backoff (and the serve.decode.slow injection point).
+// Like clock it is a swappable hook: tests replace it to record backoff
+// schedules without waiting, keeping the retry tests clock-free and
+// deterministic.
+var sleep = func(d time.Duration) {
+	time.Sleep(d)
+}

@@ -72,10 +72,19 @@ func (j *Job) setRunning(now int64) {
 	j.mu.Unlock()
 }
 
-// finish moves the job to a terminal state and closes done. It returns
-// the run latency in nanoseconds (0 if the job never started).
-func (j *Job) finish(st Status, tables []*report.Table, errMsg string, now int64) int64 {
+// finish moves the job to a terminal state and closes done, returning
+// the run latency in nanoseconds (0 if the job never started) and
+// whether this call settled the job. It is idempotent: once terminal, a
+// job's state never changes and done is never closed twice — the first
+// settler wins, later calls report settled=false so they skip their
+// metrics. (A panicking job can race its observer against runJob's own
+// bookkeeping; idempotency makes the pair safe by construction.)
+func (j *Job) finish(st Status, tables []*report.Table, errMsg string, now int64) (int64, bool) {
 	j.mu.Lock()
+	if j.status.Terminal() {
+		j.mu.Unlock()
+		return 0, false
+	}
 	j.status = st
 	j.tables = tables
 	j.errMsg = errMsg
@@ -86,7 +95,7 @@ func (j *Job) finish(st Status, tables []*report.Table, errMsg string, now int64
 	}
 	j.mu.Unlock()
 	close(j.done)
-	return lat
+	return lat, true
 }
 
 // JobView is the JSON shape of GET /v1/jobs/{id}. Field order is the

@@ -9,12 +9,21 @@
 //	GET    /v1/jobs/{id} job status and, when done, result tables
 //	DELETE /v1/jobs/{id} cancel a queued or running job
 //	GET    /healthz      liveness (503 while draining)
+//	GET    /readyz       readiness: not draining AND worker pool proven
+//	                     live by a heartbeat job within a deadline
 //	GET    /metrics      Prometheus text format
 //
 // Runs are Interactive-priority (a user is waiting); sweeps are Bulk.
-// A full queue answers 429 with Retry-After; a draining server answers
-// 503. Results are report.Table documents — the same deterministic JSON
-// encoding cmd/siptbench emits.
+// A full or shedding queue answers 429 with an adaptive Retry-After
+// (estimated from live queue depth and observed job latency); a
+// draining server answers 503. Results are report.Table documents — the
+// same deterministic JSON encoding cmd/siptbench emits.
+//
+// Failure model (DESIGN.md §10): a panicking job is recovered on its
+// scheduler worker and reported failed with the stack in its error —
+// the daemon survives. Jobs failing with a fault.Transient error are
+// retried in place with bounded exponential backoff before the failure
+// is surfaced.
 package serve
 
 import (
@@ -23,14 +32,25 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
 	"sipt/internal/exp"
+	"sipt/internal/fault"
 	"sipt/internal/metrics"
 	"sipt/internal/report"
 	"sipt/internal/sched"
 )
+
+// decodeSlow is the API layer's injection point: armed (e.g.
+// "serve.decode.slow:1/8"), a seeded fraction of request-body decodes
+// stall briefly, exercising client-visible latency jitter without
+// touching any simulation state.
+var decodeSlow = fault.NewPoint("serve.decode.slow")
+
+// decodeSlowDelay is the injected stall per fired decode.
+const decodeSlowDelay = 5 * time.Millisecond
 
 // Config sizes a Server.
 type Config struct {
@@ -47,17 +67,21 @@ type Config struct {
 	Registry *metrics.Registry
 	// MaxBody bounds request body size in bytes (0 = 1 MiB).
 	MaxBody int64
+	// ReadyTimeout bounds /readyz's worker heartbeat: if no worker picks
+	// up the probe job within it, the server reports not ready (0 = 2s).
+	ReadyTimeout time.Duration
 }
 
 // Server is the siptd HTTP handler plus its job machinery. Construct
 // with New; it is safe for concurrent use.
 type Server struct {
-	runner  *exp.Runner
-	pool    *sched.Pool
-	reg     *metrics.Registry
-	mux     *http.ServeMux
-	jobs    *jobStore
-	maxBody int64
+	runner       *exp.Runner
+	pool         *sched.Pool
+	reg          *metrics.Registry
+	mux          *http.ServeMux
+	jobs         *jobStore
+	maxBody      int64
+	readyTimeout time.Duration
 
 	// admitMu guards nextID and draining so job IDs are allocated in
 	// admission order and drain is a clean cut: every job admitted
@@ -72,7 +96,9 @@ type Server struct {
 	jobsFailed   *metrics.Counter
 	jobsCanceled *metrics.Counter
 	rejected429  *metrics.Counter
+	jobRetries   *metrics.Counter
 	latency      *metrics.Histogram
+	degradedRuns *metrics.Gauge
 	cacheEntries *metrics.Gauge
 	cacheHits    *metrics.Gauge
 	cacheMisses  *metrics.Gauge
@@ -97,12 +123,17 @@ func New(cfg Config) *Server {
 	if maxBody <= 0 {
 		maxBody = 1 << 20
 	}
+	readyTimeout := cfg.ReadyTimeout
+	if readyTimeout <= 0 {
+		readyTimeout = 2 * time.Second
+	}
 	s := &Server{
-		runner:  cfg.Runner,
-		pool:    sched.New(sched.Config{Workers: cfg.Workers, QueueDepth: cfg.QueueDepth, Registry: reg}),
-		reg:     reg,
-		jobs:    newJobStore(cfg.MaxJobs),
-		maxBody: maxBody,
+		runner:       cfg.Runner,
+		pool:         sched.New(sched.Config{Workers: cfg.Workers, QueueDepth: cfg.QueueDepth, Registry: reg}),
+		reg:          reg,
+		jobs:         newJobStore(cfg.MaxJobs),
+		maxBody:      maxBody,
+		readyTimeout: readyTimeout,
 
 		requests:     reg.Counter("serve_http_requests_total", "HTTP requests received"),
 		jobsCreated:  reg.Counter("serve_jobs_created_total", "jobs admitted"),
@@ -110,8 +141,10 @@ func New(cfg Config) *Server {
 		jobsFailed:   reg.Counter("serve_jobs_failed_total", "jobs finished with an error"),
 		jobsCanceled: reg.Counter("serve_jobs_canceled_total", "jobs stopped by cancellation"),
 		rejected429:  reg.Counter("serve_jobs_rejected_total", "submissions rejected by backpressure"),
+		jobRetries:   reg.Counter("serve_job_retries_total", "transient job failures retried in place"),
 		latency: reg.Histogram("serve_job_latency_ms", "job run latency (ms)",
 			1, 5, 10, 50, 100, 500, 1000, 5000, 10000),
+		degradedRuns: reg.Gauge("serve_degraded_runs_total", "runs degraded from trace replay to live generation"),
 		cacheEntries: reg.Gauge("serve_result_cache_entries", "memoised results resident"),
 		cacheHits:    reg.Gauge("serve_result_cache_hits", "memo cache hits"),
 		cacheMisses:  reg.Gauge("serve_result_cache_misses", "memo cache misses"),
@@ -128,6 +161,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
@@ -208,7 +242,20 @@ func (s *Server) submit(kind string, pri sched.Priority, timeout time.Duration,
 		status:      StatusQueued,
 		submittedNS: nowNS(),
 	}
-	err := s.pool.Submit(base, pri, func(ctx context.Context) { s.runJob(j, ctx, run) })
+	// The panic observer settles jobs whose function (or the worker's
+	// injected fault) panicked: runJob's own bookkeeping never ran to
+	// completion, so the job would otherwise hang in queued/running
+	// forever. finish is idempotent, so the normal path and this path
+	// cannot double-settle.
+	onPanic := func(v any, stack []byte) {
+		j.cancel()
+		lat, settled := j.finish(StatusFailed, nil, fmt.Sprintf("panic: %v\n\n%s", v, stack), nowNS())
+		if settled {
+			s.jobsFailed.Inc()
+			s.latency.Observe(lat / 1e6)
+		}
+	}
+	err := s.pool.SubmitObserved(base, pri, func(ctx context.Context) { s.runJob(j, ctx, run) }, onPanic)
 	if err == nil {
 		s.nextID = id
 		s.jobs.add(j)
@@ -222,36 +269,91 @@ func (s *Server) submit(kind string, pri sched.Priority, timeout time.Duration,
 	return j, nil
 }
 
+// Retry policy for transient job failures (DESIGN.md §10): bounded
+// exponential backoff, in place on the worker, before the failure is
+// surfaced to the client. Panics and permanent errors are never
+// retried.
+const (
+	maxRetries     = 3
+	retryBaseDelay = 10 * time.Millisecond
+	retryMaxDelay  = 250 * time.Millisecond
+)
+
 // runJob executes one admitted job on a scheduler worker and settles
-// its terminal state and metrics.
+// its terminal state and metrics. Transient failures (fault.Transient)
+// are retried with exponential backoff while the job's context is
+// still live.
 func (s *Server) runJob(j *Job, ctx context.Context,
 	run func(ctx context.Context) ([]*report.Table, error)) {
 
 	defer j.cancel() // release the timeout timer, if any
 	j.setRunning(nowNS())
 	tables, err := run(ctx)
+	for attempt := 0; err != nil && fault.IsTransient(err) &&
+		ctx.Err() == nil && attempt < maxRetries; attempt++ {
+		d := retryBaseDelay << attempt
+		if d > retryMaxDelay {
+			d = retryMaxDelay
+		}
+		sleep(d)
+		s.jobRetries.Inc()
+		tables, err = run(ctx)
+	}
 	var latNS int64
+	var settled bool
 	switch {
 	case err == nil:
-		latNS = j.finish(StatusDone, tables, "", nowNS())
+		latNS, settled = j.finish(StatusDone, tables, "", nowNS())
 		s.jobsDone.Inc()
 	case errors.Is(err, context.Canceled):
-		latNS = j.finish(StatusCanceled, nil, err.Error(), nowNS())
+		latNS, settled = j.finish(StatusCanceled, nil, err.Error(), nowNS())
 		s.jobsCanceled.Inc()
 	default:
-		latNS = j.finish(StatusFailed, nil, err.Error(), nowNS())
+		latNS, settled = j.finish(StatusFailed, nil, err.Error(), nowNS())
 		s.jobsFailed.Inc()
 	}
-	s.latency.Observe(latNS / 1e6)
+	if settled {
+		s.latency.Observe(latNS / 1e6)
+	}
+}
+
+// retryAfterSeconds estimates how long a rejected client should wait
+// before retrying: the current queue backlog (plus the rejected job)
+// divided across the workers, priced at the observed mean job latency.
+// With no latency history yet it answers 1; the estimate is clamped to
+// [1, 60] seconds so a latency spike cannot push clients away for
+// minutes.
+func (s *Server) retryAfterSeconds() int64 {
+	var meanMS int64
+	if n := s.latency.Count(); n > 0 {
+		meanMS = s.latency.Sum() / int64(n)
+	}
+	if meanMS <= 0 {
+		return 1
+	}
+	backlog := int64(s.pool.Depth()) + 1
+	perSec := int64(s.pool.Workers()) * 1000
+	secs := (backlog*meanMS + perSec - 1) / perSec
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
 }
 
 // rejectSubmit translates scheduler admission errors to HTTP.
 func (s *Server) rejectSubmit(w http.ResponseWriter, err error) {
 	switch {
-	case errors.Is(err, sched.ErrQueueFull):
+	case errors.Is(err, sched.ErrQueueFull), errors.Is(err, sched.ErrShedding):
 		s.rejected429.Inc()
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "queue full; retry later")
+		w.Header().Set("Retry-After", strconv.FormatInt(s.retryAfterSeconds(), 10))
+		if errors.Is(err, sched.ErrShedding) {
+			writeError(w, http.StatusTooManyRequests, "shedding bulk work under interactive load; retry later")
+		} else {
+			writeError(w, http.StatusTooManyRequests, "queue full; retry later")
+		}
 	case errors.Is(err, sched.ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, "server draining")
 	default:
@@ -365,7 +467,37 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}{"ok"})
 }
 
+// handleReadyz reports readiness, a stronger claim than /healthz's
+// liveness: the server is not draining AND the worker pool demonstrably
+// executes work — a heartbeat probe job must run within ReadyTimeout.
+// A wedged or saturated pool (every worker stuck, queue full) turns the
+// instance not-ready so a load balancer stops routing to it, while
+// /healthz stays green and keeps the process from being restarted.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), s.readyTimeout)
+	defer cancel()
+	beat := make(chan struct{})
+	err := s.pool.Submit(ctx, sched.Interactive, func(context.Context) { close(beat) })
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "not ready: %v", err)
+		return
+	}
+	select {
+	case <-beat:
+		writeJSON(w, http.StatusOK, struct {
+			Status string `json:"status"`
+		}{"ready"})
+	case <-ctx.Done():
+		writeError(w, http.StatusServiceUnavailable, "not ready: worker heartbeat timed out")
+	}
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.degradedRuns.Set(int64(s.runner.DegradedRuns()))
 	cs := s.runner.CacheStats()
 	s.cacheEntries.Set(int64(cs.Entries))
 	s.cacheHits.Set(int64(cs.Hits))
@@ -383,6 +515,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 
 // decodeBody strictly decodes a single JSON object request body.
 func decodeBody(r *http.Request, v any) error {
+	if decodeSlow.Fire() {
+		sleep(decodeSlowDelay)
+	}
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {

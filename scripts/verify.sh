@@ -15,6 +15,8 @@ echo '== go test ./...'
 go test ./...
 echo '== go test -race ./...'
 go test -race ./...
+echo '== chaos suite (fault injection under race)'
+go test -race -short -run 'TestChaos|TestDecideMatchesFire' ./internal/fault/
 echo '== serve smoke (siptd end to end)'
 scripts/serve_smoke.sh
 if command -v govulncheck >/dev/null 2>&1; then
