@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race lint vet vuln verify bench fuzz serve-smoke chaos
+.PHONY: all build test race lint vet vuln verify bench fuzz serve-smoke fabric-smoke chaos
 
 all: verify
 
@@ -47,12 +47,19 @@ bench:
 serve-smoke:
 	scripts/serve_smoke.sh
 
+# Fabric smoke: boot two workers plus a coordinator and a single-node
+# daemon, drive the same workload through both, and require the
+# reports to be byte-identical (plus clean drains all round).
+fabric-smoke:
+	scripts/fabric_smoke.sh
+
 # Chaos: the fault-injection acceptance suite (internal/fault) under the
 # race detector — seeded panics, evictions, and transient failures
 # against the full serving stack. Short mode keeps it CI-sized.
 chaos:
 	$(GO) test -race -short -run 'TestChaos|TestDecideMatchesFire' ./internal/fault/
 	$(GO) test -race -short -run 'TestPanicIsolation|TestInjectedWorkerPanic' ./internal/sched/
+	$(GO) test -race -short -run 'TestChaos' ./internal/fabric/
 
 # Native Go fuzzing over the pure bit-math and allocator invariants.
 fuzz:

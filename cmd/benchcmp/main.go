@@ -18,6 +18,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
 )
 
@@ -57,13 +59,63 @@ func load(path string) (benchFile, error) {
 }
 
 // deltaPct formats the relative change from old to new as a signed
-// percentage ("n/a" when old is zero, so a division cannot blow up on
-// hand-edited files).
+// percentage. A zero, NaN, or infinite baseline — e.g. AllocsPerRecord
+// 0, or a hand-edited file — has no meaningful relative change, so it
+// prints "n/a" instead of +Inf%/NaN% (and gated(...) below makes sure
+// such metrics never trip the regression gate either).
 func deltaPct(old, new float64) string {
-	if old == 0 {
+	if !gateable(old) || math.IsNaN(new) || math.IsInf(new, 0) {
 		return "n/a"
 	}
 	return fmt.Sprintf("%+.1f%%", (new-old)/old*100)
+}
+
+// gateable reports whether a baseline value can anchor a relative
+// regression check: it must be a positive finite number.
+func gateable(old float64) bool {
+	return old > 0 && !math.IsInf(old, 0)
+}
+
+// compare prints the delta table for every experiment in both files
+// and reports whether any regression beyond threshold percent (or a
+// missing experiment) was found, plus how many experiments were
+// compared. Split from main so the gate logic is testable.
+func compare(old, cur benchFile, threshold float64, stdout, stderr io.Writer) (failed bool, compared int) {
+	newByID := make(map[string]benchResult, len(cur.Experiments))
+	for _, r := range cur.Experiments {
+		newByID[r.ID] = r
+	}
+
+	limit := 1 - threshold/100
+	fmt.Fprintf(stdout, "%-8s %14s %14s %9s %10s %10s %9s\n",
+		"exp", "old rec/s", "new rec/s", "Δrec/s", "old allocs", "new allocs", "Δallocs")
+	for _, o := range old.Experiments {
+		n, ok := newByID[o.ID]
+		if !ok {
+			fmt.Fprintf(stderr, "benchcmp: %s missing from new file\n", o.ID)
+			failed = true
+			continue
+		}
+		compared++
+		verdict := ""
+		if gateable(o.RecordsPerSec) && n.RecordsPerSec < o.RecordsPerSec*limit {
+			verdict = "  THROUGHPUT REGRESSION"
+			failed = true
+		}
+		// Relative alloc growth only matters once the absolute rate is
+		// non-trivial: below one allocation per ~10 records the counter
+		// is dominated by per-run setup, not per-record behaviour.
+		if gateable(o.AllocsPerRecord) && n.AllocsPerRecord > o.AllocsPerRecord/limit &&
+			n.AllocsPerRecord-o.AllocsPerRecord > 0.1 {
+			verdict += "  ALLOC REGRESSION"
+			failed = true
+		}
+		fmt.Fprintf(stdout, "%-8s %14.0f %14.0f %9s %10.2f %10.2f %9s%s\n",
+			o.ID, o.RecordsPerSec, n.RecordsPerSec, deltaPct(o.RecordsPerSec, n.RecordsPerSec),
+			o.AllocsPerRecord, n.AllocsPerRecord, deltaPct(o.AllocsPerRecord, n.AllocsPerRecord),
+			verdict)
+	}
+	return failed, compared
 }
 
 func main() {
@@ -83,42 +135,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchcmp:", err)
 		os.Exit(2)
 	}
-	newByID := make(map[string]benchResult, len(cur.Experiments))
-	for _, r := range cur.Experiments {
-		newByID[r.ID] = r
-	}
-
-	limit := 1 - *threshold/100
-	failed := false
-	compared := 0
-	fmt.Printf("%-8s %14s %14s %9s %10s %10s %9s\n",
-		"exp", "old rec/s", "new rec/s", "Δrec/s", "old allocs", "new allocs", "Δallocs")
-	for _, o := range old.Experiments {
-		n, ok := newByID[o.ID]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "benchcmp: %s missing from %s\n", o.ID, flag.Arg(1))
-			failed = true
-			continue
-		}
-		compared++
-		verdict := ""
-		if o.RecordsPerSec > 0 && n.RecordsPerSec < o.RecordsPerSec*limit {
-			verdict = "  THROUGHPUT REGRESSION"
-			failed = true
-		}
-		// Relative alloc growth only matters once the absolute rate is
-		// non-trivial: below one allocation per ~10 records the counter
-		// is dominated by per-run setup, not per-record behaviour.
-		if o.AllocsPerRecord > 0 && n.AllocsPerRecord > o.AllocsPerRecord/limit &&
-			n.AllocsPerRecord-o.AllocsPerRecord > 0.1 {
-			verdict += "  ALLOC REGRESSION"
-			failed = true
-		}
-		fmt.Printf("%-8s %14.0f %14.0f %9s %10.2f %10.2f %9s%s\n",
-			o.ID, o.RecordsPerSec, n.RecordsPerSec, deltaPct(o.RecordsPerSec, n.RecordsPerSec),
-			o.AllocsPerRecord, n.AllocsPerRecord, deltaPct(o.AllocsPerRecord, n.AllocsPerRecord),
-			verdict)
-	}
+	failed, compared := compare(old, cur, *threshold, os.Stdout, os.Stderr)
 	if compared == 0 {
 		fmt.Fprintln(os.Stderr, "benchcmp: no experiments in common")
 		os.Exit(2)

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestDeltaPct pins the zero/NaN/Inf baseline handling: a metric with
+// no meaningful relative change prints "n/a", never +Inf% or NaN%.
+func TestDeltaPct(t *testing.T) {
+	cases := []struct {
+		name     string
+		old, new float64
+		want     string
+	}{
+		{"improvement", 100, 110, "+10.0%"},
+		{"regression", 100, 85, "-15.0%"},
+		{"flat", 100, 100, "+0.0%"},
+		{"zero baseline", 0, 5, "n/a"},
+		{"both zero", 0, 0, "n/a"},
+		{"negative baseline", -3, 5, "n/a"},
+		{"nan baseline", math.NaN(), 5, "n/a"},
+		{"inf baseline", math.Inf(1), 5, "n/a"},
+		{"nan new", 100, math.NaN(), "n/a"},
+		{"inf new", 100, math.Inf(1), "n/a"},
+	}
+	for _, c := range cases {
+		if got := deltaPct(c.old, c.new); got != c.want {
+			t.Errorf("%s: deltaPct(%v, %v) = %q, want %q", c.name, c.old, c.new, got, c.want)
+		}
+	}
+}
+
+// TestCompareGate pins the regression gate: a zero or non-finite
+// baseline must never trip it, genuine regressions must, and the table
+// must render n/a rather than Inf for degenerate baselines.
+func TestCompareGate(t *testing.T) {
+	file := func(rs, allocs float64) benchFile {
+		return benchFile{Schema: 1, Experiments: []benchResult{
+			{ID: "fig6", RecordsPerSec: rs, AllocsPerRecord: allocs},
+		}}
+	}
+	cases := []struct {
+		name       string
+		old, cur   benchFile
+		wantFail   bool
+		wantInBody string
+	}{
+		{"no change", file(1000, 1), file(1000, 1), false, "+0.0%"},
+		{"throughput regression", file(1000, 1), file(500, 1), true, "THROUGHPUT REGRESSION"},
+		{"alloc regression", file(1000, 1), file(1000, 2), true, "ALLOC REGRESSION"},
+		{"within threshold", file(1000, 1), file(950, 1), false, ""},
+		// The satellite bug: a zero-baseline metric (AllocsPerRecord 0)
+		// must print n/a and leave the gate closed even though the new
+		// value is "infinitely" larger.
+		{"zero alloc baseline", file(1000, 0), file(1000, 3), false, "n/a"},
+		{"zero throughput baseline", file(0, 1), file(800, 1), false, "n/a"},
+		{"nan baseline", file(math.NaN(), 1), file(800, 1), false, "n/a"},
+		{"inf baseline", file(math.Inf(1), 1), file(800, 1), false, "n/a"},
+	}
+	for _, c := range cases {
+		var out, errOut strings.Builder
+		failed, compared := compare(c.old, c.cur, 10, &out, &errOut)
+		if failed != c.wantFail {
+			t.Errorf("%s: failed = %v, want %v (stdout:\n%s)", c.name, failed, c.wantFail, out.String())
+		}
+		if compared != 1 {
+			t.Errorf("%s: compared = %d, want 1", c.name, compared)
+		}
+		if c.wantInBody != "" && !strings.Contains(out.String(), c.wantInBody) {
+			t.Errorf("%s: table missing %q:\n%s", c.name, c.wantInBody, out.String())
+		}
+		// The raw value columns may show a degenerate number, but the
+		// delta columns must never render Inf% or NaN%.
+		if strings.Contains(out.String(), "Inf%") || strings.Contains(out.String(), "NaN%") {
+			t.Errorf("%s: delta column leaks Inf/NaN:\n%s", c.name, out.String())
+		}
+	}
+}
+
+// TestCompareMissingExperiment: an experiment that vanished from the
+// new file fails the comparison.
+func TestCompareMissingExperiment(t *testing.T) {
+	old := benchFile{Schema: 1, Experiments: []benchResult{
+		{ID: "fig6", RecordsPerSec: 1000, AllocsPerRecord: 1},
+		{ID: "fig13", RecordsPerSec: 1000, AllocsPerRecord: 1},
+	}}
+	cur := benchFile{Schema: 1, Experiments: []benchResult{
+		{ID: "fig6", RecordsPerSec: 1000, AllocsPerRecord: 1},
+	}}
+	var out, errOut strings.Builder
+	failed, compared := compare(old, cur, 10, &out, &errOut)
+	if !failed {
+		t.Error("missing experiment did not fail the comparison")
+	}
+	if compared != 1 {
+		t.Errorf("compared = %d, want 1", compared)
+	}
+	if !strings.Contains(errOut.String(), "fig13 missing") {
+		t.Errorf("stderr missing the lost experiment:\n%s", errOut.String())
+	}
+}

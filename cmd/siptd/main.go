@@ -6,12 +6,19 @@
 //
 //	siptd [-addr :8080] [-workers N] [-queue N] [-records N] [-seed N]
 //	      [-cache N] [-maxjobs N] [-trace-pool-mb N]
+//	      [-coordinator host1:8080,host2:8080] [-shard-timeout D]
 //	      [-faults spec] [-fault-seed N] [-ready-timeout D]
 //
 // -faults arms the deterministic fault-injection framework (see
 // internal/fault) from a spec like "sched.worker.panic:1/64"; it
 // defaults to the SIPT_FAULTS environment variable and is meant for
 // chaos drills and staging, never steady-state production.
+//
+// -coordinator turns the daemon into a sweep-fabric coordinator over
+// the listed worker daemons (DESIGN.md §11): sweeps partition into
+// trace-affine shards dispatched over the workers' /v1/shard API, and
+// the merged report is bit-identical to a single-node run. A
+// coordinator refuses shard work itself (403 on POST /v1/shard).
 //
 // On startup it prints one line, "siptd: listening on http://ADDR",
 // which scripts/serve_smoke.sh parses to find the ephemeral port. On
@@ -28,11 +35,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"sipt/internal/exp"
+	"sipt/internal/fabric"
 	"sipt/internal/fault"
+	"sipt/internal/metrics"
 	"sipt/internal/serve"
 )
 
@@ -62,6 +72,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		"fault-injection spec, e.g. sched.worker.panic:1/64 (default $"+fault.EnvSpec+")")
 	faultSeed := fs.Int64("fault-seed", 1, "seed for fault-injection decisions")
 	readyTimeout := fs.Duration("ready-timeout", 0, "/readyz worker heartbeat deadline (0 = default 2s)")
+	coordinator := fs.String("coordinator", "",
+		"comma-separated worker base URLs; non-empty turns this daemon into a sweep-fabric coordinator")
+	shardTimeout := fs.Duration("shard-timeout", 0, "coordinator per-shard dispatch deadline (0 = default 5m)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -77,18 +90,38 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "siptd: faults armed: %s (seed %d)\n", spec, *faultSeed)
 	}
 
+	// One registry serves both the HTTP layer's metrics and, in
+	// coordinator mode, the fabric_* series.
+	reg := metrics.NewRegistry()
+	var remote exp.Remote
+	if *coordinator != "" {
+		fleet, err := workerURLs(*coordinator)
+		if err != nil {
+			return err
+		}
+		remote = fabric.NewCoordinator(fabric.Config{
+			Workers:      fleet,
+			Registry:     reg,
+			ShardTimeout: *shardTimeout,
+		})
+		fmt.Fprintf(stdout, "siptd: coordinator over %d workers\n", len(fleet))
+	}
+
 	runner := exp.NewRunner(exp.Options{
 		Records:      *records,
 		Seed:         *seed,
 		CacheEntries: *cacheEntries,
 		TracePoolMB:  *tracePoolMB,
+		Remote:       remote,
 	})
 	srv := serve.New(serve.Config{
-		Runner:       runner,
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		MaxJobs:      *maxJobs,
-		ReadyTimeout: *readyTimeout,
+		Runner:        runner,
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		MaxJobs:       *maxJobs,
+		Registry:      reg,
+		ReadyTimeout:  *readyTimeout,
+		DisableShards: *coordinator != "",
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -116,6 +149,29 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if err := hs.Shutdown(shutdownCtx); err != nil {
 		return err
 	}
+	// The drain let every accepted job finish; Close releases the
+	// server lifecycle context behind them.
+	srv.Close()
 	fmt.Fprintln(stdout, "siptd: drained, exiting")
 	return nil
+}
+
+// workerURLs parses the -coordinator flag: comma-separated base URLs,
+// each normalised to an http:// scheme with no trailing slash.
+func workerURLs(spec string) ([]string, error) {
+	var urls []string
+	for _, w := range strings.Split(spec, ",") {
+		w = strings.TrimSpace(w)
+		if w == "" {
+			continue
+		}
+		if !strings.Contains(w, "://") {
+			w = "http://" + w
+		}
+		urls = append(urls, strings.TrimRight(w, "/"))
+	}
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("-coordinator: no worker URLs in %q", spec)
+	}
+	return urls, nil
 }

@@ -38,6 +38,7 @@ type jobView struct {
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "siptd address (host:port)")
 	records := flag.Uint64("records", 20_000, "trace length per simulation")
+	experiment := flag.String("experiment", "fig5", "experiment ID for the sweep")
 	flag.Parse()
 	base := "http://" + *addr
 
@@ -50,9 +51,9 @@ func main() {
 	})
 	fmt.Printf("submitted run   %s\n", runID)
 
-	// 2. A bulk sweep: Fig. 5 restricted to two apps.
+	// 2. A bulk sweep (Fig. 5 by default) restricted to two apps.
 	sweepID := submit(base, "/v1/sweep", map[string]any{
-		"experiment": "fig5",
+		"experiment": *experiment,
 		"apps":       []string{"mcf", "gcc"},
 		"records":    *records,
 	})

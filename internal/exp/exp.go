@@ -20,6 +20,20 @@ import (
 	"sipt/internal/workload"
 )
 
+// Remote offloads simulation batches to a fleet. The fabric
+// coordinator implements it: a Runner built with Options.Remote
+// dispatches every uncached config batch as one shard — keyed by the
+// (app, scenario, seed, records) trace so worker replay pools stay hot
+// — and keeps all memoisation, averaging, and table assembly local, so
+// a distributed sweep is bit-identical to a single-node one.
+//
+// Implementations must return stats positionally (out[i] is cfgs[i]'s
+// result), exactly what the local fused path would produce.
+type Remote interface {
+	RunConfigs(ctx context.Context, app string, sc vm.Scenario,
+		seed int64, records uint64, cfgs []sim.Config) ([]sim.Stats, error)
+}
+
 // Options configures a harness run.
 type Options struct {
 	// Records is the per-app trace length (0 = DefaultRecords).
@@ -43,6 +57,14 @@ type Options struct {
 	// either way (the golden and fused-equality tests depend on it);
 	// the switch trades the pool's memory for repeated generation.
 	LiveGen bool
+	// Remote, when non-nil, offloads simulation batches to a fleet (the
+	// fabric coordinator). Like CacheEntries it is fixed at
+	// construction and shared by every derived view; the field in a
+	// WithOptions argument is ignored. Experiments that analyse raw
+	// traces rather than running configs (Fig. 5, the predictor
+	// ablations) and the multiprogrammed mixes (Tab. III, Fig. 15) stay
+	// local regardless.
+	Remote Remote
 }
 
 // DefaultRecords is the harness trace length per app.
@@ -81,6 +103,10 @@ type runnerShared struct {
 	// byte-budgeted, singleflight, one entry per (app, scenario, seed,
 	// records).
 	traces *replay.Pool
+	// remote, when non-nil, receives every uncached config batch
+	// instead of the local simulator (Options.Remote; fixed at
+	// construction so all derived views dispatch consistently).
+	remote Remote
 	sims   atomic.Uint64
 	// degraded counts runs that fell back to live generation because the
 	// trace pool could not serve them (byte budget, eviction storm) —
@@ -103,7 +129,7 @@ type Runner struct {
 
 // NewRunner creates a Runner with a fresh result cache and trace pool.
 func NewRunner(opts Options) *Runner {
-	sh := &runnerShared{cache: memo.New[sim.Stats](opts.CacheEntries, 0)}
+	sh := &runnerShared{cache: memo.New[sim.Stats](opts.CacheEntries, 0), remote: opts.Remote}
 	sh.traces = replay.NewPool(int64(opts.TracePoolMB)<<20, 0, func(k replay.Key) (*replay.Buffer, error) {
 		prof, err := workload.Lookup(k.App)
 		if err != nil {

@@ -109,6 +109,16 @@ func (r *Runner) runLive(app string, cfg sim.Config, sc vm.Scenario) (sim.Stats,
 // internal/sim TestRunBufferMatchesRunApp), so the two paths are
 // interchangeable.
 func (r *Runner) runUncached(app string, cfg sim.Config, sc vm.Scenario) (sim.Stats, error) {
+	if rem := r.sh.remote; rem != nil {
+		sts, err := rem.RunConfigs(r.Context(), app, sc, r.opts.Seed, r.opts.records(), []sim.Config{cfg})
+		if err != nil {
+			return sim.Stats{}, err
+		}
+		if len(sts) != 1 {
+			return sim.Stats{}, fmt.Errorf("exp: remote returned %d stats for 1 config", len(sts))
+		}
+		return sts[0], nil
+	}
 	buf, err := r.buffer(app, sc)
 	if err != nil {
 		if useLive(err) {
@@ -158,6 +168,21 @@ func (r *Runner) RunConfigs(app string, cfgs []sim.Config, sc vm.Scenario) ([]si
 		return out, nil
 	}
 
+	if rem := r.sh.remote; rem != nil {
+		// Remote dispatch: the whole uncached batch travels as one
+		// shard, so the worker's fused pass covers exactly the lanes a
+		// local run would.
+		sts, err := rem.RunConfigs(r.Context(), app, sc, r.opts.Seed, r.opts.records(), uniq)
+		if err != nil {
+			return nil, err
+		}
+		if len(sts) != len(uniq) {
+			return nil, fmt.Errorf("exp: remote returned %d stats for %d configs", len(sts), len(uniq))
+		}
+		r.sh.sims.Add(uint64(len(uniq)))
+		return r.publish(out, keys, cached, uniqAt, sts)
+	}
+
 	buf, err := r.buffer(app, sc)
 	if err != nil {
 		if useLive(err) {
@@ -181,15 +206,22 @@ func (r *Runner) RunConfigs(app string, cfgs []sim.Config, sc vm.Scenario) ([]si
 		return nil, fmt.Errorf("exp: fused %s/%s (%d configs): %w", app, sc, len(uniq), err)
 	}
 	r.sh.sims.Add(uint64(len(uniq)))
+	return r.publish(out, keys, cached, uniqAt, fused)
+}
 
-	// Publish through the memo cache so later Run/RunConfigs calls (and
-	// figures sharing baselines) hit. A racing solo computation of the
-	// same key wins harmlessly: both computed identical stats.
-	for i := range cfgs {
+// publish writes a fused batch's stats through the memo cache so later
+// Run/RunConfigs calls (and figures sharing baselines) hit, and fills
+// out positionally. A racing solo computation of the same key wins
+// harmlessly: both computed identical stats.
+func (r *Runner) publish(out []sim.Stats, keys []string, cached []bool,
+	uniqAt map[string]int, fused []sim.Stats) ([]sim.Stats, error) {
+
+	for i := range out {
 		if cached[i] {
 			continue
 		}
 		st := fused[uniqAt[keys[i]]]
+		var err error
 		out[i], err = r.sh.cache.Do(keys[i], func() (sim.Stats, error) { return st, nil })
 		if err != nil {
 			return nil, err

@@ -4,7 +4,9 @@ import (
 	"context"
 	"sync"
 
+	"sipt/internal/fabric"
 	"sipt/internal/report"
+	"sipt/internal/sim"
 )
 
 // Status is a job's lifecycle state.
@@ -30,17 +32,26 @@ func (s Status) Terminal() bool {
 	return s == StatusDone || s == StatusFailed || s == StatusCanceled
 }
 
-// Job is one accepted unit of API work (a run or a sweep).
+// jobResult is what a job's run function produces: rendered tables for
+// runs and sweeps, raw stats for fabric shards. Exactly one of the
+// fields is populated, matching the job's kind.
+type jobResult struct {
+	tables []*report.Table
+	stats  []sim.Stats
+}
+
+// Job is one accepted unit of API work (a run, a sweep, or a fabric
+// shard).
 type Job struct {
 	// Immutable after creation.
 	id     string
-	kind   string // "run" or "sweep"
+	kind   string // "run", "sweep", or "shard"
 	cancel context.CancelFunc
 	done   chan struct{} // closed when the job reaches a terminal state
 
 	mu          sync.Mutex
 	status      Status
-	tables      []*report.Table
+	result      jobResult
 	errMsg      string
 	submittedNS int64
 	startedNS   int64
@@ -79,14 +90,14 @@ func (j *Job) setRunning(now int64) {
 // settler wins, later calls report settled=false so they skip their
 // metrics. (A panicking job can race its observer against runJob's own
 // bookkeeping; idempotency makes the pair safe by construction.)
-func (j *Job) finish(st Status, tables []*report.Table, errMsg string, now int64) (int64, bool) {
+func (j *Job) finish(st Status, res jobResult, errMsg string, now int64) (int64, bool) {
 	j.mu.Lock()
 	if j.status.Terminal() {
 		j.mu.Unlock()
 		return 0, false
 	}
 	j.status = st
-	j.tables = tables
+	j.result = res
 	j.errMsg = errMsg
 	j.finishedNS = now
 	lat := int64(0)
@@ -118,7 +129,20 @@ func (j *Job) View() JobView {
 		v.ElapsedMS = float64(j.finishedNS-j.startedNS) / 1e6
 	}
 	if j.status == StatusDone {
-		v.Tables = j.tables
+		v.Tables = j.result.tables
+	}
+	return v
+}
+
+// shardView snapshots a shard job in the fabric wire shape
+// (GET /v1/shards/{id}): status plus, once done, the raw positional
+// stats the coordinator merges.
+func (j *Job) shardView() fabric.ShardView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := fabric.ShardView{ID: j.id, Status: string(j.status), Error: j.errMsg}
+	if j.status == StatusDone {
+		v.Stats = j.result.stats
 	}
 	return v
 }

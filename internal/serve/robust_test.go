@@ -127,7 +127,7 @@ func TestReadyzWedgedPool(t *testing.T) {
 func TestPanickedJobFailsNotCompleted(t *testing.T) {
 	s, ts := testServer(t, Config{Workers: 1})
 	j, err := s.submit("run", sched.Interactive, 0,
-		func(context.Context) ([]*report.Table, error) { panic("kaboom") })
+		func(context.Context) (jobResult, error) { panic("kaboom") })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,11 +167,11 @@ func TestTransientRetrySucceeds(t *testing.T) {
 	s, _ := testServer(t, Config{Workers: 1})
 	var attempts atomic.Int32
 	j, err := s.submit("run", sched.Interactive, 0,
-		func(context.Context) ([]*report.Table, error) {
+		func(context.Context) (jobResult, error) {
 			if attempts.Add(1) <= 2 {
-				return nil, fault.Transient(errors.New("flaky backend"))
+				return jobResult{}, fault.Transient(errors.New("flaky backend"))
 			}
-			return []*report.Table{{Title: "ok"}}, nil
+			return jobResult{tables: []*report.Table{{Title: "ok"}}}, nil
 		})
 	if err != nil {
 		t.Fatal(err)
@@ -205,9 +205,9 @@ func TestTransientRetryExhausted(t *testing.T) {
 	s, _ := testServer(t, Config{Workers: 1})
 	var attempts atomic.Int32
 	j, err := s.submit("run", sched.Interactive, 0,
-		func(context.Context) ([]*report.Table, error) {
+		func(context.Context) (jobResult, error) {
 			attempts.Add(1)
-			return nil, fault.Transient(errors.New("always flaky"))
+			return jobResult{}, fault.Transient(errors.New("always flaky"))
 		})
 	if err != nil {
 		t.Fatal(err)
@@ -235,9 +235,9 @@ func TestPermanentErrorNotRetried(t *testing.T) {
 	s, _ := testServer(t, Config{Workers: 1})
 	var attempts atomic.Int32
 	j, err := s.submit("run", sched.Interactive, 0,
-		func(context.Context) ([]*report.Table, error) {
+		func(context.Context) (jobResult, error) {
 			attempts.Add(1)
-			return nil, errors.New("hard failure")
+			return jobResult{}, errors.New("hard failure")
 		})
 	if err != nil {
 		t.Fatal(err)
@@ -266,12 +266,12 @@ func TestRetryAfterSeconds(t *testing.T) {
 		t.Errorf("no history: retry-after = %d, want 1", got)
 	}
 	// One observed 5s job, empty queue, one worker: backlog 1 → 5s.
-	s.latency.Observe(5000)
+	s.observeLatency(5000)
 	if got := s.retryAfterSeconds(); got != 5 {
 		t.Errorf("5s mean latency: retry-after = %d, want 5", got)
 	}
 	// Absurd latency clamps to the 60s ceiling.
-	s.latency.Observe(10_000_000)
+	s.observeLatency(10_000_000)
 	if got := s.retryAfterSeconds(); got != 60 {
 		t.Errorf("huge mean latency: retry-after = %d, want 60", got)
 	}
@@ -283,7 +283,7 @@ func TestAdaptiveRetryAfterHeader(t *testing.T) {
 	s, ts := testServer(t, Config{Workers: 1, QueueDepth: 1})
 
 	// Seed latency history: mean 3s over one worker.
-	s.latency.Observe(3000)
+	s.observeLatency(3000)
 
 	// Wedge the worker and fill the interactive queue.
 	release := make(chan struct{})

@@ -70,18 +70,29 @@ type Config struct {
 	// ReadyTimeout bounds /readyz's worker heartbeat: if no worker picks
 	// up the probe job within it, the server reports not ready (0 = 2s).
 	ReadyTimeout time.Duration
+	// DisableShards rejects POST /v1/shard with 403. A coordinator
+	// daemon sets it: it delegates simulation to its fleet, so serving
+	// shards itself would recurse.
+	DisableShards bool
 }
 
 // Server is the siptd HTTP handler plus its job machinery. Construct
 // with New; it is safe for concurrent use.
 type Server struct {
-	runner       *exp.Runner
-	pool         *sched.Pool
-	reg          *metrics.Registry
-	mux          *http.ServeMux
-	jobs         *jobStore
-	maxBody      int64
-	readyTimeout time.Duration
+	runner        *exp.Runner
+	pool          *sched.Pool
+	reg           *metrics.Registry
+	mux           *http.ServeMux
+	jobs          *jobStore
+	maxBody       int64
+	readyTimeout  time.Duration
+	disableShards bool
+
+	// baseCtx is the server lifecycle context every job context derives
+	// from: Close cancels it, so a forced (non-drain) shutdown stops
+	// inflight simulations instead of leaving them running detached.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
 
 	// admitMu guards nextID and draining so job IDs are allocated in
 	// admission order and drain is a clean cut: every job admitted
@@ -90,6 +101,15 @@ type Server struct {
 	nextID   uint64
 	draining bool
 
+	// latMu guards the EWMA of job latency backing Retry-After. The
+	// histogram keeps the full distribution for /metrics; the EWMA
+	// (weight 1/8) tracks the *current* service rate, so one early
+	// batch of slow sweeps cannot inflate backpressure estimates for
+	// the daemon's whole life.
+	latMu   sync.Mutex
+	ewmaMS  float64
+	ewmaSet bool
+
 	requests     *metrics.Counter
 	jobsCreated  *metrics.Counter
 	jobsDone     *metrics.Counter
@@ -97,6 +117,7 @@ type Server struct {
 	jobsCanceled *metrics.Counter
 	rejected429  *metrics.Counter
 	jobRetries   *metrics.Counter
+	shardJobs    *metrics.Counter
 	latency      *metrics.Histogram
 	degradedRuns *metrics.Gauge
 	cacheEntries *metrics.Gauge
@@ -128,12 +149,13 @@ func New(cfg Config) *Server {
 		readyTimeout = 2 * time.Second
 	}
 	s := &Server{
-		runner:       cfg.Runner,
-		pool:         sched.New(sched.Config{Workers: cfg.Workers, QueueDepth: cfg.QueueDepth, Registry: reg}),
-		reg:          reg,
-		jobs:         newJobStore(cfg.MaxJobs),
-		maxBody:      maxBody,
-		readyTimeout: readyTimeout,
+		runner:        cfg.Runner,
+		pool:          sched.New(sched.Config{Workers: cfg.Workers, QueueDepth: cfg.QueueDepth, Registry: reg}),
+		reg:           reg,
+		jobs:          newJobStore(cfg.MaxJobs),
+		maxBody:       maxBody,
+		readyTimeout:  readyTimeout,
+		disableShards: cfg.DisableShards,
 
 		requests:     reg.Counter("serve_http_requests_total", "HTTP requests received"),
 		jobsCreated:  reg.Counter("serve_jobs_created_total", "jobs admitted"),
@@ -142,6 +164,7 @@ func New(cfg Config) *Server {
 		jobsCanceled: reg.Counter("serve_jobs_canceled_total", "jobs stopped by cancellation"),
 		rejected429:  reg.Counter("serve_jobs_rejected_total", "submissions rejected by backpressure"),
 		jobRetries:   reg.Counter("serve_job_retries_total", "transient job failures retried in place"),
+		shardJobs:    reg.Counter("serve_shard_jobs_total", "fabric shard jobs admitted"),
 		latency: reg.Histogram("serve_job_latency_ms", "job run latency (ms)",
 			1, 5, 10, 50, 100, 500, 1000, 5000, 10000),
 		degradedRuns: reg.Gauge("serve_degraded_runs_total", "runs degraded from trace replay to live generation"),
@@ -155,9 +178,12 @@ func New(cfg Config) *Server {
 		traceMisses:  reg.Gauge("serve_trace_pool_misses", "trace pool misses"),
 		traceEvicted: reg.Gauge("serve_trace_pool_evictions", "trace buffers evicted for the byte budget"),
 	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/shard", s.handleShardSubmit)
+	s.mux.HandleFunc("GET /v1/shards/{id}", s.handleShardGet)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -179,6 +205,21 @@ func (s *Server) Drain() {
 	s.admitMu.Lock()
 	s.draining = true
 	s.admitMu.Unlock()
+	s.pool.Drain()
+}
+
+// Close force-stops the server: admission stops, every inflight job's
+// context is cancelled (they all derive from the server lifecycle
+// context), and the call returns once the workers have observed the
+// cancellations and settled their jobs. Unlike Drain it does not let
+// running simulations complete — it is the forced-shutdown path, and
+// calling it after a graceful Drain is a harmless way to release the
+// lifecycle context. Idempotent.
+func (s *Server) Close() {
+	s.admitMu.Lock()
+	s.draining = true
+	s.admitMu.Unlock()
+	s.baseCancel()
 	s.pool.Drain()
 }
 
@@ -217,9 +258,12 @@ type submitResponse struct {
 // admission order, and a job is either fully admitted (it will run and
 // its record is visible) or fully rejected.
 func (s *Server) submit(kind string, pri sched.Priority, timeout time.Duration,
-	run func(ctx context.Context) ([]*report.Table, error)) (*Job, error) {
+	run func(ctx context.Context) (jobResult, error)) (*Job, error) {
 
-	base := context.Background()
+	// Jobs derive from the server lifecycle context, not Background:
+	// Close cancels them all, so a forced shutdown cannot leave
+	// simulations running detached.
+	base := s.baseCtx
 	var cancel context.CancelFunc
 	if timeout > 0 {
 		base, cancel = context.WithTimeout(base, timeout)
@@ -249,10 +293,10 @@ func (s *Server) submit(kind string, pri sched.Priority, timeout time.Duration,
 	// cannot double-settle.
 	onPanic := func(v any, stack []byte) {
 		j.cancel()
-		lat, settled := j.finish(StatusFailed, nil, fmt.Sprintf("panic: %v\n\n%s", v, stack), nowNS())
+		lat, settled := j.finish(StatusFailed, jobResult{}, fmt.Sprintf("panic: %v\n\n%s", v, stack), nowNS())
 		if settled {
 			s.jobsFailed.Inc()
-			s.latency.Observe(lat / 1e6)
+			s.observeLatency(lat / 1e6)
 		}
 	}
 	err := s.pool.SubmitObserved(base, pri, func(ctx context.Context) { s.runJob(j, ctx, run) }, onPanic)
@@ -284,11 +328,11 @@ const (
 // are retried with exponential backoff while the job's context is
 // still live.
 func (s *Server) runJob(j *Job, ctx context.Context,
-	run func(ctx context.Context) ([]*report.Table, error)) {
+	run func(ctx context.Context) (jobResult, error)) {
 
 	defer j.cancel() // release the timeout timer, if any
 	j.setRunning(nowNS())
-	tables, err := run(ctx)
+	res, err := run(ctx)
 	for attempt := 0; err != nil && fault.IsTransient(err) &&
 		ctx.Err() == nil && attempt < maxRetries; attempt++ {
 		d := retryBaseDelay << attempt
@@ -297,37 +341,66 @@ func (s *Server) runJob(j *Job, ctx context.Context,
 		}
 		sleep(d)
 		s.jobRetries.Inc()
-		tables, err = run(ctx)
+		res, err = run(ctx)
 	}
 	var latNS int64
 	var settled bool
 	switch {
 	case err == nil:
-		latNS, settled = j.finish(StatusDone, tables, "", nowNS())
+		latNS, settled = j.finish(StatusDone, res, "", nowNS())
 		s.jobsDone.Inc()
 	case errors.Is(err, context.Canceled):
-		latNS, settled = j.finish(StatusCanceled, nil, err.Error(), nowNS())
+		latNS, settled = j.finish(StatusCanceled, jobResult{}, err.Error(), nowNS())
 		s.jobsCanceled.Inc()
 	default:
-		latNS, settled = j.finish(StatusFailed, nil, err.Error(), nowNS())
+		latNS, settled = j.finish(StatusFailed, jobResult{}, err.Error(), nowNS())
 		s.jobsFailed.Inc()
 	}
 	if settled {
-		s.latency.Observe(latNS / 1e6)
+		s.observeLatency(latNS / 1e6)
 	}
+}
+
+// ewmaWeight is the exponential moving average's new-sample weight
+// (1/8): heavy enough that a sustained latency shift re-prices
+// Retry-After within a dozen jobs, light enough that one outlier
+// barely moves it.
+const ewmaWeight = 0.125
+
+// observeLatency records one settled job's latency: into the histogram
+// (the full distribution, for /metrics) and into the EWMA backing
+// Retry-After. Every finish path funnels through here so the two views
+// cannot drift.
+func (s *Server) observeLatency(ms int64) {
+	s.latency.Observe(ms)
+	s.latMu.Lock()
+	if !s.ewmaSet {
+		s.ewmaMS = float64(ms)
+		s.ewmaSet = true
+	} else {
+		s.ewmaMS += ewmaWeight * (float64(ms) - s.ewmaMS)
+	}
+	s.latMu.Unlock()
+}
+
+// meanLatencyMS returns the EWMA job latency, 0 before any observation.
+func (s *Server) meanLatencyMS() int64 {
+	s.latMu.Lock()
+	defer s.latMu.Unlock()
+	return int64(s.ewmaMS)
 }
 
 // retryAfterSeconds estimates how long a rejected client should wait
 // before retrying: the current queue backlog (plus the rejected job)
-// divided across the workers, priced at the observed mean job latency.
-// With no latency history yet it answers 1; the estimate is clamped to
-// [1, 60] seconds so a latency spike cannot push clients away for
-// minutes.
+// divided across the workers, priced at the EWMA job latency. The
+// moving average — not the histogram's lifetime mean, which never
+// decays — makes the estimate track the *current* workload: after a
+// spike of slow sweeps it recovers as fast jobs settle, instead of
+// inflating Retry-After for the daemon's whole life. With no latency
+// history yet it answers 1; the estimate is clamped to [1, 60] seconds
+// so a latency spike cannot push clients away for minutes.
 func (s *Server) retryAfterSeconds() int64 {
-	var meanMS int64
-	if n := s.latency.Count(); n > 0 {
-		meanMS = s.latency.Sum() / int64(n)
-	}
+	meanMS := s.meanLatencyMS()
 	if meanMS <= 0 {
 		return 1
 	}
@@ -427,8 +500,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if opts.Seed == 0 {
 		opts.Seed = base.Seed
 	}
-	run := func(ctx context.Context) ([]*report.Table, error) {
-		return e.Run(s.runner.WithOptions(opts).WithContext(ctx))
+	run := func(ctx context.Context) (jobResult, error) {
+		tables, err := e.Run(s.runner.WithOptions(opts).WithContext(ctx))
+		return jobResult{tables: tables}, err
 	}
 	j, err := s.submit("sweep", sched.Bulk, time.Duration(req.Timeout)*time.Millisecond, run)
 	if err != nil {
@@ -528,7 +602,7 @@ func decodeBody(r *http.Request, v any) error {
 
 // buildRun validates a RunRequest and returns the closure that executes
 // it through the runner's shared memo cache.
-func buildRun(runner *exp.Runner, req RunRequest) (func(ctx context.Context) ([]*report.Table, error), error) {
+func buildRun(runner *exp.Runner, req RunRequest) (func(ctx context.Context) (jobResult, error), error) {
 	if req.App == "" {
 		return nil, errors.New("missing app")
 	}
@@ -545,10 +619,10 @@ func buildRun(runner *exp.Runner, req RunRequest) (func(ctx context.Context) ([]
 		opts.Seed = base.Seed
 	}
 	app := req.App
-	return func(ctx context.Context) ([]*report.Table, error) {
+	return func(ctx context.Context) (jobResult, error) {
 		st, err := runner.WithOptions(opts).WithContext(ctx).Run(app, cfg, sc)
 		if err != nil {
-			return nil, err
+			return jobResult{}, err
 		}
 		t := &report.Table{
 			Title:   "Run summary",
@@ -563,6 +637,6 @@ func buildRun(runner *exp.Runner, req RunRequest) (func(ctx context.Context) ([]
 		t.AddRow("fast_fraction", fmt.Sprintf("%.4f", st.L1.FastFraction()))
 		t.AddRow("extra_access_rate", fmt.Sprintf("%.4f", st.L1.ExtraAccessRate()))
 		t.AddRow("energy_j", fmt.Sprintf("%.4g", st.Energy.Total()))
-		return []*report.Table{t}, nil
+		return jobResult{tables: []*report.Table{t}}, nil
 	}, nil
 }

@@ -1,0 +1,292 @@
+package serve
+
+// Tests for the fabric shard endpoints (POST /v1/shard,
+// GET /v1/shards/{id}), the EWMA Retry-After regression, and the
+// server lifecycle context (Close cancels inflight jobs).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"sipt/internal/core"
+	"sipt/internal/cpu"
+	"sipt/internal/exp"
+	"sipt/internal/fabric"
+	"sipt/internal/sched"
+	"sipt/internal/sim"
+	"sipt/internal/vm"
+)
+
+// postShard submits a ShardRequest and returns the response.
+func postShard(t *testing.T, url string, req fabric.ShardRequest) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/shard", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return resp, []byte(readAll(t, resp))
+}
+
+// waitShard polls GET /v1/shards/{id} until terminal.
+func waitShard(t *testing.T, base, id string, timeout time.Duration) fabric.ShardView {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/v1/shards/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v fabric.ShardView
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if fabric.Terminal(v.Status) {
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shard %s still %s after %v", id, v.Status, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestShardEndToEnd: a shard's stats must be exactly what the worker's
+// local Run would produce — the JSON round trip is lossless (Go emits
+// float64 at shortest round-trip precision), which is the foundation of
+// the fabric's bit-identical merge.
+func TestShardEndToEnd(t *testing.T) {
+	runner := exp.NewRunner(exp.Options{Records: 2_000, Seed: 1, CacheEntries: 64})
+	_, ts := testServer(t, Config{Runner: runner})
+
+	cfgs := []sim.Config{
+		sim.Baseline(cpu.OOO()),
+		sim.SIPT(cpu.OOO(), 32, 2, core.ModeCombined),
+	}
+	resp, body := postShard(t, ts.URL, fabric.ShardRequest{
+		App: "mcf", Scenario: "normal", Configs: cfgs,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var sub submitResponse
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	v := waitShard(t, ts.URL, sub.ID, 60*time.Second)
+	if v.Status != fabric.StatusDone {
+		t.Fatalf("shard = %+v, want done", v)
+	}
+	if len(v.Stats) != len(cfgs) {
+		t.Fatalf("stats = %d, want %d", len(v.Stats), len(cfgs))
+	}
+	for i, cfg := range cfgs {
+		want, err := runner.Run("mcf", cfg, vm.ScenarioNormal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(v.Stats[i], want) {
+			t.Errorf("stats[%d] differs from local run after the JSON round trip", i)
+		}
+	}
+}
+
+func TestShardValidation(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	ok := sim.Baseline(cpu.OOO())
+	bad := ok
+	bad.L1Ways = 0
+	cases := []struct {
+		name string
+		req  fabric.ShardRequest
+	}{
+		{"missing app", fabric.ShardRequest{Scenario: "normal", Configs: []sim.Config{ok}}},
+		{"unknown app", fabric.ShardRequest{App: "no-such-app", Scenario: "normal", Configs: []sim.Config{ok}}},
+		{"bad scenario", fabric.ShardRequest{App: "mcf", Scenario: "warp", Configs: []sim.Config{ok}}},
+		{"empty batch", fabric.ShardRequest{App: "mcf", Scenario: "normal"}},
+		{"invalid config", fabric.ShardRequest{App: "mcf", Scenario: "normal", Configs: []sim.Config{bad}}},
+	}
+	for _, c := range cases {
+		resp, body := postShard(t, ts.URL, c.req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d (%s), want 400", c.name, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestShardsDisabled: a coordinator daemon refuses shard work — its
+// fleet does the simulating.
+func TestShardsDisabled(t *testing.T) {
+	_, ts := testServer(t, Config{DisableShards: true})
+	resp, body := postShard(t, ts.URL, fabric.ShardRequest{
+		App: "mcf", Scenario: "normal", Configs: []sim.Config{sim.Baseline(cpu.OOO())},
+	})
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("status = %d (%s), want 403", resp.StatusCode, body)
+	}
+}
+
+// TestShardJobNamespaces: shard jobs and user jobs share the ID space
+// (dense admission order) but not the read endpoints — a run job 404s
+// on /v1/shards/{id} and a shard job's tables view carries no tables.
+func TestShardJobNamespaces(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/run", `{"app":"mcf"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("run submit = %d (%s)", resp.StatusCode, body)
+	}
+	var sub submitResponse
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, ts.URL, sub.ID, 30*time.Second)
+	sresp, err := http.Get(ts.URL + "/v1/shards/" + sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if sresp.StatusCode != http.StatusNotFound {
+		t.Errorf("run job via /v1/shards = %d, want 404", sresp.StatusCode)
+	}
+}
+
+// TestRetryAfterRecoversAfterSpike is the regression test for the
+// stale-mean bug: retryAfterSeconds used to price backlog at the
+// histogram's lifetime mean, which never decays, so one early batch of
+// slow sweeps inflated Retry-After forever. The EWMA must recover once
+// fast jobs settle, even though the lifetime mean stays high.
+func TestRetryAfterRecoversAfterSpike(t *testing.T) {
+	s, _ := testServer(t, Config{Workers: 1})
+
+	// A spike of five 2-minute sweeps...
+	for i := 0; i < 5; i++ {
+		s.observeLatency(120_000)
+	}
+	if got := s.retryAfterSeconds(); got < 60 {
+		t.Fatalf("during spike: retry-after = %d, want clamped 60", got)
+	}
+	// ...followed by two hundred 20ms runs.
+	for i := 0; i < 200; i++ {
+		s.observeLatency(20)
+	}
+
+	// The lifetime mean is still minutes-scale — the old estimate would
+	// answer 3s — but the EWMA has decayed to the current 20ms regime.
+	lifetime := s.latency.Sum() / int64(s.latency.Count())
+	if lifetime < 2_000 {
+		t.Fatalf("test premise broken: lifetime mean %dms should stay inflated", lifetime)
+	}
+	if got := s.meanLatencyMS(); got > 100 {
+		t.Errorf("EWMA after recovery = %dms, want ~20ms", got)
+	}
+	if got := s.retryAfterSeconds(); got != 1 {
+		t.Errorf("after recovery: retry-after = %d, want 1", got)
+	}
+}
+
+// TestCloseCancelsInflight is the regression test for detached jobs:
+// job contexts used to derive from context.Background(), so a forced
+// (non-drain) shutdown left running simulations orphaned. Close must
+// cancel the inflight job's context and return only once it settled.
+func TestCloseCancelsInflight(t *testing.T) {
+	s, _ := testServer(t, Config{Workers: 1})
+	started := make(chan struct{})
+	j, err := s.submit("run", sched.Interactive, 0,
+		func(ctx context.Context) (jobResult, error) {
+			close(started)
+			<-ctx.Done() // a job that only ends when its context does
+			return jobResult{}, ctx.Err()
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("job never started")
+	}
+
+	done := make(chan struct{})
+	go func() { s.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not return; inflight job not cancelled")
+	}
+	if st := j.Status(); st != StatusCanceled {
+		t.Errorf("job after Close = %s, want canceled", st)
+	}
+	// Admission is shut too.
+	if _, err := s.submit("run", sched.Interactive, 0,
+		func(context.Context) (jobResult, error) { return jobResult{}, nil }); err == nil {
+		t.Error("submit after Close succeeded, want rejection")
+	}
+	// Idempotent.
+	s.Close()
+}
+
+// TestDrainDoesNotCancel: the graceful path still lets running jobs
+// finish — only Close cancels.
+func TestDrainDoesNotCancel(t *testing.T) {
+	s, _ := testServer(t, Config{Workers: 1})
+	release := make(chan struct{})
+	started := make(chan struct{})
+	j, err := s.submit("run", sched.Interactive, 0,
+		func(ctx context.Context) (jobResult, error) {
+			close(started)
+			select {
+			case <-release:
+				return jobResult{}, nil
+			case <-ctx.Done():
+				return jobResult{}, ctx.Err()
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(release)
+	}()
+	s.Drain()
+	if st := j.Status(); st != StatusDone {
+		t.Errorf("job after Drain = %s, want done (error %q)", st, j.View().Error)
+	}
+}
+
+// TestShardMetrics: shard admissions land on serve_shard_jobs_total.
+func TestShardMetrics(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp, body := postShard(t, ts.URL, fabric.ShardRequest{
+		App: "mcf", Scenario: "normal", Configs: []sim.Config{sim.Baseline(cpu.OOO())},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status = %d (%s)", resp.StatusCode, body)
+	}
+	var sub submitResponse
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	waitShard(t, ts.URL, sub.ID, 60*time.Second)
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := readAll(t, mresp)
+	mresp.Body.Close()
+	if !strings.Contains(out, "serve_shard_jobs_total 1") {
+		t.Errorf("metrics missing serve_shard_jobs_total 1:\n%s", out)
+	}
+}

@@ -1,0 +1,107 @@
+#!/bin/sh
+# Fabric smoke test: boot two siptd workers and a coordinator over
+# them, plus one plain single-node daemon, drive the same run + sweep
+# through both front doors, and require the rendered reports to be
+# byte-identical — the fabric's determinism-of-merge contract, end to
+# end over real sockets. Then SIGTERM everything and require clean
+# drains. CI runs this via `make fabric-smoke`; scripts/verify.sh
+# includes it too.
+set -eu
+cd "$(dirname "$0")/.."
+
+tmpdir=$(mktemp -d)
+daemon="$tmpdir/siptd"
+
+cleanup() {
+    # Belt and braces: kill daemons that outlived the test.
+    for p in "${w1pid:-}" "${w2pid:-}" "${coordpid:-}" "${solopid:-}"; do
+        if [ -n "$p" ] && kill -0 "$p" 2>/dev/null; then
+            kill -KILL "$p" 2>/dev/null || true
+        fi
+    done
+    rm -rf "$tmpdir"
+}
+trap cleanup EXIT INT TERM
+
+# wait_addr LOGFILE PID: parse "siptd: listening on http://HOST:PORT"
+# from a daemon's startup log, echoing the address.
+wait_addr() {
+    log=$1
+    pid=$2
+    i=0
+    while [ $i -lt 100 ]; do
+        a=$(sed -n 's|^siptd: listening on http://||p' "$log" | head -n 1)
+        if [ -n "$a" ]; then
+            echo "$a"
+            return 0
+        fi
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "fabric-smoke: daemon died before listening ($log)" >&2
+            cat "$log" >&2
+            return 1
+        fi
+        sleep 0.1
+        i=$((i + 1))
+    done
+    echo "fabric-smoke: no listen line within 10s ($log)" >&2
+    cat "$log" >&2
+    return 1
+}
+
+echo '== fabric-smoke: build siptd'
+go build -o "$daemon" ./cmd/siptd
+
+echo '== fabric-smoke: start two workers'
+"$daemon" -addr 127.0.0.1:0 -records 20000 >"$tmpdir/w1.log" &
+w1pid=$!
+"$daemon" -addr 127.0.0.1:0 -records 20000 >"$tmpdir/w2.log" &
+w2pid=$!
+w1addr=$(wait_addr "$tmpdir/w1.log" "$w1pid")
+w2addr=$(wait_addr "$tmpdir/w2.log" "$w2pid")
+echo "== fabric-smoke: workers up at $w1addr, $w2addr"
+
+echo '== fabric-smoke: start coordinator and single-node reference'
+"$daemon" -addr 127.0.0.1:0 -records 20000 -coordinator "$w1addr,$w2addr" >"$tmpdir/coord.log" &
+coordpid=$!
+"$daemon" -addr 127.0.0.1:0 -records 20000 >"$tmpdir/solo.log" &
+solopid=$!
+coordaddr=$(wait_addr "$tmpdir/coord.log" "$coordpid")
+soloaddr=$(wait_addr "$tmpdir/solo.log" "$solopid")
+grep -q 'siptd: coordinator over 2 workers' "$tmpdir/coord.log" || {
+    echo 'fabric-smoke: coordinator startup line missing' >&2
+    cat "$tmpdir/coord.log" >&2
+    exit 1
+}
+echo "== fabric-smoke: coordinator at $coordaddr, single node at $soloaddr"
+
+# Drive the identical run + fig6 sweep through both daemons. Job
+# latencies differ run to run, so the timing lines are normalised
+# before the diff; every other byte — job IDs included — must match.
+echo '== fabric-smoke: same workload through both front doors'
+go run ./examples/service -addr "$coordaddr" -records 20000 -experiment fig6 |
+    sed 's/finished in [0-9]* ms$/finished/' >"$tmpdir/coord.out"
+go run ./examples/service -addr "$soloaddr" -records 20000 -experiment fig6 |
+    sed 's/finished in [0-9]* ms$/finished/' >"$tmpdir/solo.out"
+
+echo '== fabric-smoke: coordinator report must equal single-node report'
+if ! diff -u "$tmpdir/solo.out" "$tmpdir/coord.out"; then
+    echo 'fabric-smoke: coordinator output differs from single node' >&2
+    exit 1
+fi
+
+echo '== fabric-smoke: SIGTERM all daemons and wait for graceful drains'
+kill -TERM "$coordpid" "$solopid" "$w1pid" "$w2pid"
+for p in "$coordpid" "$solopid" "$w1pid" "$w2pid"; do
+    if ! wait "$p"; then
+        echo 'fabric-smoke: a daemon exited non-zero on SIGTERM' >&2
+        exit 1
+    fi
+done
+for log in coord solo w1 w2; do
+    grep -q 'siptd: drained, exiting' "$tmpdir/$log.log" || {
+        echo "fabric-smoke: no drain completion line in $log.log" >&2
+        cat "$tmpdir/$log.log" >&2
+        exit 1
+    }
+done
+echo 'fabric-smoke: OK'

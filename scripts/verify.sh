@@ -17,8 +17,11 @@ echo '== go test -race ./...'
 go test -race ./...
 echo '== chaos suite (fault injection under race)'
 go test -race -short -run 'TestChaos|TestDecideMatchesFire' ./internal/fault/
+go test -race -short -run 'TestChaos' ./internal/fabric/
 echo '== serve smoke (siptd end to end)'
 scripts/serve_smoke.sh
+echo '== fabric smoke (coordinator vs single node)'
+scripts/fabric_smoke.sh
 if command -v govulncheck >/dev/null 2>&1; then
     echo '== govulncheck ./...'
     govulncheck ./...
