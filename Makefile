@@ -17,10 +17,11 @@ test:
 race:
 	$(GO) test -race ./...
 
-# siptlint: the repo's own determinism/accounting/hot-path analyzers
-# (see internal/lint). Non-zero exit on any finding.
+# siptlint: the repo's own determinism/accounting/concurrency/contract
+# analyzers (see internal/lint). Non-zero exit on any finding; -timing
+# prints per-analyzer wall time so slow analyzers are visible.
 lint:
-	$(GO) run ./cmd/siptlint ./...
+	$(GO) run ./cmd/siptlint -timing ./...
 
 vet:
 	$(GO) vet ./...
@@ -61,9 +62,11 @@ chaos:
 	$(GO) test -race -short -run 'TestPanicIsolation|TestInjectedWorkerPanic' ./internal/sched/
 	$(GO) test -race -short -run 'TestChaos' ./internal/fabric/
 
-# Native Go fuzzing over the pure bit-math and allocator invariants.
+# Native Go fuzzing over the pure bit-math and allocator invariants,
+# plus the lint loader/dataflow stack on generated Go sources.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzIndexDelta -fuzztime=$(FUZZTIME) ./internal/memaddr/
 	$(GO) test -run='^$$' -fuzz=FuzzUnchangedBits -fuzztime=$(FUZZTIME) ./internal/memaddr/
 	$(GO) test -run='^$$' -fuzz=FuzzAlignAndLog2 -fuzztime=$(FUZZTIME) ./internal/memaddr/
 	$(GO) test -run='^$$' -fuzz=FuzzBuddy -fuzztime=$(FUZZTIME) ./internal/vm/
+	$(GO) test -run='^$$' -fuzz=FuzzLoader -fuzztime=$(FUZZTIME) ./internal/lint/

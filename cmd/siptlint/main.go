@@ -1,18 +1,26 @@
 // Command siptlint runs the repository's custom static-analysis suite
-// (internal/lint): four analyzers that mechanically enforce the
-// simulator's determinism and accounting invariants.
+// (internal/lint): the analyzers that mechanically enforce the
+// simulator's determinism, accounting, concurrency, and failure-model
+// invariants.
 //
 // Usage:
 //
-//	siptlint [-analyzers detrand,statsaccount,memokey,hotalloc] [-list] [packages]
+//	siptlint [-analyzers ctxflow,lockorder,...] [-list] [-json]
+//	         [-timing] [-cache=false] [packages]
 //
-// Packages default to ./... relative to the module root. The exit code
-// is 1 when any finding survives (findings can be acknowledged in place
-// with //siptlint:allow <analyzer>: <justification>), 2 on usage or
-// load errors.
+// Packages default to ./... relative to the module root. Packages are
+// parsed and analysed in parallel, and results are cached under the
+// user cache dir keyed by a content hash of the module's sources — a
+// rerun with no source changes skips loading entirely (disable with
+// -cache=false, e.g. when bisecting the linter itself).
+//
+// The exit code is 1 when any finding survives (findings can be
+// acknowledged in place with //siptlint:allow <analyzer>:
+// <justification>), 2 on usage or load errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +31,9 @@ import (
 func main() {
 	analyzers := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	timing := flag.Bool("timing", false, "report per-analyzer wall time on stderr")
+	useCache := flag.Bool("cache", true, "reuse cached results when sources are unchanged")
 	flag.Parse()
 
 	if *list {
@@ -34,37 +45,98 @@ func main() {
 
 	azs, err := lint.ByName(*analyzers)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "siptlint:", err)
-		os.Exit(2)
+		fatal(err)
 	}
-
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	wd, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "siptlint:", err)
-		os.Exit(2)
-	}
-	prog, err := lint.Load(wd, patterns...)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "siptlint:", err)
-		os.Exit(2)
+		fatal(err)
 	}
 
-	diags, err := lint.Run(prog, azs)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "siptlint:", err)
-		os.Exit(2)
+	// Cache probe: a hit skips the load-and-analyse phase entirely.
+	// Cache setup failures are not fatal — they just force a full run.
+	var cache *lint.Cache
+	var key string
+	if *useCache {
+		if c, cerr := lint.OpenCache(); cerr == nil {
+			if k, kerr := lint.CacheKey(wd, patterns, azs); kerr == nil {
+				cache, key = c, k
+				if diags, ok := c.Get(k); ok {
+					if *timing {
+						fmt.Fprintln(os.Stderr, "siptlint: cached result (no analysis ran)")
+					}
+					emit(diags, *jsonOut)
+					return
+				}
+			}
+		}
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+
+	prog, err := lint.Load(wd, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	diags, timings, err := lint.RunTimed(prog, azs)
+	if err != nil {
+		fatal(err)
+	}
+	if *timing {
+		for _, tm := range timings {
+			fmt.Fprintf(os.Stderr, "siptlint: %-14s %8.1fms\n", tm.Name, float64(tm.Elapsed.Microseconds())/1000)
+		}
+	}
+	if cache != nil {
+		// Best-effort: a full cache partition never fails the lint run.
+		_ = cache.Put(key, diags)
+	}
+	emit(diags, *jsonOut)
+}
+
+// jsonFinding is the stable machine-readable finding shape consumed by
+// CI artifact tooling.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// emit prints findings (text or JSON) and exits 1 when any survive.
+func emit(diags []lint.Diagnostic, asJSON bool) {
+	if asJSON {
+		out := make([]jsonFinding, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonFinding{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "siptlint: %d finding(s) in %d package(s)\n", len(diags), len(prog.Pkgs))
+		fmt.Fprintf(os.Stderr, "siptlint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "siptlint:", err)
+	os.Exit(2)
 }
 
 func firstLine(s string) string {

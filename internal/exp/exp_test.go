@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+	"errors"
 	"strconv"
 	"strings"
 	"testing"
@@ -475,5 +477,21 @@ func TestAblationWayPredictor(t *testing.T) {
 		if v < 0 || v > 1 {
 			t.Errorf("accuracy %v out of range", v)
 		}
+	}
+}
+
+// TestICacheFractionsHonourCancel: the per-record scan in
+// icacheFastFractions is record-scaled, so a cancelled context must
+// surface promptly instead of walking the whole fetch stream.
+func TestICacheFractionsHonourCancel(t *testing.T) {
+	prof, err := workload.Lookup("h264ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err = icacheFastFractions(ctx, prof, 1, 20_000)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -186,7 +186,12 @@ func icacheFastFractions(ctx context.Context, prof workload.Profile, seed int64,
 		return 0, 0, nil
 	}
 	var fast uint64
-	for _, rec := range recs {
+	for i, rec := range recs {
+		if uint64(i)&(cpu.CtxCheckInterval-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, 0, err
+			}
+		}
 		if memaddr.BitsUnchanged(rec.VA, rec.PA, 2) {
 			fast++
 		}

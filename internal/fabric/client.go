@@ -104,8 +104,10 @@ func (c *Client) attempt(ctx context.Context, req ShardRequest) ([]sim.Stats, er
 		switch view.Status {
 		case StatusDone:
 			if len(view.Stats) != len(req.Configs) {
-				return nil, fmt.Errorf("fabric: worker %s shard %s: %d stats for %d configs",
-					c.base, id, len(view.Stats), len(req.Configs))
+				// A protocol violation, not a flake: the same shard would
+				// confuse any worker, so retrying or re-routing cannot help.
+				return nil, fault.Permanent(fmt.Errorf("fabric: worker %s shard %s: %d stats for %d configs",
+					c.base, id, len(view.Stats), len(req.Configs)))
 			}
 			return view.Stats, nil
 		case StatusFailed, StatusCanceled:
@@ -125,11 +127,11 @@ func (c *Client) attempt(ctx context.Context, req ShardRequest) ([]sim.Stats, er
 func (c *Client) submit(ctx context.Context, req ShardRequest) (string, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
-		return "", fmt.Errorf("fabric: encode shard: %w", err)
+		return "", fault.Permanent(fmt.Errorf("fabric: encode shard: %w", err))
 	}
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/shard", bytes.NewReader(body))
 	if err != nil {
-		return "", fmt.Errorf("fabric: build request: %w", err)
+		return "", fault.Permanent(fmt.Errorf("fabric: build request: %w", err))
 	}
 	hreq.Header.Set("Content-Type", "application/json")
 	resp, err := c.hc.Do(hreq)
@@ -156,7 +158,7 @@ func (c *Client) submit(ctx context.Context, req ShardRequest) (string, error) {
 func (c *Client) get(ctx context.Context, id string) (ShardView, error) {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/shards/"+id, nil)
 	if err != nil {
-		return ShardView{}, fmt.Errorf("fabric: build request: %w", err)
+		return ShardView{}, fault.Permanent(fmt.Errorf("fabric: build request: %w", err))
 	}
 	resp, err := c.hc.Do(hreq)
 	if err != nil {
@@ -186,7 +188,7 @@ func (c *Client) statusErr(op string, resp *http.Response) error {
 	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500 {
 		return fault.Transient(err)
 	}
-	return err
+	return fault.Permanent(err)
 }
 
 // drain consumes and closes a response body so the connection can be

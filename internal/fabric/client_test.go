@@ -206,6 +206,9 @@ func TestClientPermanentError(t *testing.T) {
 	if err == nil || fault.IsTransient(err) {
 		t.Fatalf("err = %v, want permanent", err)
 	}
+	if !fault.IsPermanent(err) {
+		t.Errorf("err = %v, want the explicit Permanent class", err)
+	}
 	if got := w.submitCount(); got != 1 {
 		t.Errorf("submits = %d, want 1 (no retry)", got)
 	}
@@ -237,6 +240,9 @@ func TestClientFailedJobIsTransient(t *testing.T) {
 	_, err = c2.RunShard(context.Background(), shardReq("mcf"))
 	if err == nil || fault.IsTransient(err) {
 		t.Fatalf("stats mismatch: err = %v, want permanent", err)
+	}
+	if !fault.IsPermanent(err) {
+		t.Errorf("stats mismatch: err = %v, want the explicit Permanent class", err)
 	}
 }
 
@@ -398,6 +404,12 @@ func TestCoordinatorAllEjected(t *testing.T) {
 		[]sim.Config{sim.Baseline(cpu.OOO())})
 	if !errors.Is(err, ErrNoWorkers) {
 		t.Fatalf("err = %v, want ErrNoWorkers", err)
+	}
+	// An all-ejected fleet is not a flake: the class tells callers not
+	// to retry, and classifying must not hide ErrNoWorkers (above) or
+	// change the message.
+	if !fault.IsPermanent(err) {
+		t.Errorf("err = %v, want the explicit Permanent class", err)
 	}
 	if live := c.Live(); len(live) != 0 {
 		t.Errorf("Live = %v, want empty", live)

@@ -197,7 +197,9 @@ func (c *Coordinator) pick(key TraceKey, avoid map[string]bool) (*workerState, e
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.ring.Len() == 0 {
-		return nil, fmt.Errorf("%w: all %d ejected", ErrNoWorkers, len(c.byName))
+		// Permanent is transparent (message and errors.Is(.., ErrNoWorkers)
+		// unchanged): an empty ring cannot heal within this sweep.
+		return nil, fault.Permanent(fmt.Errorf("%w: all %d ejected", ErrNoWorkers, len(c.byName)))
 	}
 	seq := c.ring.Sequence(key)
 	for _, name := range seq {

@@ -292,3 +292,34 @@ func IsTransient(err error) bool {
 	var t *transientError
 	return errors.As(err, &t)
 }
+
+// permanentError marks an error as explicitly classified and not
+// retryable. Unlike transientError it is transparent: Error() returns
+// the inner message unchanged, so classifying an existing error changes
+// no output, and Unwrap keeps errors.Is/As working through the marker.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err as an explicitly permanent (non-retryable)
+// failure: retrying cannot help — a protocol violation, a malformed
+// request, an empty worker ring. The marker makes "we considered this
+// error and it is not transient" visible to both readers and the
+// transienterr analyzer, keeping the wire boundary's classification
+// total. Permanent(nil) is nil. Classification is by the outermost
+// intent: wrap at the point the error is constructed, not around an
+// already-Transient chain.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether any error in err's chain was marked
+// Permanent.
+func IsPermanent(err error) bool {
+	var p *permanentError
+	return errors.As(err, &p)
+}

@@ -228,3 +228,35 @@ func TestErrIsTransient(t *testing.T) {
 		t.Errorf("Err() = %q, want mention of %q", err, want)
 	}
 }
+
+func TestPermanentClassification(t *testing.T) {
+	base := errors.New("boom")
+	p := Permanent(base)
+	if !IsPermanent(p) {
+		t.Error("Permanent(err) not classified permanent")
+	}
+	if IsTransient(p) {
+		t.Error("Permanent(err) classified transient")
+	}
+	if !IsPermanent(fmt.Errorf("wrapped: %w", p)) {
+		t.Error("wrapped permanent lost its class")
+	}
+	if IsPermanent(base) {
+		t.Error("plain error classified permanent")
+	}
+	if Permanent(nil) != nil {
+		t.Error("Permanent(nil) != nil")
+	}
+	if !errors.Is(p, base) {
+		t.Error("Permanent does not unwrap to its cause")
+	}
+	// Transparency: classifying must not change the message, so
+	// operator-facing logs and callers that match on error text are
+	// unaffected by the wrap.
+	if p.Error() != base.Error() {
+		t.Errorf("Permanent changed the message: %q != %q", p.Error(), base.Error())
+	}
+	if IsPermanent(Transient(base)) {
+		t.Error("Transient(err) classified permanent")
+	}
+}

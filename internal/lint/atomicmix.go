@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix enforces all-or-nothing atomicity per field. A word that is
+// updated with sync/atomic in one place and read with a plain load in
+// another is a data race the race detector only catches if the two
+// sites actually collide during a test run; statically, the mix is
+// visible immediately. The modern fix is a typed atomic
+// (atomic.Int64), which makes plain access unrepresentable — this
+// analyzer exists for the transitional pattern where a plain integer
+// field is shared via atomic.Add/Load/Store calls.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc: `a field accessed via sync/atomic must never be accessed plainly elsewhere
+
+Phase 1 collects every variable or struct field whose address is passed
+to a sync/atomic function anywhere in sipt/internal/. Phase 2 flags
+every other appearance of those variables: plain reads, plain writes,
+and addresses taken outside a sync/atomic call all defeat the atomicity
+the first site paid for. Composite-literal field keys are exempt
+(construction happens-before sharing).`,
+	Run: runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) error {
+	findings := pass.Prog.memo("atomicmix", func() any {
+		return buildAtomicMixFindings(pass.Prog)
+	}).([]progFinding)
+	for _, f := range findings {
+		if f.pkgPath == pass.Pkg.Path {
+			pass.Reportf(f.pos, "%s", f.msg)
+		}
+	}
+	return nil
+}
+
+func buildAtomicMixFindings(prog *Program) []progFinding {
+	// Phase 1: variables whose address reaches sync/atomic, with the
+	// earliest atomic site for the diagnostic message.
+	atomicVars := make(map[*types.Var]token.Pos)
+	// exempt subtrees: the &x argument itself inside the atomic call.
+	exempt := make(map[ast.Node]bool)
+	for _, pkg := range prog.Pkgs {
+		if !inSimScope(pkg.Path) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicCall(pkg, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, isAddr := arg.(*ast.UnaryExpr)
+					if !isAddr || un.Op != token.AND {
+						continue
+					}
+					v := exprVar(pkg, un.X)
+					if v == nil {
+						continue
+					}
+					exempt[arg] = true
+					if prev, seen := atomicVars[v]; !seen || call.Pos() < prev {
+						atomicVars[v] = call.Pos()
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicVars) == 0 {
+		return nil
+	}
+
+	// Phase 2: every other appearance is a plain access.
+	var findings []progFinding
+	for _, pkg := range prog.Pkgs {
+		if !inSimScope(pkg.Path) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if exempt[n] {
+					return false
+				}
+				if kv, ok := n.(*ast.KeyValueExpr); ok {
+					// Composite-literal keys name the field without
+					// accessing it; the value expression still counts.
+					if _, isIdent := kv.Key.(*ast.Ident); isIdent {
+						ast.Inspect(kv.Value, func(m ast.Node) bool {
+							if exempt[m] {
+								return false
+							}
+							findings = appendAtomicUse(prog, pkg, m, atomicVars, findings)
+							return true
+						})
+						return false
+					}
+				}
+				findings = appendAtomicUse(prog, pkg, n, atomicVars, findings)
+				return true
+			})
+		}
+	}
+	return findings
+}
+
+func appendAtomicUse(prog *Program, pkg *Package, n ast.Node, atomicVars map[*types.Var]token.Pos, findings []progFinding) []progFinding {
+	id, ok := n.(*ast.Ident)
+	if !ok {
+		return findings
+	}
+	v, ok := pkg.Info.Uses[id].(*types.Var)
+	if !ok {
+		return findings
+	}
+	atomicPos, tracked := atomicVars[v]
+	if !tracked {
+		return findings
+	}
+	return append(findings, progFinding{
+		pos:     id.Pos(),
+		pkgPath: pkg.Path,
+		msg: "plain access to " + v.Name() +
+			", which is accessed via sync/atomic at " +
+			prog.Fset.Position(atomicPos).String() +
+			"; every access must go through sync/atomic (or use a typed atomic)",
+	})
+}
+
+func isAtomicCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// exprVar resolves the operand of &x to the variable or field being
+// shared: a plain identifier or the terminal field of a selector.
+func exprVar(pkg *Package, x ast.Expr) *types.Var {
+	switch x := x.(type) {
+	case *ast.Ident:
+		v, _ := pkg.Info.Uses[x].(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		v, _ := pkg.Info.Uses[x.Sel].(*types.Var)
+		return v
+	case *ast.ParenExpr:
+		return exprVar(pkg, x.X)
+	case *ast.IndexExpr:
+		return exprVar(pkg, x.X)
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"sipt/internal/lint"
+	"sipt/internal/lint/linttest"
+)
+
+func TestAtomicMix(t *testing.T) {
+	linttest.Run(t, "testdata/atomicmix", lint.AtomicMix, "sipt/internal/fixturesim")
+}

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// cacheVersion invalidates every cached result when the cache format or
+// the analysis semantics change in a way the content hash cannot see.
+// Bump it when Diagnostic's encoding or an analyzer's behaviour changes
+// without a corresponding source change in the analysed module.
+const cacheVersion = "siptlint-cache-v2"
+
+// A Cache stores lint results keyed by a content hash of the analysed
+// sources. siptlint uses it to skip the expensive load-and-analyse
+// phase entirely when nothing it reads has changed.
+type Cache struct {
+	// Dir is the directory holding one JSON file per key.
+	Dir string
+}
+
+// OpenCache opens (creating if needed) the user-level cache directory,
+// e.g. ~/.cache/siptlint.
+func OpenCache() (*Cache, error) {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return nil, fmt.Errorf("lint: no user cache dir: %w", err)
+	}
+	dir := filepath.Join(base, "siptlint")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Cache{Dir: dir}, nil
+}
+
+// CacheKey hashes everything a lint run's outcome depends on: the cache
+// format version, the toolchain (the standard library is type-checked
+// from $GOROOT source), the module path, the requested patterns and
+// analyzer set, and the path and content of every non-test Go file
+// under the module root. The file walk deliberately ignores patterns —
+// a conservative superset, since an out-of-pattern package can still be
+// imported by an analysed one.
+func CacheKey(dir string, patterns []string, analyzers []*Analyzer) (string, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	fmt.Fprintln(h, cacheVersion)
+	fmt.Fprintln(h, runtime.Version())
+	fmt.Fprintln(h, modPath)
+	fmt.Fprintln(h, strings.Join(patterns, "\x00"))
+	names := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		names[i] = a.Name
+	}
+	fmt.Fprintln(h, strings.Join(names, ","))
+
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return "", err
+	}
+	for _, d := range dirs {
+		entries, err := os.ReadDir(d)
+		if err != nil {
+			return "", err
+		}
+		sort.Slice(entries, func(i, j int) bool { return entries[i].Name() < entries[j].Name() })
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+				strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+				continue
+			}
+			path := filepath.Join(d, name)
+			rel, err := filepath.Rel(root, path)
+			if err != nil {
+				rel = path
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(h, "%s\x00%d\x00", filepath.ToSlash(rel), len(data))
+			h.Write(data)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Get returns the cached findings for key, or ok=false on any miss,
+// decode failure, or corruption — the caller then analyses from
+// scratch. An empty finding list is a valid (and common) hit.
+func (c *Cache) Get(key string) (diags []Diagnostic, ok bool) {
+	data, err := os.ReadFile(filepath.Join(c.Dir, key+".json"))
+	if err != nil {
+		return nil, false
+	}
+	if err := json.Unmarshal(data, &diags); err != nil {
+		return nil, false
+	}
+	return diags, true
+}
+
+// Put stores findings under key, atomically (write-then-rename), so a
+// crashed run never leaves a half-written entry that Get could decode.
+func (c *Cache) Put(key string, diags []Diagnostic) error {
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	data, err := json.Marshal(diags)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.Dir, key+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(c.Dir, key+".json"))
+}

@@ -1,0 +1,140 @@
+package lint_test
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sipt/internal/lint"
+)
+
+func TestCacheRoundTrip(t *testing.T) {
+	c := &lint.Cache{Dir: t.TempDir()}
+	key := strings.Repeat("ab", 32)
+
+	if _, ok := c.Get(key); ok {
+		t.Fatal("hit on an empty cache")
+	}
+	diags := []lint.Diagnostic{{
+		Pos:      token.Position{Filename: "a.go", Line: 3, Column: 2},
+		Analyzer: "detrand",
+		Message:  "time.Now in simulation scope",
+	}}
+	if err := c.Put(key, diags); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(key)
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if len(got) != 1 || got[0] != diags[0] {
+		t.Errorf("Get = %+v, want %+v", got, diags)
+	}
+}
+
+// TestCacheEmptyResultIsAHit: a clean run (zero findings) must be
+// cached too — that is the common case, and the whole point.
+func TestCacheEmptyResultIsAHit(t *testing.T) {
+	c := &lint.Cache{Dir: t.TempDir()}
+	key := strings.Repeat("cd", 32)
+	if err := c.Put(key, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(key)
+	if !ok {
+		t.Fatal("miss after Put(nil)")
+	}
+	if len(got) != 0 {
+		t.Errorf("Get = %+v, want empty", got)
+	}
+}
+
+func TestCacheCorruptEntryIsAMiss(t *testing.T) {
+	c := &lint.Cache{Dir: t.TempDir()}
+	key := strings.Repeat("ef", 32)
+	if err := os.WriteFile(filepath.Join(c.Dir, key+".json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Error("corrupt entry treated as a hit")
+	}
+}
+
+// cacheModule writes a tiny module for key-derivation tests.
+func cacheModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod":    "module cachetest\n\ngo 1.21\n",
+		"a.go":      "package a\n\nfunc A() int { return 1 }\n",
+		"a_test.go": "package a\n",
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func cacheKey(t *testing.T, dir string, patterns []string, azs []*lint.Analyzer) string {
+	t.Helper()
+	key, err := lint.CacheKey(dir, patterns, azs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key
+}
+
+func TestCacheKeyTracksContent(t *testing.T) {
+	dir := cacheModule(t)
+	all := lint.All()
+	patterns := []string{"./..."}
+
+	k1 := cacheKey(t, dir, patterns, all)
+	if k2 := cacheKey(t, dir, patterns, all); k2 != k1 {
+		t.Error("same inputs produced different keys")
+	}
+
+	// Editing a source file must change the key.
+	if err := os.WriteFile(filepath.Join(dir, "a.go"),
+		[]byte("package a\n\nfunc A() int { return 2 }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	edited := cacheKey(t, dir, patterns, all)
+	if edited == k1 {
+		t.Error("source edit did not change the key")
+	}
+
+	// Editing a test file must NOT: the loader never reads tests.
+	if err := os.WriteFile(filepath.Join(dir, "a_test.go"),
+		[]byte("package a\n\n// changed\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := cacheKey(t, dir, patterns, all); got != edited {
+		t.Error("test-file edit changed the key")
+	}
+
+	// Adding a new source file must.
+	if err := os.WriteFile(filepath.Join(dir, "b.go"), []byte("package a\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := cacheKey(t, dir, patterns, all); got == edited {
+		t.Error("new source file did not change the key")
+	}
+}
+
+func TestCacheKeyTracksRequest(t *testing.T) {
+	dir := cacheModule(t)
+	all := lint.All()
+
+	base := cacheKey(t, dir, []string{"./..."}, all)
+	if got := cacheKey(t, dir, []string{"./cmd/..."}, all); got == base {
+		t.Error("different patterns produced the same key")
+	}
+	if got := cacheKey(t, dir, []string{"./..."}, all[:1]); got == base {
+		t.Error("different analyzer set produced the same key")
+	}
+}

@@ -19,10 +19,12 @@ import (
 // interface (class-hierarchy analysis). Both rules over-approximate,
 // which is the safe direction for a determinism check.
 func (prog *Program) Reachable() map[*types.Func]bool {
-	if prog.reach != nil {
-		return prog.reach
-	}
+	return prog.memo("reachable", func() any {
+		return prog.buildReachable()
+	}).(map[*types.Func]bool)
+}
 
+func (prog *Program) buildReachable() map[*types.Func]bool {
 	type declInfo struct {
 		pkg  *Package
 		decl *ast.FuncDecl
@@ -113,7 +115,6 @@ func (prog *Program) Reachable() map[*types.Func]bool {
 			enqueue(callee)
 		}
 	}
-	prog.reach = reach
 	return reach
 }
 

@@ -1,0 +1,258 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow pins the serving stack's cancellation contract. Simulations
+// poll their context every 4096 records (cpu.CtxCheckInterval) so a
+// cancelled job, an expired deadline, or a forced server Close stops
+// work promptly — PR 3 threaded context.Context through every run loop
+// and PR 6 parented all job contexts on the server lifecycle. A new
+// loop that scales with record or job count but never consults its
+// context silently re-opens the gap: the job runs to completion after
+// its client is gone, a draining worker wedges, Close stops being
+// prompt.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: `context-carrying loops must poll their context; outgoing HTTP must carry one
+
+In any package under sipt/internal/ (except the lint suite):
+  - inside a function (or function literal) that receives a
+    context.Context parameter, every for/range loop must mention a
+    context-typed value in its condition or body — ctx.Err(), ctx.Done(),
+    deriving a child context, or passing ctx to a callee all count.
+    Loops with a compile-time-constant trip count (literal bounds, range
+    over an array) are exempt: they cannot scale with record or job
+    count.
+  - every outgoing HTTP request must be built with a context:
+    http.NewRequest, http.Get/Post/PostForm/Head and the matching
+    http.Client methods are flagged; use http.NewRequestWithContext and
+    Client.Do instead.`,
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	if !inSimScope(pass.Pkg.Path) {
+		return nil
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil && hasCtxParam(pass, n.Type) {
+					checkCtxLoops(pass, n.Name.Name, n.Recv, n.Type, n.Body)
+				}
+			case *ast.FuncLit:
+				if hasCtxParam(pass, n.Type) {
+					checkCtxLoops(pass, "function literal", nil, n.Type, n.Body)
+				}
+			case *ast.CallExpr:
+				checkCtxHTTPCall(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// hasCtxParam reports whether the function type declares a named
+// context.Context parameter (a "_" context cannot be polled and is its
+// own smell, but the loop rule needs a pollable variable).
+func hasCtxParam(pass *Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, f := range ft.Params.List {
+		if len(f.Names) == 0 {
+			continue
+		}
+		if t := pass.TypeOf(f.Type); t != nil && isContextType(t) {
+			for _, name := range f.Names {
+				if name.Name != "_" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// checkCtxLoops walks body's loops. A loop must mention a context-typed
+// value somewhere in its condition or body unless its trip count is a
+// compile-time constant. Nested function literals with their own ctx
+// parameter are handled by their own visit, so they are skipped here.
+func checkCtxLoops(pass *Pass, where string, recv *ast.FieldList, ft *ast.FuncType, body *ast.BlockStmt) {
+	var du *DefUse // built lazily: only range-over-local loops need it
+	defUse := func() *DefUse {
+		if du == nil {
+			du = NewDefUse(pass.Pkg, recv, ft, body)
+		}
+		return du
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if constantForBound(pass, n) || mentionsContext(pass, n.Cond) ||
+				mentionsContext(pass, n.Post) || mentionsContext(pass, n.Body) {
+				return true
+			}
+			pass.Reportf(n.Pos(),
+				"loop in %s never polls its context.Context; record- or job-scaled loops must check cancellation (ctx.Err() every cpu.CtxCheckInterval records, or pass ctx to the callee)",
+				where)
+		case *ast.RangeStmt:
+			if constantRange(pass, n) || mentionsContext(pass, n.Body) ||
+				constSizedRange(pass, defUse(), n) {
+				return true
+			}
+			pass.Reportf(n.Pos(),
+				"range loop in %s never polls its context.Context; record- or job-scaled loops must check cancellation (ctx.Err() every cpu.CtxCheckInterval records, or pass ctx to the callee)",
+				where)
+		}
+		return true
+	})
+}
+
+// constSizedRange consults reaching definitions to exempt ranges over
+// locals whose every reaching definition has a source-level-constant
+// size — lanes := make([]*lane, 4) cannot scale with record or job
+// count, whereas make([]T, len(cfgs)) can.
+func constSizedRange(pass *Pass, du *DefUse, n *ast.RangeStmt) bool {
+	id, ok := n.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	defs := du.Reaching(id)
+	if len(defs) == 0 {
+		return false
+	}
+	for _, d := range defs {
+		if !constSizedExpr(pass, d.RHS) {
+			return false
+		}
+	}
+	return true
+}
+
+func constSizedExpr(pass *Pass, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		id, ok := e.Fun.(*ast.Ident)
+		if !ok || id.Name != "make" || len(e.Args) < 2 {
+			return false
+		}
+		if _, isBuiltin := pass.Pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+			return false
+		}
+		tv, ok := pass.Pkg.Info.Types[e.Args[1]]
+		return ok && tv.Value != nil
+	case *ast.CompositeLit:
+		// The element count is written in the source.
+		return true
+	}
+	return false
+}
+
+// mentionsContext reports whether any expression under n has a
+// context.Context type: the ctx variable itself (ctx.Err(), ctx.Done(),
+// passing it on) or a derived child context.
+func mentionsContext(pass *Pass, n ast.Node) bool {
+	if n == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		e, ok := m.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if t := pass.TypeOf(e); t != nil && isContextType(t) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// constantForBound reports a classic counted loop whose bound is a
+// compile-time constant: for i := 0; i < 4; i++ { ... }.
+func constantForBound(pass *Pass, n *ast.ForStmt) bool {
+	cond, ok := n.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	isConst := func(e ast.Expr) bool {
+		tv, ok := pass.Pkg.Info.Types[e]
+		return ok && tv.Value != nil
+	}
+	return isConst(cond.X) || isConst(cond.Y)
+}
+
+// constantRange reports iteration whose count is fixed at compile time:
+// range over an array (or pointer to array) value, or over a constant
+// integer (go1.22 range-over-int with a literal).
+func constantRange(pass *Pass, n *ast.RangeStmt) bool {
+	t := pass.TypeOf(n.X)
+	if t == nil {
+		return false
+	}
+	if tv, ok := pass.Pkg.Info.Types[n.X]; ok && tv.Value != nil {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Array:
+		return true
+	case *types.Pointer:
+		_, isArr := u.Elem().Underlying().(*types.Array)
+		return isArr
+	}
+	return false
+}
+
+// ctxlessHTTP are net/http top-level request helpers that take no
+// context; the matching http.Client methods are flagged too.
+var ctxlessHTTP = map[string]bool{
+	"NewRequest": true, "Get": true, "Post": true, "PostForm": true, "Head": true,
+}
+
+func checkCtxHTTPCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "net/http" || !ctxlessHTTP[fn.Name()] {
+		return
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		// Only (*http.Client) methods matter; http.Request.Cookie etc.
+		// share names with nothing in the banned set, but be precise.
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Name() != "Client" {
+			return
+		}
+	}
+	pass.Reportf(call.Pos(),
+		"outgoing HTTP request without a context (http.%s); build it with http.NewRequestWithContext so fleet calls honour shard deadlines and cancellation",
+		fn.Name())
+}

@@ -1,0 +1,27 @@
+package lint_test
+
+import (
+	"testing"
+
+	"sipt/internal/lint"
+	"sipt/internal/lint/linttest"
+)
+
+func TestCtxFlow(t *testing.T) {
+	linttest.Run(t, "testdata/ctxflow", lint.CtxFlow, "sipt/internal/fixturesim")
+}
+
+// TestCtxFlowScope: the contract binds simulation packages only.
+func TestCtxFlowScope(t *testing.T) {
+	prog, err := lint.LoadDir("testdata/ctxflow", "sipt/cmd/fixturesim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run(prog, []*lint.Analyzer{lint.CtxFlow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("out-of-scope package flagged: %s: %s", d.Pos, d.Message)
+	}
+}

@@ -1,0 +1,660 @@
+package lint
+
+// Intra-procedural dataflow: basic blocks over go/ast plus reaching
+// definitions (def-use chains) over go/types locals. The concurrency
+// analyzers are built on this layer — lockorder propagates held-lock
+// sets along the CFG, transienterr walks a returned error value back to
+// the expressions that produced it — so the same machinery is exercised
+// (and unit-tested) from more than one direction.
+//
+// The CFG is deliberately syntax-only: it needs no type information, so
+// the fuzz target can hammer it with arbitrary parsed sources, and
+// analyzers can build it for function literals as well as declarations.
+// Control flow is over-approximated in the safe-for-linting direction:
+// every branch is assumed takeable, unresolvable gotos fall through to
+// the exit block, and loops always carry a back edge.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// A Block is one straight-line run of evaluation steps. Nodes are
+// "flat": a node is an expression or simple statement, never a
+// statement that owns nested blocks (an if's condition appears here,
+// its branches live in successor blocks).
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// A CFG is a function body's control-flow graph. Blocks[0] is the
+// entry; Exit is the synthetic sink every return (and the final fall-
+// through) feeds.
+type CFG struct {
+	Blocks []*Block
+	Exit   *Block
+}
+
+// BuildCFG constructs the control-flow graph of a function body. Nested
+// function literals are treated as opaque values: their bodies do not
+// contribute blocks (build them separately if needed).
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}}
+	entry := b.newBlock()
+	b.cfg.Exit = b.newBlock() // Blocks[1]; successors stay empty
+	b.cur = entry
+	b.labels = make(map[string]*labelTargets)
+	b.stmt(body)
+	b.edge(b.cur, b.cfg.Exit)
+	return b.cfg
+}
+
+// labelTargets resolves labeled break/continue/goto.
+type labelTargets struct {
+	brk, cont, entry *Block
+}
+
+type cfgBuilder struct {
+	cfg    *CFG
+	cur    *Block
+	brk    []*Block // innermost-last break targets
+	cont   []*Block // innermost-last continue targets
+	labels map[string]*labelTargets
+	// label pends on the next loop/switch statement built, so
+	// `L: for ...` registers L's break/continue targets.
+	label string
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// add appends a flat node to the current block.
+func (b *cfgBuilder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+// terminate ends the current block without a fall-through successor:
+// subsequent statements are unreachable until a new join point.
+func (b *cfgBuilder) terminate() {
+	b.cur = b.newBlock()
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+	case *ast.IfStmt:
+		b.stmt(s.Init)
+		b.add(s.Cond)
+		condBlk := b.cur
+		join := b.newBlock()
+		thenBlk := b.newBlock()
+		b.edge(condBlk, thenBlk)
+		b.cur = thenBlk
+		b.stmt(s.Body)
+		b.edge(b.cur, join)
+		if s.Else != nil {
+			elseBlk := b.newBlock()
+			b.edge(condBlk, elseBlk)
+			b.cur = elseBlk
+			b.stmt(s.Else)
+			b.edge(b.cur, join)
+		} else {
+			b.edge(condBlk, join)
+		}
+		b.cur = join
+	case *ast.ForStmt:
+		b.stmt(s.Init)
+		header := b.newBlock()
+		b.edge(b.cur, header)
+		b.cur = header
+		b.add(s.Cond)
+		body := b.newBlock()
+		exit := b.newBlock()
+		b.edge(header, body)
+		if s.Cond != nil {
+			b.edge(header, exit)
+		}
+		post := header
+		if s.Post != nil {
+			post = b.newBlock()
+		}
+		b.pushLoop(exit, post)
+		b.cur = body
+		b.stmt(s.Body)
+		b.edge(b.cur, post)
+		if s.Post != nil {
+			b.cur = post
+			b.stmt(s.Post)
+			b.edge(b.cur, header)
+		}
+		b.popLoop()
+		b.cur = exit
+	case *ast.RangeStmt:
+		header := b.newBlock()
+		b.edge(b.cur, header)
+		// The whole RangeStmt is the header node: def-use reads X and
+		// defines Key/Value there. Its body lives in successor blocks.
+		header.Nodes = append(header.Nodes, s)
+		body := b.newBlock()
+		exit := b.newBlock()
+		b.edge(header, body)
+		b.edge(header, exit)
+		b.pushLoop(exit, header)
+		b.cur = body
+		b.stmt(s.Body)
+		b.edge(b.cur, header)
+		b.popLoop()
+		b.cur = exit
+	case *ast.SwitchStmt:
+		b.stmt(s.Init)
+		b.add(s.Tag)
+		b.caseClauses(s.Body)
+	case *ast.TypeSwitchStmt:
+		b.stmt(s.Init)
+		b.stmt(s.Assign)
+		b.caseClauses(s.Body)
+	case *ast.SelectStmt:
+		b.caseClauses(s.Body)
+	case *ast.LabeledStmt:
+		lt := &labelTargets{entry: b.newBlock()}
+		b.edge(b.cur, lt.entry)
+		b.cur = lt.entry
+		b.labels[s.Label.Name] = lt
+		b.label = s.Label.Name
+		b.stmt(s.Stmt)
+		b.label = ""
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.terminate()
+	case *ast.BranchStmt:
+		b.branch(s)
+	case *ast.DeclStmt, *ast.AssignStmt, *ast.IncDecStmt, *ast.ExprStmt,
+		*ast.SendStmt, *ast.GoStmt, *ast.DeferStmt:
+		b.add(s)
+	case *ast.EmptyStmt:
+	default:
+		// Unknown statement kinds are kept as flat nodes so their
+		// expressions still contribute defs and uses.
+		b.add(s)
+	}
+}
+
+// caseClauses builds switch/select bodies: every clause branches from
+// the current (header) block and joins afterwards. Without a default
+// clause the header keeps a direct edge to the join (a switch may match
+// nothing; a default-less select blocking forever is over-approximated
+// as proceeding, the safe direction for reaching-defs).
+func (b *cfgBuilder) caseClauses(body *ast.BlockStmt) {
+	header := b.cur
+	join := b.newBlock()
+	b.pushBreak(join)
+	sawDefault := false
+	var prevEnd *Block // clause ending in fallthrough, pending an edge
+	for _, cl := range body.List {
+		blk := b.newBlock()
+		b.edge(header, blk)
+		b.cur = blk
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				sawDefault = true
+			}
+			for _, e := range cl.List {
+				b.add(e)
+			}
+			if prevEnd != nil {
+				// A previous clause ending in fallthrough continues here.
+				b.edge(prevEnd, blk)
+				prevEnd = nil
+			}
+			fellThrough := false
+			for _, st := range cl.Body {
+				if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+					fellThrough = true
+					continue
+				}
+				b.stmt(st)
+			}
+			if fellThrough {
+				prevEnd = b.cur
+			} else {
+				b.edge(b.cur, join)
+			}
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				sawDefault = true
+			}
+			b.stmt(cl.Comm)
+			for _, st := range cl.Body {
+				b.stmt(st)
+			}
+			b.edge(b.cur, join)
+		}
+	}
+	if prevEnd != nil {
+		b.edge(prevEnd, join)
+	}
+	if !sawDefault {
+		b.edge(header, join)
+	}
+	b.popBreak()
+	b.cur = join
+}
+
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	b.add(s)
+	var target *Block
+	switch s.Tok {
+	case token.BREAK:
+		if s.Label != nil {
+			if lt := b.labels[s.Label.Name]; lt != nil && lt.brk != nil {
+				target = lt.brk
+			}
+		} else if len(b.brk) > 0 {
+			target = b.brk[len(b.brk)-1]
+		}
+	case token.CONTINUE:
+		if s.Label != nil {
+			if lt := b.labels[s.Label.Name]; lt != nil && lt.cont != nil {
+				target = lt.cont
+			}
+		} else if len(b.cont) > 0 {
+			target = b.cont[len(b.cont)-1]
+		}
+	case token.GOTO:
+		if s.Label != nil {
+			if lt := b.labels[s.Label.Name]; lt != nil {
+				target = lt.entry
+			}
+		}
+	case token.FALLTHROUGH:
+		return // handled structurally in caseClauses
+	}
+	if target == nil {
+		// Forward goto or malformed branch: fall through to the exit so
+		// the graph stays conservative rather than panicking.
+		target = b.cfg.Exit
+	}
+	b.edge(b.cur, target)
+	b.terminate()
+}
+
+func (b *cfgBuilder) pushLoop(brk, cont *Block) {
+	b.brk = append(b.brk, brk)
+	b.cont = append(b.cont, cont)
+	if b.label != "" {
+		if lt := b.labels[b.label]; lt != nil {
+			lt.brk, lt.cont = brk, cont
+		}
+		// The label binds to this statement only; an inner loop must
+		// not re-bind it.
+		b.label = ""
+	}
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.brk = b.brk[:len(b.brk)-1]
+	b.cont = b.cont[:len(b.cont)-1]
+}
+
+func (b *cfgBuilder) pushBreak(brk *Block) {
+	b.brk = append(b.brk, brk)
+	if b.label != "" {
+		if lt := b.labels[b.label]; lt != nil {
+			lt.brk = brk
+		}
+		b.label = ""
+	}
+}
+
+func (b *cfgBuilder) popBreak() { b.brk = b.brk[:len(b.brk)-1] }
+
+// A Def is one definition site of a local variable.
+type Def struct {
+	// Node is the defining statement (AssignStmt, ValueSpec,
+	// IncDecStmt, RangeStmt) or, for parameters and named results, the
+	// declaring *ast.Ident.
+	Node ast.Node
+	// RHS is the expression assigned, when one exists: the matching
+	// right-hand side of an assignment (the whole call for a multi-value
+	// `a, b := f()`), nil for parameters, zero-value declarations, range
+	// variables, and ++/--.
+	RHS ast.Expr
+	// Param reports a function parameter or named result (defined at
+	// entry, no RHS).
+	Param bool
+}
+
+// DefUse holds reaching-definition chains for one function: for every
+// use of a local variable, the set of definitions that may reach it.
+type DefUse struct {
+	reaching map[*ast.Ident][]int
+	defs     []Def
+	defVars  []*types.Var // defVars[i] is the variable defs[i] defines
+}
+
+// Reaching returns the definitions that may flow into the given use
+// identifier, in source order. Unknown identifiers (not a tracked local
+// use) return nil.
+func (du *DefUse) Reaching(use *ast.Ident) []Def {
+	ids := du.reaching[use]
+	out := make([]Def, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, du.defs[id])
+	}
+	return out
+}
+
+// NewDefUse computes reaching definitions for fn's body using the
+// package's type information. Only locals (parameters, named results,
+// and variables declared in the body) are tracked; package-level
+// variables and fields have no chains. Uses inside nested function
+// literals are resolved against the definitions live at every point of
+// the enclosing function (closures may run at any time, so every def of
+// the captured variable is considered reaching).
+func NewDefUse(pkg *Package, recv *ast.FieldList, typ *ast.FuncType, body *ast.BlockStmt) *DefUse {
+	du := &DefUse{reaching: make(map[*ast.Ident][]int)}
+	cfg := BuildCFG(body)
+
+	// Entry definitions: receiver, parameters, named results.
+	varDefs := make(map[*types.Var][]int) // all def IDs per variable
+	addDef := func(v *types.Var, d Def) int {
+		id := len(du.defs)
+		du.defs = append(du.defs, d)
+		du.defVars = append(du.defVars, v)
+		varDefs[v] = append(varDefs[v], id)
+		return id
+	}
+	entryIDs := make([]int, 0, 8)
+	addParams := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+					entryIDs = append(entryIDs, addDef(v, Def{Node: name, Param: true}))
+				}
+			}
+		}
+	}
+	addParams(recv)
+	addParams(typ.Params)
+	addParams(typ.Results)
+
+	// First pass: number every definition in every block node, in block
+	// then node order, and collect per-node (uses, defs).
+	facts := make(map[ast.Node]*nodeFactsT)
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			facts[n] = collectFacts(pkg, n, addDef)
+		}
+	}
+
+	// Gen/kill per block. kill is implicit: a def of v replaces every
+	// other def of v in the live set.
+	apply := func(live map[*types.Var][]int, n ast.Node, record bool) {
+		f := facts[n]
+		if f == nil {
+			return
+		}
+		if record {
+			for _, use := range f.uses {
+				v, _ := pkg.Info.Uses[use].(*types.Var)
+				if v == nil {
+					continue
+				}
+				if _, tracked := varDefs[v]; !tracked {
+					continue
+				}
+				du.reaching[use] = append([]int(nil), live[v]...)
+			}
+		}
+		for _, id := range f.defs {
+			if v := du.defVars[id]; v != nil {
+				live[v] = []int{id}
+			}
+		}
+	}
+
+	// Iterate to fixpoint: in[b] = union of out[preds].
+	in := make([]map[*types.Var][]int, len(cfg.Blocks))
+	out := make([]map[*types.Var][]int, len(cfg.Blocks))
+	for i := range in {
+		in[i] = map[*types.Var][]int{}
+		out[i] = map[*types.Var][]int{}
+	}
+	for _, id := range entryIDs {
+		if v := du.defVars[id]; v != nil {
+			in[0][v] = append(in[0][v], id)
+		}
+	}
+	preds := make([][]int, len(cfg.Blocks))
+	for _, blk := range cfg.Blocks {
+		for _, s := range blk.Succs {
+			preds[s.Index] = append(preds[s.Index], blk.Index)
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, blk := range cfg.Blocks {
+			i := blk.Index
+			if i != 0 {
+				merged := map[*types.Var][]int{}
+				for _, p := range preds[i] {
+					for v, ids := range out[p] {
+						merged[v] = unionInts(merged[v], ids)
+					}
+				}
+				in[i] = merged
+			}
+			live := copyLive(in[i])
+			for _, n := range blk.Nodes {
+				apply(live, n, false)
+			}
+			if !liveEqual(live, out[i]) {
+				out[i] = live
+				changed = true
+			}
+		}
+	}
+
+	// Final pass: record reaching defs at every use.
+	for _, blk := range cfg.Blocks {
+		live := copyLive(in[blk.Index])
+		for _, n := range blk.Nodes {
+			apply(live, n, true)
+		}
+	}
+	return du
+}
+
+// NewDefUseFunc is NewDefUse for a function declaration.
+func NewDefUseFunc(pkg *Package, fd *ast.FuncDecl) *DefUse {
+	return NewDefUse(pkg, fd.Recv, fd.Type, fd.Body)
+}
+
+// collectFacts extracts the (uses, defs) of one flat CFG node. Function
+// literal bodies are not descended into for defs (their assignments
+// execute at call time), but their free-variable reads do count as
+// uses at the definition site — the closure observes whatever is live.
+func collectFacts(pkg *Package, n ast.Node, addDef func(*types.Var, Def) int) *nodeFactsT {
+	f := &nodeFactsT{}
+	defIdents := make(map[*ast.Ident]Def)
+
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for i, lhs := range n.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			var rhs ast.Expr
+			if len(n.Rhs) == len(n.Lhs) {
+				rhs = n.Rhs[i]
+			} else if len(n.Rhs) == 1 {
+				rhs = n.Rhs[0]
+			}
+			defIdents[id] = Def{Node: n, RHS: rhs}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var rhs ast.Expr
+					if len(vs.Values) == len(vs.Names) {
+						rhs = vs.Values[i]
+					} else if len(vs.Values) == 1 {
+						rhs = vs.Values[0]
+					}
+					defIdents[name] = Def{Node: vs, RHS: rhs}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		if id, ok := n.X.(*ast.Ident); ok {
+			defIdents[id] = Def{Node: n}
+		}
+	case *ast.RangeStmt:
+		if id, ok := n.Key.(*ast.Ident); ok {
+			defIdents[id] = Def{Node: n}
+		}
+		if id, ok := n.Value.(*ast.Ident); ok {
+			defIdents[id] = Def{Node: n}
+		}
+	}
+
+	// Uses: every identifier in the node that resolves to a variable,
+	// excluding the definition occurrences themselves. For a RangeStmt
+	// node only X is evaluated here (the body has its own blocks).
+	scan := n
+	if r, ok := n.(*ast.RangeStmt); ok {
+		scan = r.X
+	}
+	ast.Inspect(scan, func(m ast.Node) bool {
+		if _, ok := m.(*ast.BlockStmt); ok {
+			if _, isRange := n.(*ast.RangeStmt); isRange {
+				return false
+			}
+		}
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if _, isDef := defIdents[id]; isDef {
+			return true
+		}
+		if _, ok := pkg.Info.Uses[id].(*types.Var); ok {
+			f.uses = append(f.uses, id)
+		}
+		return true
+	})
+	// Also the defined identifiers in compound assignments (+=, ++)
+	// read their previous value.
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					f.uses = append(f.uses, id)
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		if id, ok := n.X.(*ast.Ident); ok {
+			f.uses = append(f.uses, id)
+		}
+	}
+
+	// Register defs in source order for deterministic IDs.
+	ordered := make([]*ast.Ident, 0, len(defIdents))
+	for id := range defIdents {
+		ordered = append(ordered, id)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Pos() < ordered[j].Pos() })
+	for _, id := range ordered {
+		v, ok := pkg.Info.Defs[id].(*types.Var)
+		if !ok {
+			v, ok = pkg.Info.Uses[id].(*types.Var)
+		}
+		if !ok || v == nil {
+			continue
+		}
+		f.defs = append(f.defs, addDef(v, defIdents[id]))
+	}
+	return f
+}
+
+type nodeFactsT struct {
+	uses []*ast.Ident
+	defs []int
+}
+
+func unionInts(a, b []int) []int {
+	seen := make(map[int]bool, len(a)+len(b))
+	var out []int
+	for _, s := range [2][]int{a, b} {
+		for _, x := range s {
+			if !seen[x] {
+				seen[x] = true
+				out = append(out, x)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func copyLive(m map[*types.Var][]int) map[*types.Var][]int {
+	out := make(map[*types.Var][]int, len(m))
+	for v, ids := range m {
+		out[v] = append([]int(nil), ids...)
+	}
+	return out
+}
+
+func liveEqual(a, b map[*types.Var][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v, ids := range a {
+		other, ok := b[v]
+		if !ok || len(other) != len(ids) {
+			return false
+		}
+		for i := range ids {
+			if ids[i] != other[i] {
+				return false
+			}
+		}
+	}
+	return true
+}

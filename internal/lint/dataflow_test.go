@@ -1,0 +1,263 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"sipt/internal/lint"
+)
+
+// buildCFG parses a function body and builds its control-flow graph.
+func buildCFG(t *testing.T, body string) *lint.CFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return lint.BuildCFG(fd.Body)
+}
+
+// hasCycle reports whether the CFG contains any cycle (a loop back
+// edge).
+func hasCycle(cfg *lint.CFG) bool {
+	const (
+		white = iota
+		grey
+		black
+	)
+	color := make([]int, len(cfg.Blocks))
+	var visit func(b *lint.Block) bool
+	visit = func(b *lint.Block) bool {
+		color[b.Index] = grey
+		for _, s := range b.Succs {
+			switch color[s.Index] {
+			case grey:
+				return true
+			case white:
+				if visit(s) {
+					return true
+				}
+			}
+		}
+		color[b.Index] = black
+		return false
+	}
+	return visit(cfg.Blocks[0])
+}
+
+// exitReachable reports whether Exit is reachable from the entry.
+func exitReachable(cfg *lint.CFG) bool {
+	seen := make([]bool, len(cfg.Blocks))
+	var visit func(b *lint.Block)
+	visit = func(b *lint.Block) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			visit(s)
+		}
+	}
+	visit(cfg.Blocks[0])
+	return seen[cfg.Exit.Index]
+}
+
+func TestBuildCFG(t *testing.T) {
+	tests := []struct {
+		name      string
+		body      string
+		wantCycle bool // a cycle reachable from the entry block
+		wantExit  bool // the exit block reachable from the entry block
+	}{
+		{"linear", "x := 1\n_ = x", false, true},
+		{"ifElse", "if true {\n_ = 1\n} else {\n_ = 2\n}", false, true},
+		{"forLoop", "for i := 0; i < 3; i++ {\n_ = i\n}", true, true},
+		// for { break } runs the body once: the back edge exists only in
+		// unreachable code, so no reachable cycle.
+		{"forever", "for {\nbreak\n}", false, true},
+		{"rangeLoop", "for range []int{1} {\n}", true, true},
+		{"switchCases", "switch 1 {\ncase 1:\n_ = 1\ncase 2:\n_ = 2\n}", false, true},
+		{"fallthroughCase", "switch 1 {\ncase 1:\nfallthrough\ncase 2:\n_ = 2\n}", false, true},
+		{"selectDefault", "ch := make(chan int)\nselect {\ncase <-ch:\ndefault:\n}", false, true},
+		// A backward goto is an infinite loop: cycle, no exit.
+		{"gotoBack", "L:\n_ = 1\ngoto L", true, false},
+		// A forward goto's label is unknown when the branch is built;
+		// the builder conservatively edges to the exit.
+		{"gotoForward", "goto L\nL:\n_ = 1", false, true},
+		// break L leaves both loops on the first body execution: no
+		// reachable cycle, and the exit must be reachable (this is the
+		// regression test for label targets being re-bound by an inner
+		// loop).
+		{"labeledBreak", "L:\nfor {\nfor {\nbreak L\n}\n}", false, true},
+		// continue L from the inner loop re-enters the outer loop: a
+		// reachable cycle through the outer post statement.
+		{"labeledContinue", "L:\nfor i := 0; i < 3; i++ {\nfor {\ncontinue L\n}\n}", true, true},
+		{"midReturn", "if true {\nreturn\n}\n_ = 1", false, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := buildCFG(t, tt.body)
+			if got := hasCycle(cfg); got != tt.wantCycle {
+				t.Errorf("hasCycle = %v, want %v", got, tt.wantCycle)
+			}
+			if got := exitReachable(cfg); got != tt.wantExit {
+				t.Errorf("exitReachable = %v, want %v", got, tt.wantExit)
+			}
+		})
+	}
+}
+
+// TestBuildCFGReturnFeedsExit: every return statement's block must have
+// the exit as a successor.
+func TestBuildCFGReturnFeedsExit(t *testing.T) {
+	cfg := buildCFG(t, "if true {\nreturn\n}\nreturn")
+	returns := 0
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); !ok {
+				continue
+			}
+			returns++
+			found := false
+			for _, s := range b.Succs {
+				if s == cfg.Exit {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("block %d holds a return but does not feed the exit", b.Index)
+			}
+		}
+	}
+	if returns != 2 {
+		t.Fatalf("found %d return statements in blocks, want 2", returns)
+	}
+}
+
+// loadDataflowFixture loads the def-use fixture once per test run.
+func loadDataflowFixture(t *testing.T) *lint.Program {
+	t.Helper()
+	prog, err := lint.LoadDir("testdata/dataflow", "sipt/internal/fixturesim")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	return prog
+}
+
+// funcNamed finds a fixture function declaration by name.
+func funcNamed(t *testing.T, pkg *lint.Package, name string) *ast.FuncDecl {
+	t.Helper()
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+				return fd
+			}
+		}
+	}
+	t.Fatalf("no function %s in fixture", name)
+	return nil
+}
+
+// identsNamed returns every identifier spelled name in fn's body, in
+// source order (both defining and using occurrences).
+func identsNamed(fn *ast.FuncDecl, name string) []*ast.Ident {
+	var out []*ast.Ident
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			out = append(out, id)
+		}
+		return true
+	})
+	return out
+}
+
+func TestDefUse(t *testing.T) {
+	prog := loadDataflowFixture(t)
+	pkg := prog.Pkgs[0]
+
+	tests := []struct {
+		fn    string
+		ident string
+		occ   int // occurrence index among identsNamed, in source order
+		defs  int // expected reaching-definition count
+		param bool
+	}{
+		// straight: x := 1 is killed by x = 2; the return sees one def.
+		{"straight", "x", 2, 1, false},
+		// branchy: the branch may or may not run; both defs reach.
+		{"branchy", "x", 2, 2, false},
+		// loopy: inside the loop, the entry def and the loop's own def
+		// both reach the right-hand-side use (back edge).
+		{"loopy", "x", 2, 2, false},
+		// loopy: the return after the loop sees both as well.
+		{"loopy", "x", 3, 2, false},
+		// params: a parameter is its own single entry definition.
+		{"params", "a", 0, 1, true},
+		// ranged: sum += v reads sum defined at entry and by itself.
+		{"ranged", "sum", 1, 2, false},
+		// ranged: the loop's value variable has the range as its def.
+		{"ranged", "v", 1, 1, false},
+	}
+	for _, tt := range tests {
+		fn := funcNamed(t, pkg, tt.fn)
+		du := lint.NewDefUseFunc(pkg, fn)
+		ids := identsNamed(fn, tt.ident)
+		if tt.occ >= len(ids) {
+			t.Fatalf("%s: only %d idents named %s", tt.fn, len(ids), tt.ident)
+		}
+		defs := du.Reaching(ids[tt.occ])
+		if len(defs) != tt.defs {
+			t.Errorf("%s: %s[%d]: got %d reaching defs, want %d",
+				tt.fn, tt.ident, tt.occ, len(defs), tt.defs)
+			continue
+		}
+		if tt.param {
+			if len(defs) == 0 || !defs[0].Param {
+				t.Errorf("%s: %s[%d]: expected a parameter definition", tt.fn, tt.ident, tt.occ)
+			}
+		}
+	}
+}
+
+// TestDefUseKill: in straight(), the overwritten first definition must
+// NOT reach the return — reaching-defs without kill would report two.
+func TestDefUseKill(t *testing.T) {
+	prog := loadDataflowFixture(t)
+	pkg := prog.Pkgs[0]
+	fn := funcNamed(t, pkg, "straight")
+	du := lint.NewDefUseFunc(pkg, fn)
+	use := identsNamed(fn, "x")[2]
+	defs := du.Reaching(use)
+	if len(defs) != 1 {
+		t.Fatalf("got %d defs, want 1", len(defs))
+	}
+	lit, ok := defs[0].RHS.(*ast.BasicLit)
+	if !ok || lit.Value != "2" {
+		t.Errorf("reaching RHS = %v, want the literal 2", defs[0].RHS)
+	}
+}
+
+// TestDefUseRangeDef: a range value variable's definition is the
+// RangeStmt itself, with no RHS expression.
+func TestDefUseRangeDef(t *testing.T) {
+	prog := loadDataflowFixture(t)
+	pkg := prog.Pkgs[0]
+	fn := funcNamed(t, pkg, "ranged")
+	du := lint.NewDefUseFunc(pkg, fn)
+	use := identsNamed(fn, "v")[1]
+	defs := du.Reaching(use)
+	if len(defs) != 1 {
+		t.Fatalf("got %d defs, want 1", len(defs))
+	}
+	if _, ok := defs[0].Node.(*ast.RangeStmt); !ok {
+		t.Errorf("def node = %T, want *ast.RangeStmt", defs[0].Node)
+	}
+	if defs[0].RHS != nil {
+		t.Errorf("range def has RHS %v, want nil", defs[0].RHS)
+	}
+}

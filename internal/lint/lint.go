@@ -16,6 +16,20 @@
 //   - hotalloc: //sipt:hotpath functions stay allocation- and map-free.
 //   - recoverscope: recover() only at the scheduler's worker boundary.
 //
+// A second generation of analyzers guards the concurrent serving stack,
+// built on an intra-procedural dataflow layer (basic blocks + reaching
+// definitions, see dataflow.go) and whole-program artifacts memoised on
+// the Program:
+//
+//   - ctxflow: context-carrying loops must poll their context; outgoing
+//     HTTP requests must carry one.
+//   - lockorder: the global mutex-acquisition graph must be acyclic.
+//   - atomicmix: a field accessed via sync/atomic is never accessed
+//     plainly elsewhere.
+//   - metricreg: metric names are literal, lowercase, registered once.
+//   - transienterr: errors crossing the serve/fabric wire boundary flow
+//     through the fault.Transient/Permanent taxonomy.
+//
 // Findings can be acknowledged in place with a justification:
 //
 //	//siptlint:allow detrand: commutative aggregation, order-invariant
@@ -30,8 +44,12 @@ import (
 	"go/token"
 	"go/types"
 	"regexp"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // An Analyzer describes one static check. Run is invoked once per
@@ -75,7 +93,29 @@ type Program struct {
 	ModulePath string
 	Pkgs       []*Package
 
-	reach map[*types.Func]bool // lazily built by Reachable
+	// state memoises program-wide analysis artifacts (call graphs, lock
+	// graphs, registration tables) so whole-program analyzers compute
+	// them once even when packages are analysed in parallel.
+	stateMu sync.Mutex
+	state   map[string]any
+}
+
+// memo returns the program-wide value for key, building it on first
+// use. The build function runs under the program lock: whole-program
+// artifacts are built exactly once, and concurrent passes block until
+// the first build completes.
+func (prog *Program) memo(key string, build func() any) any {
+	prog.stateMu.Lock()
+	defer prog.stateMu.Unlock()
+	if prog.state == nil {
+		prog.state = make(map[string]any)
+	}
+	if v, ok := prog.state[key]; ok {
+		return v
+	}
+	v := build()
+	prog.state[key] = v
+	return v
 }
 
 // A Pass carries one (analyzer, package) unit of work.
@@ -166,7 +206,10 @@ func HasDirective(doc *ast.CommentGroup, directive string) bool {
 
 // All returns every analyzer in the suite, in report order.
 func All() []*Analyzer {
-	return []*Analyzer{DetRand, StatsAccount, MemoKey, HotAlloc, RecoverScope}
+	return []*Analyzer{
+		DetRand, StatsAccount, MemoKey, HotAlloc, RecoverScope,
+		CtxFlow, LockOrder, AtomicMix, MetricReg, TransientErr,
+	}
 }
 
 // ByName resolves a comma-separated analyzer list ("" = all).
@@ -192,14 +235,60 @@ func ByName(names string) ([]*Analyzer, error) {
 // Run executes the analyzers over every package of the program and
 // returns the surviving (non-suppressed) findings in position order.
 func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var diags []Diagnostic
-	for _, pkg := range prog.Pkgs {
-		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Prog: prog, Pkg: pkg, diags: &diags}
-			if err := a.Run(pass); err != nil {
-				return diags, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+	diags, _, err := RunTimed(prog, analyzers)
+	return diags, err
+}
+
+// An AnalyzerTiming is one analyzer's cumulative wall time across every
+// package of a run. Whole-program artifacts (call graphs, lock graphs)
+// are built inside the first pass that asks for them, so that pass's
+// analyzer is charged for the build.
+type AnalyzerTiming struct {
+	Name    string
+	Elapsed time.Duration
+}
+
+// RunTimed is Run plus per-analyzer wall-time accounting. Packages are
+// analysed in parallel: each package's passes report into a private
+// slice merged (and position-sorted) afterwards, so output order is
+// deterministic regardless of scheduling; whole-program artifacts are
+// serialised by Program.memo.
+func RunTimed(prog *Program, analyzers []*Analyzer) ([]Diagnostic, []AnalyzerTiming, error) {
+	elapsed := make([]int64, len(analyzers))
+	perPkg := make([][]Diagnostic, len(prog.Pkgs))
+	errs := make([]error, len(prog.Pkgs))
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, pkg := range prog.Pkgs {
+		wg.Add(1)
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var diags []Diagnostic
+			for ai, a := range analyzers {
+				pass := &Pass{Analyzer: a, Prog: prog, Pkg: pkg, diags: &diags}
+				start := time.Now()
+				err := a.Run(pass)
+				atomic.AddInt64(&elapsed[ai], int64(time.Since(start)))
+				if err != nil {
+					errs[i] = fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+					return
+				}
 			}
-		}
+			perPkg[i] = diags
+		}(i, pkg)
+	}
+	wg.Wait()
+
+	timings := make([]AnalyzerTiming, len(analyzers))
+	for i, a := range analyzers {
+		timings[i] = AnalyzerTiming{Name: a.Name, Elapsed: time.Duration(elapsed[i])}
+	}
+	var diags []Diagnostic
+	for _, d := range perPkg {
+		diags = append(diags, d...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
@@ -211,7 +300,12 @@ func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Column < b.Column
 	})
-	return diags, nil
+	for _, err := range errs {
+		if err != nil {
+			return diags, timings, err
+		}
+	}
+	return diags, timings, nil
 }
 
 // simScopePrefix is the import-path prefix of simulation packages: the

@@ -9,8 +9,10 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Load parses and type-checks the module packages matched by patterns
@@ -51,6 +53,12 @@ func Load(dir string, patterns ...string) (*Program, error) {
 		paths = append(paths, ip)
 	}
 	sort.Strings(paths)
+
+	// Parse every wanted package up front, in parallel — type-checking
+	// below is dependency-ordered and single-threaded, but parsing is
+	// independent per package and the FileSet is safe for concurrent
+	// use.
+	ld.preparse(paths)
 
 	prog := &Program{Fset: ld.fset, ModulePath: modPath}
 	for _, ip := range paths {
@@ -156,6 +164,17 @@ type loader struct {
 	std     types.ImporterFrom
 	pkgs    map[string]*Package
 	loading map[string]bool
+
+	// parsed holds pre-parsed syntax per directory from preparse, so
+	// the sequential type-checking phase skips re-parsing. Guarded by
+	// parsedMu only during preparse; read single-threaded afterwards.
+	parsedMu sync.Mutex
+	parsed   map[string]parseResult
+}
+
+type parseResult struct {
+	files []*ast.File
+	err   error
 }
 
 func newLoader(root, modPath string) *loader {
@@ -167,7 +186,52 @@ func newLoader(root, modPath string) *loader {
 		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
 		pkgs:    make(map[string]*Package),
 		loading: make(map[string]bool),
+		parsed:  make(map[string]parseResult),
 	}
+}
+
+// preparse parses the given packages' files concurrently, capped at
+// GOMAXPROCS workers. Errors are recorded per directory and surface
+// later from loadDir, so load-order error reporting is unchanged.
+func (ld *loader) preparse(importPaths []string) {
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for _, ip := range importPaths {
+		wg.Add(1)
+		go func(ip string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			dir := ld.dirOf(ip)
+			files, err := ld.parseDir(dir, ip)
+			ld.parsedMu.Lock()
+			ld.parsed[dir] = parseResult{files: files, err: err}
+			ld.parsedMu.Unlock()
+		}(ip)
+	}
+	wg.Wait()
+}
+
+// parseDir parses the non-test Go files of one directory.
+func (ld *loader) parseDir(dir, importPath string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", importPath, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", importPath, err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
 }
 
 func (ld *loader) importPath(dir string) string {
@@ -222,23 +286,14 @@ func (ld *loader) load(importPath string) (*Package, error) {
 }
 
 func (ld *loader) loadDir(dir, importPath string) (*Package, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, fmt.Errorf("lint: %s: %w", importPath, err)
+	res, ok := ld.parsed[dir]
+	if !ok {
+		res.files, res.err = ld.parseDir(dir, importPath)
 	}
-	var files []*ast.File
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
-			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
-			continue
-		}
-		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments)
-		if err != nil {
-			return nil, fmt.Errorf("lint: %s: %w", importPath, err)
-		}
-		files = append(files, f)
+	if res.err != nil {
+		return nil, res.err
 	}
+	files := res.files
 	if len(files) == 0 {
 		return nil, nil
 	}

@@ -1,0 +1,572 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds the program-wide mutex-acquisition graph and fails
+// on cycles. The serving stack holds locks across package boundaries —
+// serve's admission mutex is held while sched's pool mutex is taken,
+// the job store's mutex while a Job's own mutex is read — and the only
+// thing preventing an AB/BA deadlock is that every path agrees on the
+// order. A chaos test can exercise one interleaving; the graph check
+// covers all of them.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: `the global mutex-acquisition graph must be acyclic
+
+Every sync.Mutex/sync.RWMutex acquisition in sipt/internal/ packages is
+keyed by its owner: "pkg.Type.field" for a struct field,
+"pkg.var[.field]" for a package-level variable. Held-lock sets are
+propagated along each function's control-flow graph (a deferred Unlock
+keeps the lock held to function exit), and while a lock is held, every
+statically resolvable callee contributes the locks it may transitively
+acquire. An edge A->B means "B acquired while A held"; any cycle —
+including a self-edge from re-acquiring a held mutex — is a potential
+deadlock and is reported at the acquisition completing the cycle.
+
+Known under-approximations: calls through interfaces or function
+values, and goroutines spawned with go (a concurrent acquisition is
+not an ordering edge).`,
+	Run: runLockOrder,
+}
+
+// progFinding is a whole-program diagnostic computed once and then
+// attributed to the package that owns its position.
+type progFinding struct {
+	pos     token.Pos
+	pkgPath string
+	msg     string
+}
+
+func runLockOrder(pass *Pass) error {
+	findings := pass.Prog.memo("lockorder", func() any {
+		return buildLockFindings(pass.Prog)
+	}).([]progFinding)
+	for _, f := range findings {
+		if f.pkgPath == pass.Pkg.Path {
+			pass.Reportf(f.pos, "%s", f.msg)
+		}
+	}
+	return nil
+}
+
+// lockEdge is "to acquired while from was held".
+type lockEdge struct{ from, to string }
+
+type edgeSite struct {
+	pos     token.Pos
+	pkgPath string
+}
+
+// heldCall is a statically resolved call made while locks were held.
+type heldCall struct {
+	callee  *types.Func
+	held    []string
+	pos     token.Pos
+	pkgPath string
+}
+
+// lockSummary is one function's contribution to the global graph.
+// Function literals inside the body fold their acquisitions and callees
+// into the enclosing declaration's summary (context-free), so a
+// singleflight-style "lock inside the closure" still counts against
+// callers of the declaring function.
+type lockSummary struct {
+	acquires map[string]bool
+	callees  map[*types.Func]bool
+}
+
+type lockAnalysis struct {
+	prog      *Program
+	summaries map[*types.Func]*lockSummary
+	edges     map[lockEdge]edgeSite
+	calls     []heldCall
+
+	transMemo map[*types.Func]map[string]bool
+	visiting  map[*types.Func]bool
+}
+
+func buildLockFindings(prog *Program) []progFinding {
+	la := &lockAnalysis{
+		prog:      prog,
+		summaries: make(map[*types.Func]*lockSummary),
+		edges:     make(map[lockEdge]edgeSite),
+		transMemo: make(map[*types.Func]map[string]bool),
+		visiting:  make(map[*types.Func]bool),
+	}
+	for _, pkg := range prog.Pkgs {
+		if !inSimScope(pkg.Path) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				sum := &lockSummary{
+					acquires: make(map[string]bool),
+					callees:  make(map[*types.Func]bool),
+				}
+				la.summaries[fn] = sum
+				la.analyzeBody(pkg, fd.Body, sum)
+				// Function literals: separate held-set analyses (a
+				// closure starts with nothing held), folded summaries.
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if lit, ok := n.(*ast.FuncLit); ok {
+						la.analyzeBody(pkg, lit.Body, sum)
+					}
+					return true
+				})
+			}
+		}
+	}
+
+	// Expand calls-while-held through transitive acquisitions.
+	for _, c := range la.calls {
+		for to := range la.transitiveAcquires(c.callee) {
+			for _, from := range c.held {
+				la.addEdge(from, to, c.pos, c.pkgPath)
+			}
+		}
+	}
+	return lockCycleFindings(la.edges)
+}
+
+// analyzeBody propagates may-held lock sets along body's CFG, records
+// direct nesting edges and calls-while-held, and accumulates the
+// function summary. Nested function literals are opaque here (they get
+// their own analyzeBody call).
+func (la *lockAnalysis) analyzeBody(pkg *Package, body *ast.BlockStmt, sum *lockSummary) {
+	cfg := BuildCFG(body)
+	acts := make([][][]lockAction, len(cfg.Blocks))
+	for _, blk := range cfg.Blocks {
+		acts[blk.Index] = make([][]lockAction, len(blk.Nodes))
+		for i, n := range blk.Nodes {
+			acts[blk.Index][i] = la.nodeActions(pkg, n)
+			for _, a := range acts[blk.Index][i] {
+				switch a.kind {
+				case actAcquire:
+					sum.acquires[a.key] = true
+				case actCall:
+					sum.callees[a.callee] = true
+				}
+			}
+		}
+	}
+
+	apply := func(held map[string]bool, blk int, record bool) {
+		for _, nodeActs := range acts[blk] {
+			for _, a := range nodeActs {
+				switch a.kind {
+				case actAcquire:
+					if record {
+						for from := range held {
+							la.addEdge(from, a.key, a.pos, pkg.Path)
+						}
+					}
+					held[a.key] = true
+				case actRelease:
+					delete(held, a.key)
+				case actCall:
+					if record && len(held) > 0 {
+						keys := make([]string, 0, len(held))
+						for k := range held {
+							keys = append(keys, k)
+						}
+						sort.Strings(keys)
+						la.calls = append(la.calls, heldCall{
+							callee: a.callee, held: keys, pos: a.pos, pkgPath: pkg.Path,
+						})
+					}
+				}
+			}
+		}
+	}
+
+	in := make([]map[string]bool, len(cfg.Blocks))
+	out := make([]map[string]bool, len(cfg.Blocks))
+	for i := range in {
+		in[i] = map[string]bool{}
+		out[i] = map[string]bool{}
+	}
+	preds := make([][]int, len(cfg.Blocks))
+	for _, blk := range cfg.Blocks {
+		for _, s := range blk.Succs {
+			preds[s.Index] = append(preds[s.Index], blk.Index)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range cfg.Blocks {
+			i := blk.Index
+			if i != 0 {
+				merged := map[string]bool{}
+				for _, p := range preds[i] {
+					for k := range out[p] {
+						merged[k] = true
+					}
+				}
+				in[i] = merged
+			}
+			held := make(map[string]bool, len(in[i]))
+			for k := range in[i] {
+				held[k] = true
+			}
+			apply(held, i, false)
+			if !setEqual(held, out[i]) {
+				out[i] = held
+				changed = true
+			}
+		}
+	}
+	for _, blk := range cfg.Blocks {
+		held := make(map[string]bool, len(in[blk.Index]))
+		for k := range in[blk.Index] {
+			held[k] = true
+		}
+		apply(held, blk.Index, true)
+	}
+}
+
+func setEqual(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+const (
+	actAcquire = iota
+	actRelease
+	actCall
+)
+
+type lockAction struct {
+	kind   int
+	key    string // acquire/release
+	callee *types.Func
+	pos    token.Pos
+}
+
+// nodeActions extracts, in source order, the lock acquisitions,
+// releases, and statically resolved in-program calls of one flat CFG
+// node. A deferred Unlock is dropped (the lock stays held to function
+// exit, the conservative direction); a go statement contributes
+// nothing (a concurrent acquisition is not an ordering edge).
+func (la *lockAnalysis) nodeActions(pkg *Package, n ast.Node) []lockAction {
+	if _, ok := n.(*ast.GoStmt); ok {
+		return nil
+	}
+	deferred := false
+	if d, ok := n.(*ast.DeferStmt); ok {
+		deferred = true
+		n = d.Call
+	}
+	var out []lockAction
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if _, ok := m.(*ast.GoStmt); ok {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if kind, key, ok := mutexOp(pkg, call); ok {
+			if key == "" {
+				return true // unidentifiable owner: untracked
+			}
+			if deferred && kind == actRelease {
+				return true
+			}
+			out = append(out, lockAction{kind: kind, key: key, pos: call.Pos()})
+			return true
+		}
+		if callee := staticCallee(pkg, call); callee != nil {
+			if _, inProgram := la.summaries[callee]; inProgram || la.declaredInProgram(callee) {
+				out = append(out, lockAction{kind: actCall, callee: callee, pos: call.Pos()})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// declaredInProgram covers forward references: summaries are filled
+// package by package, so a callee later in the iteration order is
+// recognised by its declaring package being part of the program.
+func (la *lockAnalysis) declaredInProgram(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	for _, pkg := range la.prog.Pkgs {
+		if pkg.Types == fn.Pkg() {
+			return true
+		}
+	}
+	return false
+}
+
+// mutexOp classifies a call as a mutex acquire/release and returns the
+// canonical key of the mutex's owner ("" when the owner cannot be
+// identified).
+func mutexOp(pkg *Package, call *ast.CallExpr) (kind int, key string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return 0, "", false
+	}
+	fn, isFn := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return 0, "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return 0, "", false
+	}
+	rt := recv.Type()
+	if p, isPtr := rt.(*types.Pointer); isPtr {
+		rt = p.Elem()
+	}
+	named, isNamed := rt.(*types.Named)
+	if !isNamed || (named.Obj().Name() != "Mutex" && named.Obj().Name() != "RWMutex") {
+		return 0, "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		kind = actAcquire
+	case "Unlock", "RUnlock":
+		kind = actRelease
+	default:
+		return 0, "", false
+	}
+	return kind, lockKey(pkg, sel.X), true
+}
+
+// lockKey names the mutex so that every acquisition of "the same lock"
+// across the program maps to one graph node: a package-level variable
+// keys by variable, a struct field by its owning named type.
+func lockKey(pkg *Package, x ast.Expr) string {
+	switch x := x.(type) {
+	case *ast.Ident:
+		obj, _ := pkg.Info.Uses[x].(*types.Var)
+		if obj == nil {
+			return ""
+		}
+		if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+		// Local or receiver variable whose type embeds the mutex
+		// (x.Lock() with x a named struct): key by type.
+		return namedKey(obj.Type())
+	case *ast.SelectorExpr:
+		// Prefer variable identity for a package-level owner, type
+		// identity otherwise.
+		if id, isID := x.X.(*ast.Ident); isID {
+			if obj, _ := pkg.Info.Uses[id].(*types.Var); obj != nil &&
+				obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+				return obj.Pkg().Path() + "." + obj.Name() + "." + x.Sel.Name
+			}
+		}
+		base := namedKey(pkg.Info.TypeOf(x.X))
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return lockKey(pkg, x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return lockKey(pkg, x.X)
+		}
+	}
+	return ""
+}
+
+func namedKey(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+}
+
+// staticCallee resolves a call to a concrete in-source function:
+// package functions and methods with non-interface receivers. Interface
+// methods and function values return nil.
+func staticCallee(pkg *Package, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := pkg.Info.Uses[id].(*types.Func)
+	if !ok {
+		return nil
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil && types.IsInterface(recv.Type()) {
+		return nil
+	}
+	return fn
+}
+
+// transitiveAcquires returns every lock key fn may acquire, directly or
+// through statically resolved callees. Cycles in the call graph are cut
+// by the visiting set (a recursive function contributes its own
+// acquisitions once).
+func (la *lockAnalysis) transitiveAcquires(fn *types.Func) map[string]bool {
+	if memo, ok := la.transMemo[fn]; ok {
+		return memo
+	}
+	if la.visiting[fn] {
+		return nil
+	}
+	la.visiting[fn] = true
+	defer delete(la.visiting, fn)
+	sum := la.summaries[fn]
+	if sum == nil {
+		return nil
+	}
+	out := make(map[string]bool, len(sum.acquires))
+	for k := range sum.acquires {
+		out[k] = true
+	}
+	for callee := range sum.callees {
+		for k := range la.transitiveAcquires(callee) {
+			out[k] = true
+		}
+	}
+	la.transMemo[fn] = out
+	return out
+}
+
+func (la *lockAnalysis) addEdge(from, to string, pos token.Pos, pkgPath string) {
+	e := lockEdge{from, to}
+	if prev, ok := la.edges[e]; ok && prev.pos <= pos {
+		return
+	}
+	la.edges[e] = edgeSite{pos: pos, pkgPath: pkgPath}
+}
+
+// lockCycleFindings runs SCC detection over the acquisition graph and
+// reports every edge inside a cycle (self-edges included).
+func lockCycleFindings(edges map[lockEdge]edgeSite) []progFinding {
+	adj := make(map[string][]string)
+	nodes := make(map[string]bool)
+	for e := range edges {
+		nodes[e.from], nodes[e.to] = true, true
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	order := make([]string, 0, len(nodes))
+	for n := range nodes {
+		order = append(order, n)
+	}
+	sort.Strings(order)
+	for n := range adj {
+		sort.Strings(adj[n])
+	}
+
+	// Tarjan SCC, iterative-friendly scale is unnecessary here: the
+	// graph has one node per distinct mutex.
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	sccOf := make(map[string]int)
+	sccMembers := make(map[int][]string)
+	next, nscc := 0, 0
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			id := nscc
+			nscc++
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				sccOf[w] = id
+				sccMembers[id] = append(sccMembers[id], w)
+				if w == v {
+					break
+				}
+			}
+		}
+	}
+	for _, v := range order {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+
+	var findings []progFinding
+	sortedEdges := make([]lockEdge, 0, len(edges))
+	for e := range edges {
+		sortedEdges = append(sortedEdges, e)
+	}
+	sort.Slice(sortedEdges, func(i, j int) bool {
+		if sortedEdges[i].from != sortedEdges[j].from {
+			return sortedEdges[i].from < sortedEdges[j].from
+		}
+		return sortedEdges[i].to < sortedEdges[j].to
+	})
+	for _, e := range sortedEdges {
+		inCycle := e.from == e.to ||
+			(sccOf[e.from] == sccOf[e.to] && len(sccMembers[sccOf[e.from]]) > 1)
+		if !inCycle {
+			continue
+		}
+		site := edges[e]
+		members := append([]string(nil), sccMembers[sccOf[e.from]]...)
+		sort.Strings(members)
+		msg := e.to + " acquired while " + e.from +
+			" is held, completing a lock-order cycle"
+		if e.from == e.to {
+			msg = e.to + " re-acquired while already held (self-deadlock)"
+		} else {
+			msg += " {" + strings.Join(members, ", ") + "}"
+		}
+		findings = append(findings, progFinding{pos: site.pos, pkgPath: site.pkgPath, msg: msg})
+	}
+	return findings
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"sipt/internal/lint"
+	"sipt/internal/lint/linttest"
+)
+
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, "testdata/lockorder", lint.LockOrder, "sipt/internal/fixturesim")
+}

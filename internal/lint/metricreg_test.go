@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"sipt/internal/lint"
+	"sipt/internal/lint/linttest"
+)
+
+func TestMetricReg(t *testing.T) {
+	linttest.Run(t, "testdata/metricreg", lint.MetricReg, "sipt/internal/fixturesim")
+}

@@ -1,0 +1,45 @@
+// Package fixturesim exercises the atomicmix analyzer: a field shared
+// via sync/atomic must never be accessed plainly.
+package fixturesim
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64
+	total int64
+}
+
+var c counters
+
+func recordHit() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// snapshot reconstructs the bug class: a stats snapshot reads the
+// counter with a plain load while writers run concurrently.
+func snapshot() int64 {
+	return c.hits // want "plain access to hits"
+}
+
+func reset() {
+	c.hits = 0 // want "plain access to hits"
+}
+
+func atomicRead() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// total is only ever accessed plainly: untracked, no findings.
+func bump() { c.total++ }
+
+// Construction happens-before sharing: composite-literal keys are
+// exempt.
+func fresh() *counters {
+	return &counters{hits: 0, total: 0}
+}
+
+// A plain read smuggled into an atomic call's value argument is still a
+// plain read.
+func sloppyStore() {
+	atomic.StoreInt64(&c.hits, c.hits+1) // want "plain access to hits"
+}

@@ -1,0 +1,109 @@
+// Package fixturesim exercises the ctxflow analyzer: context-carrying
+// functions must poll their context in record- or job-scaled loops, and
+// outgoing HTTP requests must carry a context.
+package fixturesim
+
+import (
+	"context"
+	"net/http"
+)
+
+const checkInterval = 4096
+
+// runRecords reconstructs the historical bug: a record-scaled loop in a
+// context-carrying function that never polls, so a cancelled job ran to
+// completion after its client was gone.
+func runRecords(ctx context.Context, recs []int) int {
+	sum := 0
+	for _, r := range recs { // want "never polls its context"
+		sum += r
+	}
+	return sum
+}
+
+// runRecordsPolled is the fixed form: ctx.Err() every checkInterval.
+func runRecordsPolled(ctx context.Context, recs []int) (int, error) {
+	sum := 0
+	for i, r := range recs {
+		if i%checkInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
+		sum += r
+	}
+	return sum, nil
+}
+
+// passesCtx delegates cancellation to the callee: mentioning ctx in the
+// body satisfies the contract.
+func passesCtx(ctx context.Context, jobs []int) {
+	for range jobs {
+		helper(ctx)
+	}
+}
+
+func helper(ctx context.Context) { _ = ctx.Err() }
+
+// drainChan ranges a channel with no cancellation path: flagged.
+func drainChan(ctx context.Context, ch chan int) int {
+	n := 0
+	for v := range ch { // want "never polls its context"
+		n += v
+	}
+	return n
+}
+
+// fixedTrip: compile-time-constant iteration counts cannot scale with
+// record or job count and are exempt.
+func fixedTrip(ctx context.Context) int {
+	n := 0
+	for i := 0; i < 4; i++ {
+		n += i
+	}
+	var arr [8]int
+	for range arr {
+		n++
+	}
+	lanes := make([]int, 4)
+	for range lanes {
+		n++
+	}
+	return n
+}
+
+// acknowledged: a justified suppression is honoured.
+func acknowledged(ctx context.Context, recs []int) int {
+	n := 0
+	//siptlint:allow ctxflow: caller polls between batches; fixture exercises suppression
+	for _, r := range recs {
+		n += r
+	}
+	return n
+}
+
+// fetch issues an outgoing request with no context: flagged regardless
+// of whether the function has a ctx parameter.
+func fetch(url string) (*http.Response, error) {
+	return http.Get(url) // want "outgoing HTTP request without a context"
+}
+
+// build constructs a request without a context even though one is in
+// scope: the WithContext afterthought is the historical shape.
+func build(ctx context.Context, url string) (*http.Request, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil) // want "outgoing HTTP request without a context"
+	if err != nil {
+		return nil, err
+	}
+	return req.WithContext(ctx), nil
+}
+
+// buildGood is the fixed form.
+func buildGood(ctx context.Context, url string) (*http.Request, error) {
+	return http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+}
+
+// clientGet: the http.Client convenience methods are equally ctx-less.
+func clientGet(c *http.Client, url string) (*http.Response, error) {
+	return c.Get(url) // want "outgoing HTTP request without a context"
+}

@@ -1,0 +1,38 @@
+// Package fixturesim provides functions with known def-use structure
+// for the dataflow layer's unit tests. The tests locate identifiers by
+// name and occurrence, so edits here must keep TestDefUse in sync.
+package fixturesim
+
+func straight() int {
+	x := 1
+	x = 2
+	return x
+}
+
+func branchy(b bool) int {
+	x := 1
+	if b {
+		x = 2
+	}
+	return x
+}
+
+func loopy(n int) int {
+	x := 0
+	for i := 0; i < n; i++ {
+		x = x + i
+	}
+	return x
+}
+
+func params(a int, b int) int {
+	return a + b
+}
+
+func ranged(xs []int) int {
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}

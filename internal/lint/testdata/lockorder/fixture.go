@@ -1,0 +1,98 @@
+// Package fixturesim exercises the lockorder analyzer: the mutex
+// acquisition graph must be acyclic.
+package fixturesim
+
+import "sync"
+
+type store struct {
+	mu    sync.Mutex
+	items map[string]int
+}
+
+type index struct {
+	mu   sync.Mutex
+	keys []string
+}
+
+var s store
+var idx index
+
+// addBoth and removeBoth reconstruct the AB/BA deadlock: one path
+// locks store before index, the other index before store. Each
+// acquisition completing the cycle is reported.
+func addBoth(k string, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx.mu.Lock() // want "completing a lock-order cycle"
+	idx.keys = append(idx.keys, k)
+	idx.mu.Unlock()
+	s.items[k] = v
+}
+
+func removeBoth(k string) {
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
+	s.mu.Lock() // want "completing a lock-order cycle"
+	delete(s.items, k)
+	s.mu.Unlock()
+}
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// incrTwice deadlocks by itself: bump re-acquires the mutex the caller
+// already holds. The edge comes from the callee's transitive
+// acquisitions, reported at the call site.
+func (c *counter) incrTwice() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bump() // want "re-acquired while already held"
+}
+
+func (c *counter) bump() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// transfer takes both locks sequentially, never nested: no edge.
+func transfer(k string, v int) {
+	s.mu.Lock()
+	s.items[k] = v
+	s.mu.Unlock()
+	idx.mu.Lock()
+	idx.keys = append(idx.keys, k)
+	idx.mu.Unlock()
+}
+
+// lockInClosure is the singleflight shape: the closure re-locks after
+// the caller released. The closure is analysed with an empty held set
+// (it runs later), so no self-edge is produced.
+func (c *counter) lockInClosure() {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	once := func() {
+		c.mu.Lock()
+		c.n = n + 1
+		c.mu.Unlock()
+	}
+	once()
+}
+
+// branched releases on an early-return path and at the end: the may-
+// held analysis joins both paths without inventing a leftover lock.
+func branched(k string) int {
+	s.mu.Lock()
+	if v, ok := s.items[k]; ok {
+		s.mu.Unlock()
+		return v
+	}
+	s.mu.Unlock()
+	idx.mu.Lock()
+	n := len(idx.keys)
+	idx.mu.Unlock()
+	return n
+}

@@ -1,0 +1,65 @@
+// Package fixturesim exercises the transienterr analyzer under the
+// fabric import path, where every returned error is a wire-boundary
+// error. Transient and Permanent stand in for the fault package's
+// classifiers (fixtures cannot import module-internal packages; the
+// analyzer matches classifiers by name).
+package fixturesim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+func Transient(err error) error { return err }
+func Permanent(err error) error { return err }
+
+// decode reconstructs the historical bug: a response-decoding error
+// returned bare is silently permanent, so a worker restart mid-sweep
+// failed the sweep instead of re-routing the shard.
+func decode(b []byte) error {
+	if len(b) == 0 {
+		return fmt.Errorf("empty response") // want "without a fault classification"
+	}
+	return nil
+}
+
+func decodeClassified(b []byte) error {
+	if len(b) == 0 {
+		return Transient(fmt.Errorf("empty response"))
+	}
+	return nil
+}
+
+func rejected() error {
+	return Permanent(errors.New("malformed shard"))
+}
+
+// viaVar returns through a local: the def-use chain walks back to the
+// construction site.
+func viaVar(ok bool) error {
+	err := errors.New("bad header")
+	if ok {
+		err = nil
+	}
+	return err // want "constructed at"
+}
+
+// passthrough: a parameter is the producer's responsibility.
+func passthrough(err error) error {
+	return err
+}
+
+// viaCall: callees classify their own returns.
+func viaCall(b []byte) error {
+	return decodeClassified(b)
+}
+
+// canceled: context errors are classified by the coordinator
+// (DeadlineExceeded is reroutable), not by the taxonomy.
+func canceled(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return nil
+}

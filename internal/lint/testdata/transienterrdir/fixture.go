@@ -1,0 +1,16 @@
+// Package fixturesim exercises the transienterr analyzer's directive
+// scope: outside sipt/internal/fabric, only functions marked
+// //sipt:wireboundary are checked.
+package fixturesim
+
+import "errors"
+
+//sipt:wireboundary
+func reply() error {
+	return errors.New("boom") // want "without a fault classification"
+}
+
+// internalHelper never crosses the wire: no finding.
+func internalHelper() error {
+	return errors.New("fine")
+}

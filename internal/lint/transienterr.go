@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// TransientErr keeps the fleet's retry behaviour total. The coordinator
+// decides retry-vs-reroute-vs-fail by classifying errors through the
+// fault taxonomy (fault.IsTransient); an error that reaches the wire
+// boundary as a bare fmt.Errorf is silently permanent — a crashed
+// worker's shard is never re-routed, one flaky dispatch fails a whole
+// sweep. The historical bug class: client response-decoding errors
+// returned unwrapped, so a worker restart mid-sweep failed the sweep
+// instead of re-routing the shard.
+var TransientErr = &Analyzer{
+	Name: "transienterr",
+	Doc: `errors crossing the serve/fabric wire boundary carry a fault classification
+
+In sipt/internal/fabric (every function) and in any function marked
+//sipt:wireboundary, a returned error must flow through the fault
+taxonomy: constructed by fault.Transient or fault.Permanent, or
+produced by a callee (assumed to classify its own returns). Returning
+a bare fmt.Errorf/errors.New value — directly or via a local variable
+whose reaching definitions include one — is flagged. Def-use chains
+from the dataflow layer track the variable case.`,
+	Run: runTransientErr,
+}
+
+// wireBoundaryPkg is the package whose entire API is the wire boundary.
+const wireBoundaryPkg = "sipt/internal/fabric"
+
+func runTransientErr(pass *Pass) error {
+	if !inSimScope(pass.Pkg.Path) {
+		return nil
+	}
+	wholePkg := pass.Pkg.Path == wireBoundaryPkg ||
+		strings.HasPrefix(pass.Pkg.Path, wireBoundaryPkg+"/")
+	for _, file := range pass.Pkg.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !wholePkg && !HasDirective(fd.Doc, "sipt:wireboundary") {
+				continue
+			}
+			checkWireReturns(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkWireReturns(pass *Pass, fd *ast.FuncDecl) {
+	errSlots := errorResultSlots(pass, fd.Type)
+	if len(errSlots) == 0 {
+		return
+	}
+	var du *DefUse // built lazily: only needed for variable returns
+
+	// Walk the body's return statements, skipping nested function
+	// literals (their returns leave the literal, not this function).
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			if len(n.Results) <= errSlots[len(errSlots)-1] {
+				// Naked return or a single multi-value call: the error
+				// comes from a named result or a callee, both of which
+				// are treated as classified-by-producer.
+				return true
+			}
+			for _, slot := range errSlots {
+				checkWireExpr(pass, &du, fd, n.Results[slot])
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+// errorResultSlots returns the flat result indices whose declared type
+// is error.
+func errorResultSlots(pass *Pass, ft *ast.FuncType) []int {
+	if ft.Results == nil {
+		return nil
+	}
+	var slots []int
+	idx := 0
+	for _, f := range ft.Results.List {
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		if t := pass.TypeOf(f.Type); t != nil && isErrorType(t) {
+			for i := 0; i < n; i++ {
+				slots = append(slots, idx+i)
+			}
+		}
+		idx += n
+	}
+	return slots
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// bareConstructors are error-construction calls with no fault
+// classification attached.
+func isBareConstructor(pass *Pass, call *ast.CallExpr) bool {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	fn, ok := pass.Pkg.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() + "." + fn.Name() {
+	case "fmt.Errorf", "errors.New":
+		return true
+	}
+	return false
+}
+
+// isClassifier matches fault.Transient / fault.Permanent by function
+// name, so fixtures (which cannot import module-internal packages) can
+// declare their own classifiers; in the real tree these names only
+// exist in internal/fault.
+func isClassifier(call *ast.CallExpr) bool {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return false
+	}
+	return name == "Transient" || name == "Permanent"
+}
+
+func checkWireExpr(pass *Pass, du **DefUse, fd *ast.FuncDecl, e ast.Expr) {
+	if tv, ok := pass.Pkg.Info.Types[e]; ok && tv.IsNil() {
+		return
+	}
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if isClassifier(e) {
+			return
+		}
+		if isBareConstructor(pass, e) {
+			pass.Reportf(e.Pos(),
+				"error crosses the wire boundary without a fault classification; wrap with fault.Transient (retryable) or fault.Permanent (not)")
+		}
+		// Any other callee is assumed to classify its own returns.
+	case *ast.Ident:
+		if *du == nil {
+			*du = NewDefUseFunc(pass.Pkg, fd)
+		}
+		for _, def := range (*du).Reaching(e) {
+			call, ok := def.RHS.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if isBareConstructor(pass, call) {
+				pass.Reportf(e.Pos(),
+					"error crosses the wire boundary without a fault classification (constructed at %s); wrap with fault.Transient (retryable) or fault.Permanent (not)",
+					pass.Fset().Position(call.Pos()))
+			}
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package lint_test
+
+import (
+	"testing"
+
+	"sipt/internal/lint"
+	"sipt/internal/lint/linttest"
+)
+
+// TestTransientErr loads the fixture under the fabric import path,
+// where every function is on the wire boundary.
+func TestTransientErr(t *testing.T) {
+	linttest.Run(t, "testdata/transienterr", lint.TransientErr, "sipt/internal/fabric")
+}
+
+// TestTransientErrDirective: outside fabric, only //sipt:wireboundary
+// functions are checked.
+func TestTransientErrDirective(t *testing.T) {
+	linttest.Run(t, "testdata/transienterrdir", lint.TransientErr, "sipt/internal/fixturesim")
+}
+
+// TestTransientErrScope: the fabric fixture under a non-boundary import
+// path (and with no directives) must produce nothing.
+func TestTransientErrScope(t *testing.T) {
+	prog, err := lint.LoadDir("testdata/transienterr", "sipt/internal/fixturesim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run(prog, []*lint.Analyzer{lint.TransientErr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("out-of-scope package flagged: %s: %s", d.Pos, d.Message)
+	}
+}

@@ -76,6 +76,12 @@ func RunConfigs(ctx context.Context, name string, buf *replay.Buffer, cfgs []Con
 	}
 	states := make([]cfgState, len(cfgs))
 	for i, cfg := range cfgs {
+		// Sweep-scaled: a fused sweep can carry thousands of configs and
+		// hierarchy construction is the expensive part, so cancellation
+		// is polled per config here too.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := cfg.Validate(); err != nil {
 			return nil, err
 		}
@@ -101,6 +107,10 @@ func RunConfigs(ctx context.Context, name string, buf *replay.Buffer, cfgs []Con
 			}
 			return nil, err
 		}
+		// Runs once per record; the enclosing loop polls ctx every
+		// cpu.CtxCheckInterval records, and a per-config check here would
+		// sit on the hot path.
+		//siptlint:allow ctxflow: config-scaled inner loop; the enclosing record loop polls ctx
 		for i := range states {
 			states[i].core.StepPtr(&rec)
 		}
@@ -109,6 +119,10 @@ func RunConfigs(ctx context.Context, name string, buf *replay.Buffer, cfgs []Con
 
 	out := make([]Stats, len(cfgs))
 	for i, cfg := range cfgs {
+		// Sweep-scaled like the setup loop: poll per config.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		st := collect(cfg, name, states[i].core.Result(), states[i].h, states[i].acct)
 		if err := st.CheckInvariants(); err != nil {
 			return nil, fmt.Errorf("sim: fused run of %s on %s: %w", name, cfg.Label(), err)

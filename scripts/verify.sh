@@ -10,7 +10,18 @@ go build ./...
 echo '== go vet ./...'
 go vet ./...
 echo '== siptlint ./...'
-go run ./cmd/siptlint ./...
+# The lint phase has a wall-clock budget: the analyzers are meant to be
+# cheap enough to run on every verify, and a blown budget means an
+# analyzer (or the loader) regressed. The cold run below bypasses the
+# result cache so the budget measures real analysis time.
+lint_start=$(date +%s)
+go run ./cmd/siptlint -cache=false -timing ./...
+lint_elapsed=$(( $(date +%s) - lint_start ))
+echo "== siptlint took ${lint_elapsed}s (budget 90s)"
+if [ "$lint_elapsed" -gt 90 ]; then
+    echo "verify: siptlint exceeded its 90s budget (${lint_elapsed}s)" >&2
+    exit 1
+fi
 echo '== go test ./...'
 go test ./...
 echo '== go test -race ./...'
