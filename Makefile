@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race lint vet vuln verify bench fuzz serve-smoke fabric-smoke chaos
+.PHONY: all build test race lint vet vuln verify bench fuzz serve-smoke fabric-smoke store-smoke chaos
 
 all: verify
 
@@ -54,6 +54,12 @@ serve-smoke:
 fabric-smoke:
 	scripts/fabric_smoke.sh
 
+# Store smoke: boot siptd with a persistent store, ingest a trace,
+# sweep, kill and restart over the same directory; the warm sweep must
+# come back byte-identical from disk with zero simulations.
+store-smoke:
+	scripts/store_smoke.sh
+
 # Chaos: the fault-injection acceptance suite (internal/fault) under the
 # race detector — seeded panics, evictions, and transient failures
 # against the full serving stack. Short mode keeps it CI-sized.
@@ -70,3 +76,5 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzAlignAndLog2 -fuzztime=$(FUZZTIME) ./internal/memaddr/
 	$(GO) test -run='^$$' -fuzz=FuzzBuddy -fuzztime=$(FUZZTIME) ./internal/vm/
 	$(GO) test -run='^$$' -fuzz=FuzzLoader -fuzztime=$(FUZZTIME) ./internal/lint/
+	$(GO) test -run='^$$' -fuzz=FuzzReadBuffer -fuzztime=$(FUZZTIME) ./internal/tracefile/
+	$(GO) test -run='^$$' -fuzz=FuzzCanonicalRoundTrip -fuzztime=$(FUZZTIME) ./internal/store/

@@ -6,8 +6,16 @@
 //
 //	siptd [-addr :8080] [-workers N] [-queue N] [-records N] [-seed N]
 //	      [-cache N] [-maxjobs N] [-trace-pool-mb N]
+//	      [-store-dir DIR] [-store-mb N] [-trace-store-mb N] [-max-trace-mb N]
 //	      [-coordinator host1:8080,host2:8080] [-shard-timeout D]
 //	      [-faults spec] [-fault-seed N] [-ready-timeout D]
+//
+// -store-dir enables the content-addressed persistent store
+// (internal/store): simulation results and materialised traces are
+// written under DIR/results and survive restarts — a warmed daemon
+// serves previously computed figures byte-identically without
+// re-simulating. It also enables trace ingestion (POST /v1/traces,
+// stored under DIR/traces) and replay-by-digest runs.
 //
 // -faults arms the deterministic fault-injection framework (see
 // internal/fault) from a spec like "sched.worker.panic:1/64"; it
@@ -35,6 +43,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -44,6 +53,7 @@ import (
 	"sipt/internal/fault"
 	"sipt/internal/metrics"
 	"sipt/internal/serve"
+	"sipt/internal/store"
 )
 
 func main() {
@@ -68,6 +78,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	cacheEntries := fs.Int("cache", 0, "result cache capacity in entries (0 = default)")
 	maxJobs := fs.Int("maxjobs", 0, "retained job records (0 = default)")
 	tracePoolMB := fs.Int("trace-pool-mb", 0, "materialised trace pool budget in MiB (0 = default)")
+	storeDir := fs.String("store-dir", "", "persistent store directory; empty disables persistence and trace ingestion")
+	storeMB := fs.Int("store-mb", 0, "result store byte budget in MiB (0 = default 512)")
+	traceStoreMB := fs.Int("trace-store-mb", 0, "ingested trace store byte budget in MiB (0 = default 512)")
+	maxTraceMB := fs.Int("max-trace-mb", 0, "POST /v1/traces upload size cap in MiB (0 = default 64)")
 	faults := fs.String("faults", os.Getenv(fault.EnvSpec),
 		"fault-injection spec, e.g. sched.worker.panic:1/64 (default $"+fault.EnvSpec+")")
 	faultSeed := fs.Int64("fault-seed", 1, "seed for fault-injection decisions")
@@ -107,12 +121,27 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "siptd: coordinator over %d workers\n", len(fleet))
 	}
 
+	var resultStore, traceStore *store.Store
+	if *storeDir != "" {
+		var err error
+		resultStore, err = store.Open(filepath.Join(*storeDir, "results"), int64(*storeMB)<<20)
+		if err != nil {
+			return fmt.Errorf("opening result store: %w", err)
+		}
+		traceStore, err = store.Open(filepath.Join(*storeDir, "traces"), int64(*traceStoreMB)<<20)
+		if err != nil {
+			return fmt.Errorf("opening trace store: %w", err)
+		}
+		fmt.Fprintf(stdout, "siptd: persistent store at %s\n", *storeDir)
+	}
+
 	runner := exp.NewRunner(exp.Options{
 		Records:      *records,
 		Seed:         *seed,
 		CacheEntries: *cacheEntries,
 		TracePoolMB:  *tracePoolMB,
 		Remote:       remote,
+		Store:        resultStore,
 	})
 	srv := serve.New(serve.Config{
 		Runner:        runner,
@@ -122,6 +151,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		Registry:      reg,
 		ReadyTimeout:  *readyTimeout,
 		DisableShards: *coordinator != "",
+		TraceStore:    traceStore,
+		MaxTraceBytes: int64(*maxTraceMB) << 20,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

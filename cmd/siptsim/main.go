@@ -11,6 +11,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
@@ -25,6 +26,7 @@ import (
 	"sipt/internal/energy"
 	"sipt/internal/sim"
 	"sipt/internal/trace"
+	"sipt/internal/tracefile"
 	"sipt/internal/vm"
 	"sipt/internal/workload"
 )
@@ -72,7 +74,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	wayPred := fs.Bool("waypred", false, "enable MRU way prediction")
 	records := fs.Uint64("records", sim.DefaultRecords, "trace length (memory accesses)")
 	seed := fs.Int64("seed", 1, "deterministic seed")
-	traceFile := fs.String("trace", "", "replay a binary trace file instead of generating (-app is used as the label)")
+	traceFile := fs.String("trace", "", "replay a trace file (legacy stream or versioned .sipt format, auto-detected) instead of generating")
 	timeout := fs.Duration("timeout", 0, "abort the simulation after this duration (0 = no limit)")
 	listApps := fs.Bool("listapps", false, "list workload names and exit")
 	if err := fs.Parse(args); err != nil {
@@ -129,9 +131,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fail(err)
 		}
 		defer f.Close()
-		r, err := trace.NewFileReader(f)
-		if err != nil {
-			return fail(err)
+		// Sniff the magic to pick the decoder: the versioned tracefile
+		// format (tracegen -o) or the legacy stream (tracegen -out).
+		br := bufio.NewReader(f)
+		head, _ := br.Peek(tracefile.MagicLen)
+		var r trace.Reader
+		if tracefile.Sniff(head) {
+			tr, err := tracefile.NewReader(br)
+			if err != nil {
+				return fail(err)
+			}
+			r = tr
+		} else {
+			fr, err := trace.NewFileReader(br)
+			if err != nil {
+				return fail(err)
+			}
+			r = fr
 		}
 		st, err = sim.RunTrace(ctx, *traceFile, trace.Limit(r, *records), cfg, *seed)
 		if err != nil {

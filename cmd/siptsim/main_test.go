@@ -3,6 +3,8 @@ package main
 import (
 	"context"
 	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -11,6 +13,7 @@ import (
 	"sipt/internal/core"
 	"sipt/internal/cpu"
 	"sipt/internal/sim"
+	"sipt/internal/tracefile"
 	"sipt/internal/vm"
 	"sipt/internal/workload"
 )
@@ -141,5 +144,39 @@ func TestRunExitCodes(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "IPC") {
 		t.Error("normal run printed no IPC line")
+	}
+}
+
+// TestReplayTracefileFormat: -trace auto-detects the versioned
+// tracefile format (tracegen -o) and replays it bit-identically to the
+// generator-driven run of the same workload.
+func TestReplayTracefileFormat(t *testing.T) {
+	prof := workload.MustLookup("libquantum")
+	buf, err := sim.Materialize(prof, vm.ScenarioNormal, 5, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := tracefile.Encode(tracefile.Meta{App: "libquantum", Scenario: vm.ScenarioNormal, Seed: 5}, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "lq.sipt")
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var fromFile, live strings.Builder
+	if code := run([]string{"-trace", path, "-l1", "32K2w", "-mode", "combined", "-seed", "5", "-records", "2000"},
+		&fromFile, &fromFile); code != 0 {
+		t.Fatalf("replay exit %d: %s", code, fromFile.String())
+	}
+	if code := run([]string{"-app", "libquantum", "-l1", "32K2w", "-mode", "combined", "-seed", "5", "-records", "2000"},
+		&live, &live); code != 0 {
+		t.Fatalf("live exit %d: %s", code, live.String())
+	}
+	// Identical stats line for line, apart from the workload label.
+	trim := func(s string) string { return s[strings.Index(s, "\n"):] }
+	if trim(fromFile.String()) != trim(live.String()) {
+		t.Fatalf("tracefile replay drifted from live run:\n%s\nvs\n%s", fromFile.String(), live.String())
 	}
 }

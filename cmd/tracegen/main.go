@@ -1,13 +1,19 @@
-// Command tracegen materialises a synthetic workload trace to a binary
-// file in the internal/trace format, or inspects an existing trace
-// file. Traces carry PC, VA, PA, page flags, instruction gaps, and
-// load-use distances — the same information the paper's modified
-// Macsim trace generator captured via Linux pagemap/kpageflags.
+// Command tracegen materialises a synthetic workload trace to a file,
+// or inspects an existing trace file. Traces carry PC, VA, PA, page
+// flags, instruction gaps, and load-use distances — the same
+// information the paper's modified Macsim trace generator captured via
+// Linux pagemap/kpageflags.
 //
-// Usage:
+// Two output formats:
 //
-//	tracegen -app gcc -records 1000000 -out gcc.sipt
-//	tracegen -inspect gcc.sipt
+//	tracegen -app gcc -records 1000000 -out gcc.trace   legacy stream
+//	tracegen -app gcc -records 1000000 -o gcc.sipt      versioned tracefile
+//	tracegen -inspect gcc.sipt                          either format
+//
+// -o writes the internal/tracefile format: a self-describing header
+// (app, scenario, seed, record count) plus CRC-protected chunks of
+// packed 16-byte records — the format siptd ingests via POST
+// /v1/traces. -inspect auto-detects the format by magic.
 package main
 
 import (
@@ -20,63 +26,77 @@ import (
 	"sipt/internal/memaddr"
 	"sipt/internal/sim"
 	"sipt/internal/trace"
+	"sipt/internal/tracefile"
 	"sipt/internal/vm"
 	"sipt/internal/workload"
 )
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "tracegen:", err)
-	os.Exit(1)
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
 }
 
-func main() {
-	app := flag.String("app", "", "workload name to generate")
-	out := flag.String("out", "", "output trace file")
-	records := flag.Uint64("records", 1_000_000, "memory accesses to emit")
-	seed := flag.Int64("seed", 1, "deterministic seed")
-	scenario := flag.String("scenario", "normal", "memory condition")
-	inspect := flag.String("inspect", "", "trace file to summarise instead of generating")
-	flag.Parse()
+// run is the command body, factored for tests: every failure — bad
+// flags, unknown workloads, unwritable output paths — returns an error
+// (main exits 1) instead of panicking or half-writing.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	app := fs.String("app", "", "workload name to generate")
+	out := fs.String("out", "", "output trace file (legacy stream format)")
+	outFile := fs.String("o", "", "output trace file (versioned .sipt tracefile format)")
+	records := fs.Uint64("records", 1_000_000, "memory accesses to emit")
+	seed := fs.Int64("seed", 1, "deterministic seed")
+	scenario := fs.String("scenario", "normal", "memory condition")
+	inspect := fs.String("inspect", "", "trace file to summarise instead of generating")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *inspect != "" {
-		if err := inspectTrace(*inspect); err != nil {
-			fail(err)
-		}
-		return
+		return inspectTrace(*inspect, stdout)
 	}
-	if *app == "" || *out == "" {
-		fail(errors.New("need -app and -out (or -inspect FILE)"))
+	if *app == "" || (*out == "" && *outFile == "") {
+		return errors.New("need -app and one of -out/-o (or -inspect FILE)")
 	}
-
-	var sc vm.Scenario
-	found := false
-	for _, s := range vm.Scenarios() {
-		if s.String() == *scenario {
-			sc, found = s, true
-		}
-	}
-	if !found {
-		fail(fmt.Errorf("unknown scenario %q", *scenario))
+	if *out != "" && *outFile != "" {
+		return errors.New("-out and -o are mutually exclusive; pick one format")
 	}
 
+	sc, err := vm.ParseScenario(*scenario)
+	if err != nil {
+		return err
+	}
 	prof, err := workload.Lookup(*app)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	sys := sim.NewSystem(sc, *seed, prof)
 	gen, err := workload.NewGenerator(prof, sys, *seed, *records)
 	if err != nil {
-		fail(err)
+		return err
+	}
+
+	if *outFile != "" {
+		meta := tracefile.Meta{App: *app, Scenario: sc, Seed: *seed}
+		n, err := writeTracefile(*outFile, meta, gen)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %d records to %s (tracefile v%d)\n", n, *outFile, tracefile.FormatVersion)
+		return nil
 	}
 
 	f, err := os.Create(*out)
 	if err != nil {
-		fail(err)
+		return fmt.Errorf("creating %s: %w", *out, err)
 	}
-	defer f.Close()
 	w, err := trace.NewWriter(f)
 	if err != nil {
-		fail(err)
+		f.Close()
+		return err
 	}
 	for {
 		rec, err := gen.Next()
@@ -84,27 +104,99 @@ func main() {
 			break
 		}
 		if err != nil {
-			fail(err)
+			f.Close()
+			return err
 		}
 		if err := w.Write(rec); err != nil {
-			fail(err)
+			f.Close()
+			return err
 		}
 	}
 	if err := w.Flush(); err != nil {
-		fail(err)
+		f.Close()
+		return err
 	}
-	fmt.Printf("wrote %d records to %s\n", w.Count(), *out)
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("closing %s: %w", *out, err)
+	}
+	fmt.Fprintf(stdout, "wrote %d records to %s\n", w.Count(), *out)
+	return nil
 }
 
-func inspectTrace(path string) error {
-	f, err := os.Open(path)
+// writeTracefile streams the generator into a versioned tracefile,
+// returning the record count. The file is created first so an
+// unwritable path fails before any generation work.
+func writeTracefile(path string, meta tracefile.Meta, gen trace.Reader) (n uint64, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, fmt.Errorf("creating %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("closing %s: %w", path, cerr)
+		}
+	}()
+	w, err := tracefile.NewWriter(f, meta)
+	if err != nil {
+		return 0, err
+	}
+	for {
+		rec, err := gen.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return 0, err
+		}
+		if err := w.Append(&rec); err != nil {
+			return 0, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return 0, err
+	}
+	return w.Count(), nil
+}
+
+// openTrace opens path with the right decoder for its magic: the
+// versioned tracefile format or the legacy stream. The returned meta is
+// zero for legacy files (they are not self-describing).
+func openTrace(path string) (f *os.File, r trace.Reader, meta tracefile.Meta, err error) {
+	f, err = os.Open(path)
+	if err != nil {
+		return nil, nil, meta, err
+	}
+	var head [tracefile.MagicLen]byte
+	n, _ := io.ReadFull(f, head[:])
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, meta, err
+	}
+	if tracefile.Sniff(head[:n]) {
+		tr, err := tracefile.NewReader(f)
+		if err != nil {
+			f.Close()
+			return nil, nil, meta, err
+		}
+		return f, tr, tr.Meta(), nil
+	}
+	fr, err := trace.NewFileReader(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, meta, err
+	}
+	return f, fr, meta, nil
+}
+
+func inspectTrace(path string, stdout io.Writer) error {
+	f, r, meta, err := openTrace(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	r, err := trace.NewFileReader(f)
-	if err != nil {
-		return err
+	if meta.App != "" {
+		fmt.Fprintf(stdout, "tracefile v%d: app %s, scenario %s, seed %d, %d records\n",
+			tracefile.FormatVersion, meta.App, meta.Scenario, meta.Seed, meta.Records)
 	}
 	var n, loads, stores, huge uint64
 	var instr uint64
@@ -137,12 +229,12 @@ func inspectTrace(path string) error {
 	if n == 0 {
 		return errors.New("empty trace")
 	}
-	fmt.Printf("records        %d (%d instructions)\n", n, instr)
-	fmt.Printf("loads/stores   %d / %d\n", loads, stores)
-	fmt.Printf("distinct PCs   %d\n", len(pcs))
-	fmt.Printf("hugepage       %.4f\n", float64(huge)/float64(n))
+	fmt.Fprintf(stdout, "records        %d (%d instructions)\n", n, instr)
+	fmt.Fprintf(stdout, "loads/stores   %d / %d\n", loads, stores)
+	fmt.Fprintf(stdout, "distinct PCs   %d\n", len(pcs))
+	fmt.Fprintf(stdout, "hugepage       %.4f\n", float64(huge)/float64(n))
 	for k := 1; k <= 3; k++ {
-		fmt.Printf("unchanged k=%d  %.4f\n", k, float64(unchanged[k])/float64(n))
+		fmt.Fprintf(stdout, "unchanged k=%d  %.4f\n", k, float64(unchanged[k])/float64(n))
 	}
 	return nil
 }

@@ -1,14 +1,18 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"sipt/internal/cpu"
 	"sipt/internal/sim"
 	"sipt/internal/trace"
+	"sipt/internal/tracefile"
 	"sipt/internal/vm"
 	"sipt/internal/workload"
 )
@@ -49,13 +53,13 @@ func writeTestTrace(t *testing.T, path string, records uint64) {
 func TestInspectTrace(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "t.sipt")
 	writeTestTrace(t, path, 2000)
-	if err := inspectTrace(path); err != nil {
+	if err := inspectTrace(path, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestInspectTraceMissingFile(t *testing.T) {
-	if err := inspectTrace(filepath.Join(t.TempDir(), "nope.sipt")); err == nil {
+	if err := inspectTrace(filepath.Join(t.TempDir(), "nope.sipt"), io.Discard); err == nil {
 		t.Error("missing file accepted")
 	}
 }
@@ -74,8 +78,81 @@ func TestInspectTraceEmpty(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	if err := inspectTrace(path); err == nil {
+	if err := inspectTrace(path, io.Discard); err == nil {
 		t.Error("empty trace accepted")
+	}
+}
+
+// TestRunEmitsTracefile drives the command end to end with -o: the
+// output must carry the versioned format, inspect cleanly, and match
+// the harness's own encoding of the same trace byte for byte.
+func TestRunEmitsTracefile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lq.sipt")
+	var out strings.Builder
+	err := run([]string{"-app", "libquantum", "-records", "3000", "-seed", "7", "-o", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "wrote 3000 records") {
+		t.Errorf("output = %q", out.String())
+	}
+
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tracefile.Sniff(got) {
+		t.Fatal("output does not carry the tracefile magic")
+	}
+	prof := workload.MustLookup("libquantum")
+	buf, err := sim.Materialize(prof, vm.ScenarioNormal, 7, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := tracefile.Encode(tracefile.Meta{App: "libquantum", Scenario: vm.ScenarioNormal, Seed: 7}, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("tracegen -o output differs from the harness encoding of the same trace")
+	}
+
+	var insp strings.Builder
+	if err := inspectTrace(path, &insp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(insp.String(), "app libquantum") || !strings.Contains(insp.String(), "records        3000") {
+		t.Errorf("inspect output = %q", insp.String())
+	}
+}
+
+// TestRunUnwritableOutput: a bad output path must surface as an error
+// from run (a non-zero exit), not a panic, for both formats.
+func TestRunUnwritableOutput(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no", "such", "dir", "x.sipt")
+	for _, flagName := range []string{"-o", "-out"} {
+		err := run([]string{"-app", "libquantum", "-records", "10", flagName, bad}, io.Discard)
+		if err == nil {
+			t.Fatalf("%s %s: unwritable path accepted", flagName, bad)
+		}
+		if !strings.Contains(err.Error(), bad) {
+			t.Errorf("%s: error %q does not name the path", flagName, err)
+		}
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-app", "libquantum"},                          // no output
+		{"-records", "10", "-o", "x.sipt"},              // no app
+		{"-app", "nope", "-records", "10", "-o", "x"},   // unknown app
+		{"-app", "libquantum", "-o", "a", "-out", "b"},  // both formats
+		{"-app", "libquantum", "-scenario", "bogus", "-o", "x"},
+	}
+	for _, args := range cases {
+		if err := run(args, io.Discard); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"sipt/internal/replay"
 	"sipt/internal/report"
 	"sipt/internal/sim"
+	"sipt/internal/store"
 	"sipt/internal/vm"
 	"sipt/internal/workload"
 )
@@ -65,6 +66,12 @@ type Options struct {
 	// ablations) and the multiprogrammed mixes (Tab. III, Fig. 15) stay
 	// local regardless.
 	Remote Remote
+	// Store, when non-nil, adds a persistent content-addressed tier
+	// under the memo cache and the trace pool (see store.go): results
+	// and materialised traces survive restarts and warm instantly.
+	// Like Remote it is fixed at construction and shared by every
+	// derived view; the field in a WithOptions argument is ignored.
+	Store *store.Store
 }
 
 // DefaultRecords is the harness trace length per app.
@@ -107,7 +114,10 @@ type runnerShared struct {
 	// instead of the local simulator (Options.Remote; fixed at
 	// construction so all derived views dispatch consistently).
 	remote Remote
-	sims   atomic.Uint64
+	// store, when non-nil, is the persistent tier under cache and
+	// traces (Options.Store; fixed at construction).
+	store *store.Store
+	sims  atomic.Uint64
 	// degraded counts runs that fell back to live generation because the
 	// trace pool could not serve them (byte budget, eviction storm) —
 	// the graceful-degradation ladder's observable step.
@@ -128,14 +138,30 @@ type Runner struct {
 }
 
 // NewRunner creates a Runner with a fresh result cache and trace pool.
+// With Options.Store set, pool misses first try to revive the trace
+// from disk (checksum- and identity-verified) before regenerating, and
+// fresh materialisations are persisted for the next process.
 func NewRunner(opts Options) *Runner {
-	sh := &runnerShared{cache: memo.New[sim.Stats](opts.CacheEntries, 0), remote: opts.Remote}
+	sh := &runnerShared{
+		cache:  memo.New[sim.Stats](opts.CacheEntries, 0),
+		remote: opts.Remote,
+		store:  opts.Store,
+	}
 	sh.traces = replay.NewPool(int64(opts.TracePoolMB)<<20, 0, func(k replay.Key) (*replay.Buffer, error) {
+		if sh.store != nil {
+			if buf, ok := loadStoredTrace(sh.store, k); ok {
+				return buf, nil
+			}
+		}
 		prof, err := workload.Lookup(k.App)
 		if err != nil {
 			return nil, err
 		}
-		return sim.Materialize(prof, k.Scenario, k.Seed, k.Records)
+		buf, err := sim.Materialize(prof, k.Scenario, k.Seed, k.Records)
+		if err == nil && sh.store != nil {
+			saveStoredTrace(sh.store, k, buf)
+		}
+		return buf, err
 	})
 	return &Runner{opts: opts, sh: sh}
 }
@@ -203,9 +229,21 @@ func (r *Runner) key(app string, cfg sim.Config, sc vm.Scenario) string {
 // and streams from a live generator otherwise; both produce identical
 // stats.
 func (r *Runner) Run(app string, cfg sim.Config, sc vm.Scenario) (sim.Stats, error) {
-	return r.sh.cache.Do(r.key(app, cfg, sc), func() (sim.Stats, error) {
+	memoKey := r.key(app, cfg, sc)
+	return r.sh.cache.Do(memoKey, func() (sim.Stats, error) {
+		// Disk tier first: a result computed by a previous process is a
+		// decode, not a simulation (Simulations() stays untouched — the
+		// restart-warmth gate in store_smoke.sh asserts exactly that).
+		skey := r.resultStoreKey(r.traceDigest(app, sc), memoKey)
+		if st, ok := r.storeGet(skey); ok {
+			return st, nil
+		}
 		r.sh.sims.Add(1)
-		return r.runUncached(app, cfg, sc)
+		st, err := r.runUncached(app, cfg, sc)
+		if err == nil {
+			r.storePut(skey, st)
+		}
+		return st, err
 	})
 }
 

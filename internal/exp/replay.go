@@ -6,6 +6,7 @@ import (
 
 	"sipt/internal/replay"
 	"sipt/internal/sim"
+	"sipt/internal/store"
 	"sipt/internal/trace"
 	"sipt/internal/vm"
 	"sipt/internal/workload"
@@ -40,6 +41,7 @@ func (r *Runner) buffer(app string, sc vm.Scenario) (*replay.Buffer, error) {
 	// context mid-trace, where materialisation does not).
 	records := r.opts.records()
 	if records > uint64(r.sh.traces.MaxBufferBytes())/replay.BytesPerRecord {
+		r.sh.traces.NoteOversize()
 		return nil, errPoolOversize
 	}
 	return r.sh.traces.Get(r.poolKey(app, sc))
@@ -168,26 +170,68 @@ func (r *Runner) RunConfigs(app string, cfgs []sim.Config, sc vm.Scenario) ([]si
 		return out, nil
 	}
 
+	// Second partition, against the persistent tier: results computed
+	// by a previous process fill their lanes directly; only the rest is
+	// simulated (or dispatched). A fully warm sweep never touches the
+	// trace pool, so a restarted daemon serves figures without
+	// re-materialising a single trace.
+	all := make([]sim.Stats, len(uniq))
+	var todo []sim.Config
+	var todoAt []int
+	var skeys []store.Key
+	if r.sh.store != nil {
+		digest := r.traceDigest(app, sc)
+		skeys = make([]store.Key, len(uniq))
+		for i, cfg := range uniq {
+			skeys[i] = r.resultStoreKey(digest, uniqKeys[i])
+			if st, ok := r.storeGet(skeys[i]); ok {
+				all[i] = st
+				continue
+			}
+			todo = append(todo, cfg)
+			todoAt = append(todoAt, i)
+		}
+	} else {
+		todo = uniq
+		todoAt = make([]int, len(uniq))
+		for i := range uniq {
+			todoAt[i] = i
+		}
+	}
+	if len(todo) == 0 {
+		return r.publish(out, keys, cached, uniqAt, all)
+	}
+	persist := func(fresh []sim.Stats) {
+		for j, st := range fresh {
+			all[todoAt[j]] = st
+			if skeys != nil {
+				r.storePut(skeys[todoAt[j]], st)
+			}
+		}
+	}
+
 	if rem := r.sh.remote; rem != nil {
 		// Remote dispatch: the whole uncached batch travels as one
 		// shard, so the worker's fused pass covers exactly the lanes a
 		// local run would.
-		sts, err := rem.RunConfigs(r.Context(), app, sc, r.opts.Seed, r.opts.records(), uniq)
+		sts, err := rem.RunConfigs(r.Context(), app, sc, r.opts.Seed, r.opts.records(), todo)
 		if err != nil {
 			return nil, err
 		}
-		if len(sts) != len(uniq) {
-			return nil, fmt.Errorf("exp: remote returned %d stats for %d configs", len(sts), len(uniq))
+		if len(sts) != len(todo) {
+			return nil, fmt.Errorf("exp: remote returned %d stats for %d configs", len(sts), len(todo))
 		}
-		r.sh.sims.Add(uint64(len(uniq)))
-		return r.publish(out, keys, cached, uniqAt, sts)
+		r.sh.sims.Add(uint64(len(todo)))
+		persist(sts)
+		return r.publish(out, keys, cached, uniqAt, all)
 	}
 
 	buf, err := r.buffer(app, sc)
 	if err != nil {
 		if useLive(err) {
 			r.noteDegraded(err)
-			// No materialised trace: degrade to memoised solo runs.
+			// No materialised trace: degrade to memoised solo runs
+			// (each of which probes the store itself).
 			for i := range cfgs {
 				if cached[i] {
 					continue
@@ -201,12 +245,13 @@ func (r *Runner) RunConfigs(app string, cfgs []sim.Config, sc vm.Scenario) ([]si
 		return nil, err
 	}
 
-	fused, err := sim.RunConfigs(r.ctx, app, buf, uniq, r.opts.Seed)
+	fused, err := sim.RunConfigs(r.ctx, app, buf, todo, r.opts.Seed)
 	if err != nil {
-		return nil, fmt.Errorf("exp: fused %s/%s (%d configs): %w", app, sc, len(uniq), err)
+		return nil, fmt.Errorf("exp: fused %s/%s (%d configs): %w", app, sc, len(todo), err)
 	}
-	r.sh.sims.Add(uint64(len(uniq)))
-	return r.publish(out, keys, cached, uniqAt, fused)
+	r.sh.sims.Add(uint64(len(todo)))
+	persist(fused)
+	return r.publish(out, keys, cached, uniqAt, all)
 }
 
 // publish writes a fused batch's stats through the memo cache so later

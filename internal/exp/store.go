@@ -1,0 +1,155 @@
+// Persistent-store integration: when Options.Store is set, the runner's
+// memo cache and trace pool gain an on-disk content-addressed tier, so
+// results and materialised traces survive process restarts. Layering:
+//
+//	memo.Cache (RAM, singleflight)  ->  store.Store (disk)  ->  simulate
+//
+// Every stored result is keyed by SHA-256 over (trace digest, the full
+// memo key, a stats-schema fingerprint). The memo key already formats
+// the entire sim.Config plus app/scenario/records/seed, so the
+// exhaustiveness argument of Runner.key carries over to disk; the
+// schema fingerprint retires every stored result the moment sim.Stats
+// gains or loses a field, turning format skew into a cache miss instead
+// of a misparse. Stats travel as JSON: Go's shortest-round-trip float
+// encoding reproduces float64s exactly (the same property the fabric
+// relies on for bit-identical distributed merges), so a warm read
+// renders byte-identical tables — the equality gate in store_test.go.
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"sipt/internal/replay"
+	"sipt/internal/sim"
+	"sipt/internal/store"
+	"sipt/internal/tracefile"
+	"sipt/internal/vm"
+)
+
+// statsSchemaFP fingerprints the shape of sim.Stats (field names and
+// zero values, recursively). Any schema change alters the fingerprint,
+// so stale blobs are simply never found.
+var statsSchemaFP = fmt.Sprintf("%+v", sim.Stats{})
+
+// traceDigest is the content address standing in for a synthetic
+// trace's bytes: the identity tuple that fully determines the record
+// stream (the replay pool's key, exactly). Uploaded traces use the
+// SHA-256 of their file bytes instead; both flow into result keys the
+// same way.
+func (r *Runner) traceDigest(app string, sc vm.Scenario) string {
+	return store.KeyOf("synthetic", "v1", app, sc.String(),
+		strconv.FormatInt(r.opts.Seed, 10), strconv.FormatUint(r.opts.records(), 10)).String()
+}
+
+// resultStoreKey addresses one simulation result: the trace identity,
+// the full memo key (app, whole config, scenario, records, seed), and
+// the stats schema.
+func (r *Runner) resultStoreKey(digest, memoKey string) store.Key {
+	return store.KeyOf("result", "v1", digest, memoKey, statsSchemaFP)
+}
+
+// storeGet fetches and decodes a stored result. Any failure — absent,
+// corrupt (already deleted by the store), or undecodable — reads as
+// "not stored": the caller recomputes and re-Puts.
+func (r *Runner) storeGet(key store.Key) (sim.Stats, bool) {
+	if r.sh.store == nil {
+		return sim.Stats{}, false
+	}
+	blob, err := r.sh.store.Get(key)
+	if err != nil {
+		return sim.Stats{}, false
+	}
+	var st sim.Stats
+	if err := json.Unmarshal(blob, &st); err != nil {
+		r.sh.store.Delete(key)
+		return sim.Stats{}, false
+	}
+	return st, true
+}
+
+// storePut persists one result, best-effort: a full disk or an
+// over-budget blob degrades persistence, never the run.
+func (r *Runner) storePut(key store.Key, st sim.Stats) {
+	if r.sh.store == nil {
+		return
+	}
+	blob, err := json.Marshal(st)
+	if err != nil {
+		return
+	}
+	_ = r.sh.store.Put(key, blob)
+}
+
+// storedTraceKey addresses a materialised trace blob in the store. All
+// four fields of the pool key are in the address, so heterogeneous
+// views sharing one store never alias.
+//
+//sipt:memokey
+func storedTraceKey(k replay.Key) store.Key {
+	return store.KeyOf("trace", "v1", k.App, k.Scenario.String(),
+		strconv.FormatInt(k.Seed, 10), strconv.FormatUint(k.Records, 10))
+}
+
+// loadStoredTrace revives a pooled trace from disk, verifying both the
+// store's checksum and the trace file's own header and chunk CRCs, and
+// cross-checking the embedded metadata against the requested key (a
+// hash collision or a mis-filed blob must not replay the wrong trace).
+func loadStoredTrace(s *store.Store, k replay.Key) (*replay.Buffer, bool) {
+	blob, err := s.Get(storedTraceKey(k))
+	if err != nil {
+		return nil, false
+	}
+	meta, buf, err := tracefile.ReadBuffer(bytes.NewReader(blob))
+	if err != nil {
+		s.Delete(storedTraceKey(k))
+		return nil, false
+	}
+	if meta.App != k.App || meta.Scenario != k.Scenario || meta.Seed != k.Seed || meta.Records != k.Records {
+		s.Delete(storedTraceKey(k))
+		return nil, false
+	}
+	return buf, true
+}
+
+// saveStoredTrace persists a freshly materialised trace, best-effort.
+func saveStoredTrace(s *store.Store, k replay.Key, buf *replay.Buffer) {
+	enc, err := tracefile.Encode(tracefile.Meta{App: k.App, Scenario: k.Scenario, Seed: k.Seed}, buf)
+	if err != nil {
+		return
+	}
+	_ = s.Put(storedTraceKey(k), enc)
+}
+
+// StoreStats snapshots the persistent store's counters for the
+// daemon's /metrics endpoint; ok is false when no store is configured.
+func (r *Runner) StoreStats() (store.Stats, bool) {
+	if r.sh.store == nil {
+		return store.Stats{}, false
+	}
+	return r.sh.store.Stats(), true
+}
+
+// RunTrace simulates one config against an externally supplied trace
+// buffer (an ingested upload), memoised in RAM and, when a store is
+// configured, on disk under the trace's content digest. digest must be
+// the canonical content address of the trace bytes; name labels the
+// stats (Stats.App) and reports.
+func (r *Runner) RunTrace(digest, name string, buf *replay.Buffer, cfg sim.Config) (sim.Stats, error) {
+	memoKey := fmt.Sprintf("trace:%s|%s|%+v|%d", digest, name, cfg, r.opts.Seed)
+	return r.sh.cache.Do(memoKey, func() (sim.Stats, error) {
+		skey := r.resultStoreKey(digest, memoKey)
+		if st, ok := r.storeGet(skey); ok {
+			return st, nil
+		}
+		r.sh.sims.Add(1)
+		st, err := sim.RunBuffer(r.Context(), name, buf, cfg, r.opts.Seed)
+		if err != nil {
+			return sim.Stats{}, fmt.Errorf("exp: replaying trace %.12s on %s: %w", digest, cfg.Label(), err)
+		}
+		r.storePut(skey, st)
+		return st, nil
+	})
+}

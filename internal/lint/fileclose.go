@@ -1,0 +1,301 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FileClose keeps the persistence layer leak-free. internal/store and
+// internal/tracefile are the only packages that open files directly,
+// and both run inside a long-lived daemon: a descriptor leaked once per
+// figure request exhausts the process's fd limit in hours, and a trace
+// file held open on some error path keeps its temp from being swept.
+// The analyzer proves, per os.Open/os.Create/os.OpenFile/os.CreateTemp
+// call, that every control-flow path which *uses* the file also closes
+// it or hands ownership away before returning.
+var FileClose = &Analyzer{
+	Name: "fileclose",
+	Doc: `files opened in the persistence packages are closed on every path
+
+In sipt/internal/store and sipt/internal/tracefile, the result of
+os.Open, os.Create, os.OpenFile, or os.CreateTemp must be closed on
+every control-flow path that uses it. Walking the function's CFG from
+the open, a path is safe when it reaches f.Close() (directly, deferred,
+or with the error consumed), or when the file escapes the function —
+returned, passed to a callee, stored, or captured by a closure — which
+transfers the Close obligation. A path that reaches a return after
+using the file without either is flagged, as is discarding the result
+outright. Error-return paths that never touch the (nil) file are
+deliberately not flagged.`,
+	Run: runFileClose,
+}
+
+// fileClosePkgs is the analyzer's scope: the packages that own raw file
+// handles. Everything else goes through their APIs.
+var fileClosePkgs = map[string]bool{
+	"sipt/internal/store":     true,
+	"sipt/internal/tracefile": true,
+}
+
+// osOpeners are the os functions whose *os.File result carries a Close
+// obligation.
+var osOpeners = map[string]bool{
+	"Open": true, "Create": true, "OpenFile": true, "CreateTemp": true,
+}
+
+func runFileClose(pass *Pass) error {
+	if !fileClosePkgs[pass.Pkg.Path] {
+		return nil
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkFileClose(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkFileClose(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFileClose analyses one function body. BuildCFG treats nested
+// function literals as opaque, so every open found here belongs to this
+// body; literals get their own checkFileClose via the Inspect above.
+func checkFileClose(pass *Pass, body *ast.BlockStmt) {
+	cfg := BuildCFG(body)
+	for _, blk := range cfg.Blocks {
+		for ni, n := range blk.Nodes {
+			for _, call := range openCallsIn(pass, n) {
+				analyzeOpen(pass, cfg, blk, ni, n, call)
+			}
+		}
+	}
+}
+
+// openCallsIn finds os opener calls in one flat CFG node, skipping
+// nested function literals (their bodies are analysed separately).
+func openCallsIn(pass *Pass, n ast.Node) []*ast.CallExpr {
+	var calls []*ast.CallExpr
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "os" || !osOpeners[fn.Name()] {
+			return true
+		}
+		calls = append(calls, call)
+		return true
+	})
+	return calls
+}
+
+// analyzeOpen classifies how the open's result is bound and, when it is
+// a plain local, walks the CFG proving the close obligation.
+func analyzeOpen(pass *Pass, cfg *CFG, blk *Block, ni int, n ast.Node, call *ast.CallExpr) {
+	opener := call.Fun.(*ast.SelectorExpr).Sel.Name
+
+	var lhs ast.Expr
+	switch n := n.(type) {
+	case *ast.ExprStmt:
+		if n.X == call {
+			pass.Reportf(call.Pos(),
+				"result of os.%s is discarded; the file can never be closed", opener)
+			return
+		}
+	case *ast.ReturnStmt:
+		return // ownership moves to the caller
+	case *ast.AssignStmt:
+		if len(n.Rhs) == 1 && n.Rhs[0] == call && len(n.Lhs) > 0 {
+			lhs = n.Lhs[0]
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 1 || vs.Values[0] != call || len(vs.Names) == 0 {
+					continue
+				}
+				lhs = vs.Names[0]
+			}
+		}
+	}
+	if lhs == nil {
+		return // bound in a shape we do not track (e.g. inside a larger expression)
+	}
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return // stored straight into a field: ownership escapes
+	}
+	if id.Name == "_" {
+		pass.Reportf(call.Pos(),
+			"result of os.%s is discarded; the file can never be closed", opener)
+		return
+	}
+	v := objectOf(pass, id)
+	if v == nil {
+		return
+	}
+
+	type state struct {
+		blk  *Block
+		used bool
+	}
+	visited := make(map[state]bool)
+	reported := false
+	var walk func(blk *Block, start int, used bool)
+	walk = func(blk *Block, start int, used bool) {
+		if reported {
+			return
+		}
+		if blk == cfg.Exit {
+			if used {
+				reported = true
+				pass.Reportf(call.Pos(),
+					"file %s from os.%s may reach a return without Close on some path", id.Name, opener)
+			}
+			return
+		}
+		for i := start; i < len(blk.Nodes); i++ {
+			switch classifyFileUse(pass, blk.Nodes[i], v) {
+			case fcClosed, fcEscaped:
+				return // this path has discharged the obligation
+			case fcUsed:
+				used = true
+			}
+		}
+		for _, s := range blk.Succs {
+			st := state{s, used}
+			if !visited[st] {
+				visited[st] = true
+				walk(s, 0, used)
+			}
+		}
+	}
+	walk(blk, ni+1, false)
+}
+
+// objectOf resolves an identifier to its variable object, whether the
+// identifier defines it (:=) or re-assigns it (=).
+func objectOf(pass *Pass, id *ast.Ident) *types.Var {
+	if v, ok := pass.Pkg.Info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := pass.Pkg.Info.Uses[id].(*types.Var)
+	return v
+}
+
+type fcAction int
+
+const (
+	fcNone fcAction = iota
+	fcUsed
+	fcClosed
+	fcEscaped
+)
+
+// classifyFileUse inspects one flat CFG node for mentions of the file
+// variable v and reduces them to one action. Precedence: Closed beats
+// Escaped beats Used — `if err := f.Close(); err != nil` both mentions
+// and closes, and closing wins.
+func classifyFileUse(pass *Pass, n ast.Node, v *types.Var) fcAction {
+	action := fcNone
+	upgrade := func(a fcAction) {
+		if a > action {
+			action = a
+		}
+	}
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[m] = stack[len(stack)-1]
+		}
+		stack = append(stack, m)
+		if fl, ok := m.(*ast.FuncLit); ok {
+			// A closure capturing the file owns it now (it may close it
+			// on its own schedule, as `defer func() { f.Close() }()`
+			// does); within this function the obligation is discharged.
+			if mentionsVar(pass, fl, v) {
+				upgrade(fcEscaped)
+			}
+			return false
+		}
+		id, ok := m.(*ast.Ident)
+		if !ok || pass.Pkg.Info.Uses[id] != v {
+			return true
+		}
+		upgrade(classifyMention(pass, id, parents))
+		return true
+	})
+	return action
+}
+
+// classifyMention decides what one appearance of the file variable
+// means from its parent chain.
+func classifyMention(pass *Pass, id *ast.Ident, parents map[ast.Node]ast.Node) fcAction {
+	parent := parents[id]
+	if sel, ok := parent.(*ast.SelectorExpr); ok && sel.X == id {
+		if call, ok := parents[sel].(*ast.CallExpr); ok && call.Fun == sel {
+			// A method call on the file: Close discharges it, anything
+			// else (Read, Write, Sync, Seek, Name) is a use.
+			if sel.Sel.Name == "Close" {
+				return fcClosed
+			}
+			return fcUsed
+		}
+		// A method value (f.Close passed around) or field access:
+		// conservative escape.
+		return fcEscaped
+	}
+	switch p := parent.(type) {
+	case *ast.BinaryExpr:
+		return fcUsed // comparisons like f != nil observe, not transfer
+	case *ast.AssignStmt:
+		for _, l := range p.Lhs {
+			if l == id {
+				// Re-assignment of the variable: the original handle is
+				// no longer reachable through it; stop tracking rather
+				// than guess.
+				return fcEscaped
+			}
+		}
+		return fcEscaped // f copied into another variable
+	default:
+		// Argument to a call, a return value, &f, composite literal,
+		// map/slice store... — ownership leaves this function's hands.
+		return fcEscaped
+	}
+}
+
+// mentionsVar reports whether the subtree mentions v.
+func mentionsVar(pass *Pass, n ast.Node, v *types.Var) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := m.(*ast.Ident); ok && pass.Pkg.Info.Uses[id] == v {
+			found = true
+		}
+		return true
+	})
+	return found
+}

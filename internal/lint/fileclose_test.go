@@ -1,0 +1,30 @@
+package lint_test
+
+import (
+	"testing"
+
+	"sipt/internal/lint"
+	"sipt/internal/lint/linttest"
+)
+
+func TestFileClose(t *testing.T) {
+	linttest.Run(t, "testdata/fileclose", lint.FileClose, "sipt/internal/tracefile")
+}
+
+// TestFileCloseScope loads the same leak-riddled fixture under an
+// import path outside the persistence packages: nothing may fire —
+// the obligation is scoped to internal/store and internal/tracefile,
+// whose raw file handles everything else goes through.
+func TestFileCloseScope(t *testing.T) {
+	prog, err := lint.LoadDir("testdata/fileclose", "sipt/internal/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run(prog, []*lint.Analyzer{lint.FileClose})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("out-of-scope package flagged: %s: %s", d.Pos, d.Message)
+	}
+}

@@ -29,6 +29,8 @@
 //   - metricreg: metric names are literal, lowercase, registered once.
 //   - transienterr: errors crossing the serve/fabric wire boundary flow
 //     through the fault.Transient/Permanent taxonomy.
+//   - fileclose: files opened in the persistence packages (store,
+//     tracefile) are closed or handed off on every path that uses them.
 //
 // Findings can be acknowledged in place with a justification:
 //
@@ -209,6 +211,7 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		DetRand, StatsAccount, MemoKey, HotAlloc, RecoverScope,
 		CtxFlow, LockOrder, AtomicMix, MetricReg, TransientErr,
+		FileClose,
 	}
 }
 

@@ -1,0 +1,127 @@
+// Package fixturefiles seeds fileclose violations — files opened and
+// used but not closed on every path — alongside the sanctioned shapes
+// (defer close, close-with-error, ownership escape) that must stay
+// clean.
+package fixturefiles
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// goodDefer is the canonical shape: deferred close right after the
+// error check.
+func goodDefer(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// goodCloseErr consumes Close's error — still a close.
+func goodCloseErr(path string, b []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	if cerr := f.Close(); cerr != nil {
+		return cerr
+	}
+	return nil
+}
+
+// goodEscapeReturn hands the open file to the caller; the obligation
+// moves with it.
+func goodEscapeReturn(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// goodEscapeArg hands the file to a callee.
+func goodEscapeArg(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	return consume(f)
+}
+
+// goodEscapeClosure: a closure captures the file and closes it.
+func goodEscapeClosure(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer func() { f.Close() }()
+	var n int
+	_, err = fmt.Fscan(f, &n)
+	return err
+}
+
+// goodErrorPathUntouched: the error path returns without touching the
+// (nil) file — not a leak.
+func goodErrorPathUntouched(dir string) error {
+	f, err := os.CreateTemp(dir, "tmp-*")
+	if err != nil {
+		return err // f is nil here; nothing to close
+	}
+	f.Write([]byte("x"))
+	return f.Close()
+}
+
+// badLeakReturn uses the file and returns without closing.
+func badLeakReturn(path string) (int64, error) {
+	f, err := os.Open(path) // want "may reach a return without Close"
+	if err != nil {
+		return 0, err
+	}
+	return f.Seek(0, io.SeekEnd)
+}
+
+// badLeakBranch closes on one branch but leaks on the other.
+func badLeakBranch(path string, n int) error {
+	f, err := os.Create(path) // want "may reach a return without Close"
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(make([]byte, n)); err != nil {
+		return err // leak: used, not closed
+	}
+	return f.Close()
+}
+
+// badLeakLoop leaks when the loop body errors out mid-iteration.
+func badLeakLoop(paths []string) error {
+	for _, p := range paths {
+		f, err := os.Open(p) // want "may reach a return without Close"
+		if err != nil {
+			return err
+		}
+		if _, err := f.Stat(); err != nil {
+			return err // leak on the error path
+		}
+		f.Close()
+	}
+	return nil
+}
+
+// badDiscard drops the handle on the floor.
+func badDiscard(path string) {
+	os.Create(path) // want "discarded"
+}
+
+func consume(f *os.File) error {
+	defer f.Close()
+	_, err := io.Copy(io.Discard, f)
+	return err
+}

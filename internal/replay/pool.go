@@ -42,6 +42,7 @@ type Stats struct {
 	Hits      uint64 // lookups served from a resident buffer (including in-flight)
 	Misses    uint64 // lookups that started a materialisation
 	Evictions uint64 // buffers dropped to respect the byte budget
+	Oversize  uint64 // buffers too large for any shard to retain (see Oversize)
 	Entries   int    // resident buffers
 	Bytes     int64  // resident payload bytes (always <= the budget)
 }
@@ -90,6 +91,7 @@ type Pool struct {
 	hits      atomic.Uint64
 	misses    atomic.Uint64
 	evictions atomic.Uint64
+	oversize  atomic.Uint64
 }
 
 // NewPool creates a pool bounded to budgetBytes (non-positive =
@@ -147,6 +149,13 @@ func (p *Pool) shardFor(k Key) *poolShard {
 // callers should stream such traces live instead.
 func (p *Pool) MaxBufferBytes() int64 { return p.shards[0].budget }
 
+// NoteOversize records that a caller skipped the pool because the
+// requested trace exceeds MaxBufferBytes. Callers that pre-check (and
+// stream live instead of materialising a buffer the pool would
+// immediately drop) never reach Get, so without this hook the oversize
+// path would be invisible in the pool's counters.
+func (p *Pool) NoteOversize() { p.oversize.Add(1) }
+
 // Get returns the materialised buffer for key, building it on first
 // use. Concurrent Gets of the same key share one materialisation. Under
 // an armed replay.pool.evict fault, a seeded fraction of calls fail
@@ -183,6 +192,12 @@ func (p *Pool) Get(key Key) (*Buffer, error) {
 				s.order.Remove(cur)
 				delete(s.items, e.key)
 			} else {
+				if e.buf.Bytes() > s.budget {
+					// The budget janitor will drop this entry on the spot:
+					// the caller keeps its reference, but the pool declined
+					// to retain it. Record that, it was silent before.
+					p.oversize.Add(1)
+				}
 				e.resident = true
 				s.bytes += e.buf.Bytes()
 				p.enforceBudgetLocked(s)
@@ -239,6 +254,7 @@ func (p *Pool) Stats() Stats {
 		Hits:      p.hits.Load(),
 		Misses:    p.misses.Load(),
 		Evictions: p.evictions.Load(),
+		Oversize:  p.oversize.Load(),
 	}
 	for i := range p.shards {
 		s := &p.shards[i]

@@ -76,26 +76,71 @@ func (b *Buffer) Len() int { return len(b.words) / 2 }
 // against this.
 func (b *Buffer) Bytes() int64 { return int64(len(b.words)) * 8 }
 
-// Append packs one record onto the buffer. It returns an error wrapping
-// ErrUnpackable when the record exceeds the packed field widths.
-func (b *Buffer) Append(rec *trace.Record) error {
+// PackRecord packs one record into the two-word encoding. It returns an
+// error wrapping ErrUnpackable when the record exceeds the packed field
+// widths. The encoding is the wire format of internal/tracefile as well
+// as the in-memory Buffer layout, so a serialised trace replays through
+// the identical decode path.
+func PackRecord(rec *trace.Record) (w0, w1 uint64, err error) {
 	vpn := uint64(rec.VA) >> memaddr.PageShift
 	ppn := uint64(rec.PA) >> memaddr.PageShift
 	if vpn >= pageNumMax || ppn >= pageNumMax {
-		return fmt.Errorf("%w: address VA=%#x PA=%#x beyond %d-bit page numbers",
+		return 0, 0, fmt.Errorf("%w: address VA=%#x PA=%#x beyond %d-bit page numbers",
 			ErrUnpackable, uint64(rec.VA), uint64(rec.PA), pageNumBits)
 	}
 	if rec.PC < pcBase || rec.PC&3 != 0 || (rec.PC-pcBase)>>2 >= pcIdxMax {
-		return fmt.Errorf("%w: PC %#x outside the dense synthetic window", ErrUnpackable, rec.PC)
+		return 0, 0, fmt.Errorf("%w: PC %#x outside the dense synthetic window", ErrUnpackable, rec.PC)
 	}
 	if rec.Flags >= flagsMax {
-		return fmt.Errorf("%w: flags %#x beyond the defined bits", ErrUnpackable, rec.Flags)
+		return 0, 0, fmt.Errorf("%w: flags %#x beyond the defined bits", ErrUnpackable, rec.Flags)
 	}
 	off := uint64(rec.VA) & (memaddr.PageBytes - 1)
-	w0 := vpn<<28 | off<<16 | uint64(rec.Gap)
-	w1 := ppn<<28 | (rec.PC-pcBase)>>2<<10 | uint64(rec.DepDist)<<2 | uint64(rec.Flags)
+	w0 = vpn<<28 | off<<16 | uint64(rec.Gap)
+	w1 = ppn<<28 | (rec.PC-pcBase)>>2<<10 | uint64(rec.DepDist)<<2 | uint64(rec.Flags)
+	return w0, w1, nil
+}
+
+// UnpackRecord reverses PackRecord: two loads plus shift/mask
+// reassembly, no allocation. Any word pair decodes (every bit pattern
+// is a valid record), so corruption detection is the caller's job —
+// tracefile guards the wire with per-chunk checksums.
+//
+//sipt:hotpath
+func UnpackRecord(w0, w1 uint64, rec *trace.Record) {
+	off := w0 >> 16 & (memaddr.PageBytes - 1)
+	rec.VA = memaddr.VAddr(w0>>28<<memaddr.PageShift | off)
+	rec.PA = memaddr.PAddr(w1>>28<<memaddr.PageShift | off)
+	rec.PC = pcBase + (w1>>10&(pcIdxMax-1))<<2
+	rec.Gap = uint16(w0)
+	rec.DepDist = uint8(w1 >> 2)
+	rec.Flags = uint8(w1 & (flagsMax - 1))
+}
+
+// Append packs one record onto the buffer. It returns an error wrapping
+// ErrUnpackable when the record exceeds the packed field widths.
+func (b *Buffer) Append(rec *trace.Record) error {
+	w0, w1, err := PackRecord(rec)
+	if err != nil {
+		return err
+	}
 	b.words = append(b.words, w0, w1)
 	return nil
+}
+
+// Words exposes the packed word stream (two words per record, record
+// order). The slice aliases the buffer's backing store and must not be
+// mutated; it exists so serialisers (internal/tracefile) can write the
+// payload without a per-record repack.
+func (b *Buffer) Words() []uint64 { return b.words }
+
+// BufferFromWords adopts a packed word stream — e.g. one decoded from a
+// trace file — as a Buffer without copying. The caller must not mutate
+// words afterwards. The length must be even (two words per record).
+func BufferFromWords(words []uint64) (*Buffer, error) {
+	if len(words)%2 != 0 {
+		return nil, fmt.Errorf("replay: odd word count %d (records are two words)", len(words))
+	}
+	return &Buffer{words: words}, nil
 }
 
 // FromReader drains r to EOF into a fresh Buffer. sizeHint, when
@@ -158,13 +203,7 @@ func (c *Cursor) NextInto(rec *trace.Record) error {
 	w0 := c.words[c.pos]
 	w1 := c.words[c.pos+1]
 	c.pos += 2
-	off := w0 >> 16 & (memaddr.PageBytes - 1)
-	rec.VA = memaddr.VAddr(w0>>28<<memaddr.PageShift | off)
-	rec.PA = memaddr.PAddr(w1>>28<<memaddr.PageShift | off)
-	rec.PC = pcBase + (w1>>10&(pcIdxMax-1))<<2
-	rec.Gap = uint16(w0)
-	rec.DepDist = uint8(w1 >> 2)
-	rec.Flags = uint8(w1 & (flagsMax - 1))
+	UnpackRecord(w0, w1, rec)
 	return nil
 }
 

@@ -257,4 +257,93 @@ func TestPoolOversizedBufferNotRetained(t *testing.T) {
 	if st.Bytes != 0 || st.Entries != 0 {
 		t.Fatalf("oversized buffer retained: %+v", st)
 	}
+	if st.Oversize != 1 {
+		t.Fatalf("oversize drop not counted: %+v", st)
+	}
+	// A second oversize materialisation counts again; a normal-sized
+	// entry does not.
+	if _, err := p.Get(replay.Key{App: "big2"}); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Oversize != 2 {
+		t.Fatalf("second oversize drop not counted: %+v", st)
+	}
+}
+
+// TestPoolNoteOversize asserts the pre-check hook (callers that skip
+// Get entirely for traces beyond MaxBufferBytes) feeds the same
+// counter, so the formerly silent guard path is observable.
+func TestPoolNoteOversize(t *testing.T) {
+	p := replay.NewPool(1<<20, 1, func(k replay.Key) (*replay.Buffer, error) {
+		return fakeBuffer(t, 1), nil
+	})
+	if st := p.Stats(); st.Oversize != 0 {
+		t.Fatalf("fresh pool reports oversize: %+v", st)
+	}
+	p.NoteOversize()
+	p.NoteOversize()
+	st := p.Stats()
+	if st.Oversize != 2 {
+		t.Fatalf("Oversize = %d, want 2", st.Oversize)
+	}
+	if st.Hits != 0 || st.Misses != 0 || st.Evictions != 0 {
+		t.Fatalf("NoteOversize disturbed other counters: %+v", st)
+	}
+}
+
+// TestWordsRoundTrip asserts the word-level serialisation surface:
+// Buffer -> Words -> BufferFromWords replays identical records, and odd
+// word counts are rejected.
+func TestWordsRoundTrip(t *testing.T) {
+	prof, err := workload.Lookup("h264ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := sim.Materialize(prof, vm.ScenarioFragmented, 3, 1_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone, err := replay.BufferFromWords(buf.Words())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clone.Len() != buf.Len() || clone.Bytes() != buf.Bytes() {
+		t.Fatalf("clone shape %d/%d, want %d/%d", clone.Len(), clone.Bytes(), buf.Len(), buf.Bytes())
+	}
+	a, b := buf.Cursor(), clone.Cursor()
+	for i := 0; i < buf.Len(); i++ {
+		ra, erra := a.Next()
+		rb, errb := b.Next()
+		if erra != nil || errb != nil {
+			t.Fatalf("record %d: %v / %v", i, erra, errb)
+		}
+		if ra != rb {
+			t.Fatalf("record %d differs: %+v vs %+v", i, ra, rb)
+		}
+	}
+	if _, err := replay.BufferFromWords(make([]uint64, 3)); err == nil {
+		t.Fatal("odd word count accepted")
+	}
+}
+
+// TestPackUnpackRecord asserts the exported pack/unpack pair is the
+// same bijection Append/Cursor use.
+func TestPackUnpackRecord(t *testing.T) {
+	in := trace.Record{
+		PC: 0x400000 + 4*12345, VA: 0x7f00deadb000 | 0x321, PA: 0x1234567000 | 0x321,
+		Gap: 77, DepDist: 9, Flags: trace.FlagStore,
+	}
+	w0, w1, err := replay.PackRecord(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out trace.Record
+	replay.UnpackRecord(w0, w1, &out)
+	if out != in {
+		t.Fatalf("round-trip: got %+v want %+v", out, in)
+	}
+	bad := trace.Record{PC: 0x100}
+	if _, _, err := replay.PackRecord(&bad); !errors.Is(err, replay.ErrUnpackable) {
+		t.Fatalf("got %v, want ErrUnpackable", err)
+	}
 }

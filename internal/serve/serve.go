@@ -6,6 +6,8 @@
 //
 //	POST   /v1/run       submit one simulation        -> 202 {id, status}
 //	POST   /v1/sweep     submit one experiment sweep  -> 202 {id, status}
+//	POST   /v1/traces    ingest a trace file (see traces.go)
+//	GET    /v1/traces    list ingested traces
 //	GET    /v1/jobs/{id} job status and, when done, result tables
 //	DELETE /v1/jobs/{id} cancel a queued or running job
 //	GET    /healthz      liveness (503 while draining)
@@ -41,6 +43,8 @@ import (
 	"sipt/internal/metrics"
 	"sipt/internal/report"
 	"sipt/internal/sched"
+	"sipt/internal/sim"
+	"sipt/internal/store"
 )
 
 // decodeSlow is the API layer's injection point: armed (e.g.
@@ -67,6 +71,13 @@ type Config struct {
 	Registry *metrics.Registry
 	// MaxBody bounds request body size in bytes (0 = 1 MiB).
 	MaxBody int64
+	// TraceStore holds ingested trace files, content-addressed by the
+	// SHA-256 of their bytes. Nil disables the /v1/traces endpoints and
+	// trace-replay runs (they answer 503).
+	TraceStore *store.Store
+	// MaxTraceBytes bounds POST /v1/traces upload size (0 = 64 MiB).
+	// Other endpoints keep the much smaller MaxBody cap.
+	MaxTraceBytes int64
 	// ReadyTimeout bounds /readyz's worker heartbeat: if no worker picks
 	// up the probe job within it, the server reports not ready (0 = 2s).
 	ReadyTimeout time.Duration
@@ -85,6 +96,9 @@ type Server struct {
 	mux           *http.ServeMux
 	jobs          *jobStore
 	maxBody       int64
+	maxTraceBytes int64
+	traceStore    *store.Store
+	traces        *traceIndex
 	readyTimeout  time.Duration
 	disableShards bool
 
@@ -129,6 +143,20 @@ type Server struct {
 	traceHits    *metrics.Gauge
 	traceMisses  *metrics.Gauge
 	traceEvicted *metrics.Gauge
+
+	tracesIngested *metrics.Counter
+	simsTotal      *metrics.Gauge
+	poolOversize   *metrics.Gauge
+	storeHits      *metrics.Gauge
+	storeMisses    *metrics.Gauge
+	storePuts      *metrics.Gauge
+	storeEvicted   *metrics.Gauge
+	storeCorrupt   *metrics.Gauge
+	storeOrphans   *metrics.Gauge
+	storeEntries   *metrics.Gauge
+	storeBytes     *metrics.Gauge
+	tstoreEntries  *metrics.Gauge
+	tstoreBytes    *metrics.Gauge
 }
 
 // New builds the server and starts its worker pool.
@@ -144,6 +172,10 @@ func New(cfg Config) *Server {
 	if maxBody <= 0 {
 		maxBody = 1 << 20
 	}
+	maxTraceBytes := cfg.MaxTraceBytes
+	if maxTraceBytes <= 0 {
+		maxTraceBytes = 64 << 20
+	}
 	readyTimeout := cfg.ReadyTimeout
 	if readyTimeout <= 0 {
 		readyTimeout = 2 * time.Second
@@ -154,6 +186,9 @@ func New(cfg Config) *Server {
 		reg:           reg,
 		jobs:          newJobStore(cfg.MaxJobs),
 		maxBody:       maxBody,
+		maxTraceBytes: maxTraceBytes,
+		traceStore:    cfg.TraceStore,
+		traces:        newTraceIndex(cfg.TraceStore),
 		readyTimeout:  readyTimeout,
 		disableShards: cfg.DisableShards,
 
@@ -177,11 +212,28 @@ func New(cfg Config) *Server {
 		traceHits:    reg.Gauge("serve_trace_pool_hits", "trace pool hits"),
 		traceMisses:  reg.Gauge("serve_trace_pool_misses", "trace pool misses"),
 		traceEvicted: reg.Gauge("serve_trace_pool_evictions", "trace buffers evicted for the byte budget"),
+
+		tracesIngested: reg.Counter("serve_traces_ingested_total", "trace files ingested via POST /v1/traces"),
+		simsTotal:      reg.Gauge("serve_simulations_total", "simulations actually executed (memo and store misses)"),
+		poolOversize:   reg.Gauge("replay_pool_oversize_total", "traces too large for the pool's byte budget to retain"),
+		storeHits:      reg.Gauge("store_hits_total", "persistent result store hits"),
+		storeMisses:    reg.Gauge("store_misses_total", "persistent result store misses"),
+		storePuts:      reg.Gauge("store_puts_total", "blobs persisted to the result store"),
+		storeEvicted:   reg.Gauge("store_evictions_total", "result store blobs evicted for the byte budget"),
+		storeCorrupt:   reg.Gauge("store_corrupt_total", "stored blobs failing checksum, discarded"),
+		storeOrphans:   reg.Gauge("store_orphans_swept_total", "orphaned temp files swept at store open"),
+		storeEntries:   reg.Gauge("store_entries", "blobs resident in the result store"),
+		storeBytes:     reg.Gauge("store_bytes", "bytes resident in the result store"),
+		tstoreEntries:  reg.Gauge("trace_store_entries", "ingested trace files resident"),
+		tstoreBytes:    reg.Gauge("trace_store_bytes", "ingested trace bytes resident"),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/traces", s.handleTraceUpload)
+	s.mux.HandleFunc("GET /v1/traces", s.handleTraceList)
+	s.mux.HandleFunc("GET /v1/traces/{digest}", s.handleTraceGet)
 	s.mux.HandleFunc("POST /v1/shard", s.handleShardSubmit)
 	s.mux.HandleFunc("GET /v1/shards/{id}", s.handleShardGet)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
@@ -195,7 +247,14 @@ func New(cfg Config) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Inc()
-	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	// Trace uploads are whole files, not JSON control messages; they get
+	// their own, much larger body cap. Everything else keeps the tight
+	// default.
+	limit := s.maxBody
+	if r.Method == http.MethodPost && r.URL.Path == "/v1/traces" {
+		limit = s.maxTraceBytes
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -437,7 +496,8 @@ func (s *Server) rejectSubmit(w http.ResponseWriter, err error) {
 // RunRequest is the body of POST /v1/run. Zero values take the
 // documented defaults.
 type RunRequest struct {
-	App      string `json:"app"`                // workload name; required
+	App      string `json:"app"`                // workload name; required unless trace is set
+	Trace    string `json:"trace,omitempty"`    // ingested trace digest; replaces app/scenario/records
 	L1       string `json:"l1,omitempty"`       // geometry, e.g. "32K2w" (default)
 	Mode     string `json:"mode,omitempty"`     // vipt|ideal|naive|bypass|combined (default combined)
 	Core     string `json:"core,omitempty"`     // ooo|inorder (default ooo)
@@ -454,7 +514,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	run, err := buildRun(s.runner, req)
+	var run func(ctx context.Context) (jobResult, error)
+	var err error
+	if req.Trace != "" {
+		run, err = s.buildTraceRun(req)
+	} else {
+		run, err = buildRun(s.runner, req)
+	}
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -583,6 +649,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.traceHits.Set(int64(ts.Hits))
 	s.traceMisses.Set(int64(ts.Misses))
 	s.traceEvicted.Set(int64(ts.Evictions))
+	s.poolOversize.Set(int64(ts.Oversize))
+	s.simsTotal.Set(int64(s.runner.Simulations()))
+	if st, ok := s.runner.StoreStats(); ok {
+		s.storeHits.Set(int64(st.Hits))
+		s.storeMisses.Set(int64(st.Misses))
+		s.storePuts.Set(int64(st.Puts))
+		s.storeEvicted.Set(int64(st.Evictions))
+		s.storeCorrupt.Set(int64(st.Corrupt))
+		s.storeOrphans.Set(int64(st.Orphans))
+		s.storeEntries.Set(int64(st.Entries))
+		s.storeBytes.Set(st.Bytes)
+	}
+	if s.traceStore != nil {
+		tst := s.traceStore.Stats()
+		s.tstoreEntries.Set(int64(tst.Entries))
+		s.tstoreBytes.Set(tst.Bytes)
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.reg.WriteTo(w) //nolint:errcheck // client gone; nothing to do
 }
@@ -624,19 +707,26 @@ func buildRun(runner *exp.Runner, req RunRequest) (func(ctx context.Context) (jo
 		if err != nil {
 			return jobResult{}, err
 		}
-		t := &report.Table{
-			Title:   "Run summary",
-			Note:    fmt.Sprintf("%s on %s, scenario %s", app, label, sc),
-			Columns: []string{"metric", "value"},
-		}
-		t.AddRow("IPC", fmt.Sprintf("%.4f", st.IPC()))
-		t.AddRow("instructions", fmt.Sprintf("%d", st.Core.Instructions))
-		t.AddRow("cycles", fmt.Sprintf("%d", st.Core.Cycles))
-		t.AddRow("l1_accesses", fmt.Sprintf("%d", st.L1.Accesses))
-		t.AddRow("l1_hit_rate", fmt.Sprintf("%.4f", st.L1C.HitRate()))
-		t.AddRow("fast_fraction", fmt.Sprintf("%.4f", st.L1.FastFraction()))
-		t.AddRow("extra_access_rate", fmt.Sprintf("%.4f", st.L1.ExtraAccessRate()))
-		t.AddRow("energy_j", fmt.Sprintf("%.4g", st.Energy.Total()))
-		return jobResult{tables: []*report.Table{t}}, nil
+		note := fmt.Sprintf("%s on %s, scenario %s", app, label, sc)
+		return jobResult{tables: []*report.Table{summaryTable(st, note)}}, nil
 	}, nil
+}
+
+// summaryTable renders one run's headline stats as the standard
+// two-column summary, shared by app runs and trace replays.
+func summaryTable(st sim.Stats, note string) *report.Table {
+	t := &report.Table{
+		Title:   "Run summary",
+		Note:    note,
+		Columns: []string{"metric", "value"},
+	}
+	t.AddRow("IPC", fmt.Sprintf("%.4f", st.IPC()))
+	t.AddRow("instructions", fmt.Sprintf("%d", st.Core.Instructions))
+	t.AddRow("cycles", fmt.Sprintf("%d", st.Core.Cycles))
+	t.AddRow("l1_accesses", fmt.Sprintf("%d", st.L1.Accesses))
+	t.AddRow("l1_hit_rate", fmt.Sprintf("%.4f", st.L1C.HitRate()))
+	t.AddRow("fast_fraction", fmt.Sprintf("%.4f", st.L1.FastFraction()))
+	t.AddRow("extra_access_rate", fmt.Sprintf("%.4f", st.L1.ExtraAccessRate()))
+	t.AddRow("energy_j", fmt.Sprintf("%.4g", st.Energy.Total()))
+	return t
 }

@@ -1,0 +1,31 @@
+package store_test
+
+import (
+	"bytes"
+	"testing"
+
+	"sipt/internal/store"
+)
+
+// FuzzCanonicalRoundTrip drives SplitCanonical over arbitrary bytes and
+// pins the bijection KeyOf's injectivity rests on: every accepted
+// encoding re-encodes to the identical bytes, and every rejection is an
+// error, never a panic.
+func FuzzCanonicalRoundTrip(f *testing.F) {
+	f.Add(store.Canonical(nil))
+	f.Add(store.Canonical([]string{""}))
+	f.Add(store.Canonical([]string{"result", "v1", "libquantum", "{32 2}"}))
+	f.Add(store.Canonical([]string{"\x00", "a|b", string(make([]byte, 64))}))
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0})                         // count 1, no part
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}) // absurd count
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parts, err := store.SplitCanonical(data)
+		if err != nil {
+			return
+		}
+		if enc := store.Canonical(parts); !bytes.Equal(enc, data) {
+			t.Fatalf("accepted encoding not canonical: %x re-encodes to %x", data, enc)
+		}
+	})
+}

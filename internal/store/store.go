@@ -1,0 +1,492 @@
+// Package store is a content-addressed on-disk blob store: the
+// persistence tier under the experiment memo cache and the replay
+// trace pool. Blobs are keyed by SHA-256 — of their content (uploaded
+// traces) or of an injective canonical encoding of their identity
+// (simulation results keyed by trace digest + config, see Canonical) —
+// so a key's value never changes, only appears and disappears. That
+// property is what makes crash-safety simple:
+//
+//   - Writes are atomic: blob bytes go to an O_EXCL temp file in the
+//     store directory, are fsynced, then renamed over the final name
+//     (same filesystem, so rename is atomic); the directory is fsynced
+//     after. Readers see either no entry or a complete one.
+//   - A crash between temp-create and rename leaves an orphan temp
+//     file; Open sweeps them (counted in Stats.Orphans).
+//   - Every blob carries a header with magic, version, length, and
+//     CRC32C. A read that fails verification — torn write, bit rot,
+//     format skew — deletes the entry and reports ErrNotFound, so
+//     callers fall back to recompute and repair the store by re-Put.
+//
+// Capacity is a byte budget enforced by an LRU janitor: Put evicts
+// least-recently-Get entries until the store fits. Recency survives
+// restarts approximately: Open seeds the LRU order from file
+// modification times (the clock is read from the filesystem, not from
+// time.Now — package code stays deterministic per the detrand rule).
+package store
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrNotFound reports a key with no (valid) entry. Corrupt entries are
+// deleted and reported as not found: the contract is "recompute and
+// re-Put", never "serve damaged bytes".
+var ErrNotFound = errors.New("store: key not found")
+
+// ErrTooLarge reports a blob bigger than the whole byte budget: the
+// janitor would evict it immediately, so Put refuses up front and the
+// caller knows the blob is not retrievable.
+var ErrTooLarge = errors.New("store: blob exceeds the store's byte budget")
+
+// Key is a SHA-256 content address.
+type Key [sha256.Size]byte
+
+// String renders the key as lowercase hex — also the entry's file name.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// ParseKey parses the hex form produced by String.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(k) {
+		return Key{}, fmt.Errorf("store: bad key %q", s)
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
+// KeyOf hashes an identity tuple through the injective canonical
+// encoding: KeyOf("a", "bc") and KeyOf("ab", "c") differ.
+func KeyOf(parts ...string) Key { return sha256.Sum256(Canonical(parts)) }
+
+// KeyOfBytes is the content address of raw bytes (uploaded traces).
+func KeyOfBytes(b []byte) Key { return sha256.Sum256(b) }
+
+// Canonical is the injective tuple encoding under KeyOf: a count,
+// then each part length-prefixed (all uint64 little-endian). No
+// delimiter collisions, no escaping.
+func Canonical(parts []string) []byte {
+	n := 8
+	for _, p := range parts {
+		n += 8 + len(p)
+	}
+	out := make([]byte, 8, n)
+	binary.LittleEndian.PutUint64(out, uint64(len(parts)))
+	for _, p := range parts {
+		var l [8]byte
+		binary.LittleEndian.PutUint64(l[:], uint64(len(p)))
+		out = append(out, l[:]...)
+		out = append(out, p...)
+	}
+	return out
+}
+
+// SplitCanonical inverts Canonical; Canonical(SplitCanonical(b)) == b
+// for every accepted b (the fuzzed round-trip property).
+func SplitCanonical(b []byte) ([]string, error) {
+	if len(b) < 8 {
+		return nil, errors.New("store: canonical encoding shorter than its count")
+	}
+	count := binary.LittleEndian.Uint64(b)
+	b = b[8:]
+	if count > uint64(len(b))/8 {
+		return nil, fmt.Errorf("store: canonical count %d exceeds payload", count)
+	}
+	parts := make([]string, 0, count)
+	for i := uint64(0); i < count; i++ {
+		if len(b) < 8 {
+			return nil, errors.New("store: truncated canonical length")
+		}
+		l := binary.LittleEndian.Uint64(b)
+		b = b[8:]
+		if l > uint64(len(b)) {
+			return nil, fmt.Errorf("store: canonical part length %d exceeds payload", l)
+		}
+		parts = append(parts, string(b[:l]))
+		b = b[l:]
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("store: %d trailing canonical bytes", len(b))
+	}
+	return parts, nil
+}
+
+// Blob header: magic, version, payload length, CRC32C of the payload.
+// The length check catches truncation cheaply; the CRC catches
+// everything else.
+const (
+	blobMagic      = "SCAS"
+	blobVersion    = 1
+	blobHeaderSize = 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// DefaultBudgetBytes bounds a store opened with a non-positive budget.
+const DefaultBudgetBytes = 512 << 20
+
+// tmpPrefix marks in-flight writes; Open deletes leftovers.
+const tmpPrefix = ".tmp-"
+
+// Stats is a point-in-time snapshot of store counters.
+type Stats struct {
+	Hits      uint64 // Gets served from a verified entry
+	Misses    uint64 // Gets with no entry
+	Puts      uint64 // blobs written (deduplicated re-Puts excluded)
+	Evictions uint64 // entries removed by the byte-budget janitor
+	Corrupt   uint64 // entries deleted after failing verification
+	Orphans   uint64 // interrupted-write temp files swept at Open
+	Entries   int    // resident entries
+	Bytes     int64  // resident payload+header bytes (file sizes)
+}
+
+// entry is one resident blob's index record.
+type entry struct {
+	key  Key
+	size int64
+}
+
+// Store is the on-disk blob store. All methods are safe for concurrent
+// use. The index (existence, recency, sizes) lives in memory; the
+// bytes live in one flat directory of hex-named files.
+type Store struct {
+	dir    string
+	budget int64
+
+	mu    sync.Mutex
+	items map[Key]*list.Element
+	order *list.List // front = most recently used
+	bytes int64
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	puts      atomic.Uint64
+	evictions atomic.Uint64
+	corrupt   atomic.Uint64
+	orphans   atomic.Uint64
+}
+
+// Open creates (if needed) and indexes the store rooted at dir:
+// sweeping orphaned temp files, adopting valid-looking entries in
+// file-modification-time order (oldest = least recently used), and
+// evicting down to the budget (non-positive = DefaultBudgetBytes).
+// Entry payloads are not verified here — Get verifies lazily, so Open
+// stays O(entries) in stat calls, not reads.
+func Open(dir string, budgetBytes int64) (*Store, error) {
+	if budgetBytes <= 0 {
+		budgetBytes = DefaultBudgetBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:    dir,
+		budget: budgetBytes,
+		items:  make(map[Key]*list.Element),
+		order:  list.New(),
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	type scanned struct {
+		key  Key
+		size int64
+		mod  int64
+		name string
+	}
+	var found []scanned
+	for _, de := range ents {
+		name := de.Name()
+		if strings.HasPrefix(name, tmpPrefix) {
+			// A crash between temp-create and rename left this behind;
+			// its key was never published, so it is garbage by definition.
+			if err := os.Remove(filepath.Join(dir, name)); err == nil {
+				s.orphans.Add(1)
+			}
+			continue
+		}
+		key, err := ParseKey(name)
+		if err != nil || de.IsDir() {
+			continue // not ours; leave foreign files alone
+		}
+		fi, err := de.Info()
+		if err != nil {
+			continue
+		}
+		found = append(found, scanned{key: key, size: fi.Size(), mod: fi.ModTime().UnixNano(), name: name})
+	}
+	// Oldest first so the LRU list ends with the newest at the front;
+	// name breaks mtime ties deterministically.
+	sort.Slice(found, func(i, j int) bool {
+		if found[i].mod != found[j].mod {
+			return found[i].mod < found[j].mod
+		}
+		return found[i].name < found[j].name
+	})
+	for _, f := range found {
+		el := s.order.PushFront(&entry{key: f.key, size: f.size})
+		s.items[f.key] = el
+		s.bytes += f.size
+	}
+	s.mu.Lock()
+	s.evictOverBudgetLocked()
+	s.mu.Unlock()
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path returns key's final file name.
+func (s *Store) path(key Key) string { return filepath.Join(s.dir, key.String()) }
+
+// Get returns the blob for key. Entries that fail verification are
+// deleted and reported as ErrNotFound, so the caller's recompute path
+// doubles as the repair path.
+func (s *Store) Get(key Key) ([]byte, error) {
+	s.mu.Lock()
+	el, ok := s.items[key]
+	if !ok {
+		s.mu.Unlock()
+		s.misses.Add(1)
+		return nil, ErrNotFound
+	}
+	s.order.MoveToFront(el)
+	s.mu.Unlock()
+
+	// Read outside the lock: the file may vanish under a racing
+	// eviction, which verifies as a miss — correct either way.
+	raw, err := os.ReadFile(s.path(key))
+	if err == nil {
+		if payload, ok := verifyBlob(raw); ok {
+			s.hits.Add(1)
+			return payload, nil
+		}
+	}
+	// Torn, rotted, or missing: drop the entry so the store converges.
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		s.removeLocked(el)
+	}
+	s.mu.Unlock()
+	os.Remove(s.path(key))
+	s.corrupt.Add(1)
+	s.misses.Add(1)
+	return nil, ErrNotFound
+}
+
+// Contains reports whether key has a resident entry, refreshing its
+// recency, without reading or verifying the blob.
+func (s *Store) Contains(key Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if ok {
+		s.order.MoveToFront(el)
+	}
+	return ok
+}
+
+// Has is Contains without the recency refresh: a pure observation, for
+// listings that must not distort eviction order.
+func (s *Store) Has(key Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.items[key]
+	return ok
+}
+
+// KeysLRU returns resident keys in eviction order, least recently used
+// first. A caller that Gets each key in this order re-forms the exact
+// same recency ranking (every read refreshes to front), so a startup
+// scan over all blobs — e.g. siptd rebuilding its trace listing — does
+// not disturb the LRU the previous process left behind.
+func (s *Store) KeysLRU() []Key {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]Key, 0, s.order.Len())
+	for el := s.order.Back(); el != nil; el = el.Prev() {
+		keys = append(keys, el.Value.(*entry).key)
+	}
+	return keys
+}
+
+// Put writes the blob for key atomically and enforces the byte budget.
+// Re-putting a resident key refreshes recency and skips the write:
+// content-addressed entries never change value. Blobs beyond the whole
+// budget fail with ErrTooLarge.
+func (s *Store) Put(key Key, data []byte) error {
+	size := int64(blobHeaderSize + len(data))
+	if size > s.budget {
+		return fmt.Errorf("%w: %d bytes against a budget of %d", ErrTooLarge, size, s.budget)
+	}
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		s.order.MoveToFront(el)
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+
+	blob := make([]byte, blobHeaderSize, blobHeaderSize+len(data))
+	copy(blob, blobMagic)
+	blob[4] = blobVersion
+	binary.LittleEndian.PutUint64(blob[8:], uint64(len(data)))
+	binary.LittleEndian.PutUint32(blob[16:], crc32.Checksum(data, castagnoli))
+	blob = append(blob, data...)
+
+	if err := s.writeAtomic(key, blob); err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		// A racing Put of the same key landed first; both wrote
+		// identical bytes, so just refresh.
+		s.order.MoveToFront(el)
+		s.mu.Unlock()
+		return nil
+	}
+	el := s.order.PushFront(&entry{key: key, size: int64(len(blob))})
+	s.items[key] = el
+	s.bytes += int64(len(blob))
+	s.puts.Add(1)
+	s.evictOverBudgetLocked()
+	s.mu.Unlock()
+	return nil
+}
+
+// writeAtomic lands blob under key's final name via temp+fsync+rename.
+func (s *Store) writeAtomic(key Key, blob []byte) error {
+	f, err := os.CreateTemp(s.dir, tmpPrefix+"*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp := f.Name()
+	if _, err = f.Write(blob); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, s.path(key))
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: writing %s: %w", key, err)
+	}
+	s.syncDir()
+	return nil
+}
+
+// syncDir fsyncs the store directory so a just-renamed entry survives
+// power loss. Failure is non-fatal: the entry is still readable; at
+// worst a crash forgets it, and content addressing makes that safe.
+func (s *Store) syncDir() {
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
+
+// verifyBlob checks a raw entry's header and checksum, returning the
+// payload.
+func verifyBlob(raw []byte) ([]byte, bool) {
+	if len(raw) < blobHeaderSize || string(raw[:4]) != blobMagic || raw[4] != blobVersion {
+		return nil, false
+	}
+	n := binary.LittleEndian.Uint64(raw[8:])
+	if n != uint64(len(raw)-blobHeaderSize) {
+		return nil, false
+	}
+	payload := raw[blobHeaderSize:]
+	if binary.LittleEndian.Uint32(raw[16:]) != crc32.Checksum(payload, castagnoli) {
+		return nil, false
+	}
+	return payload, true
+}
+
+// removeLocked unindexes el and adjusts the byte account. The caller
+// removes the file (outside the lock where possible).
+func (s *Store) removeLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	s.order.Remove(el)
+	delete(s.items, e.key)
+	s.bytes -= e.size
+}
+
+// evictOverBudgetLocked is the LRU janitor: drop least-recently-used
+// entries until the store fits its budget.
+func (s *Store) evictOverBudgetLocked() {
+	for s.bytes > s.budget {
+		el := s.order.Back()
+		if el == nil {
+			return
+		}
+		e := el.Value.(*entry)
+		s.removeLocked(el)
+		os.Remove(s.path(e.key))
+		s.evictions.Add(1)
+	}
+}
+
+// Delete removes key's entry if present.
+func (s *Store) Delete(key Key) {
+	s.mu.Lock()
+	el, ok := s.items[key]
+	if ok {
+		s.removeLocked(el)
+	}
+	s.mu.Unlock()
+	if ok {
+		os.Remove(s.path(key))
+	}
+}
+
+// Keys returns the resident keys in sorted (hex) order — a stable
+// listing for APIs regardless of recency churn.
+func (s *Store) Keys() []Key {
+	s.mu.Lock()
+	keys := make([]Key, 0, len(s.items))
+	for el := s.order.Front(); el != nil; el = el.Next() {
+		keys = append(keys, el.Value.(*entry).key)
+	}
+	s.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool {
+		return string(keys[i][:]) < string(keys[j][:])
+	})
+	return keys
+}
+
+// Stats snapshots the store counters.
+func (s *Store) Stats() Stats {
+	st := Stats{
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Puts:      s.puts.Load(),
+		Evictions: s.evictions.Load(),
+		Corrupt:   s.corrupt.Load(),
+		Orphans:   s.orphans.Load(),
+	}
+	s.mu.Lock()
+	st.Entries = len(s.items)
+	st.Bytes = s.bytes
+	s.mu.Unlock()
+	return st
+}

@@ -1,0 +1,158 @@
+#!/bin/sh
+# Persistent-store smoke test: boot siptd with -store-dir, ingest a
+# tracegen-emitted trace file, run a sweep cold (simulates and persists
+# the results), then kill the daemon and restart it over the same
+# directory. The warm sweep must come back byte-identical from disk
+# without a single simulation, and the ingested trace must still be
+# listed. CI runs this via `make store-smoke`; scripts/verify.sh
+# includes it too. Needs curl and jq.
+set -eu
+cd "$(dirname "$0")/.."
+
+tmpdir=$(mktemp -d)
+daemon="$tmpdir/siptd"
+storedir="$tmpdir/store"
+outlog="$tmpdir/siptd.log"
+
+cleanup() {
+    # Belt and braces: kill a daemon that outlived the test.
+    if [ -n "${pid:-}" ] && kill -0 "$pid" 2>/dev/null; then
+        kill -KILL "$pid" 2>/dev/null || true
+    fi
+    rm -rf "$tmpdir"
+}
+trap cleanup EXIT INT TERM
+
+echo '== store-smoke: build siptd + tracegen'
+go build -o "$daemon" ./cmd/siptd
+go build -o "$tmpdir/tracegen" ./cmd/tracegen
+
+start_daemon() {
+    : >"$outlog"
+    "$daemon" -addr 127.0.0.1:0 -records 8000 -store-dir "$storedir" >"$outlog" &
+    pid=$!
+    addr=''
+    i=0
+    while [ $i -lt 100 ]; do
+        addr=$(sed -n 's|^siptd: listening on http://||p' "$outlog" | head -n 1)
+        [ -n "$addr" ] && break
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo 'store-smoke: daemon died before listening' >&2
+            cat "$outlog" >&2
+            exit 1
+        fi
+        sleep 0.1
+        i=$((i + 1))
+    done
+    if [ -z "$addr" ]; then
+        echo 'store-smoke: no listen line within 10s' >&2
+        cat "$outlog" >&2
+        exit 1
+    fi
+}
+
+stop_daemon() {
+    kill -TERM "$pid"
+    if ! wait "$pid"; then
+        echo 'store-smoke: daemon exited non-zero on SIGTERM' >&2
+        cat "$outlog" >&2
+        exit 1
+    fi
+    grep -q 'siptd: drained, exiting' "$outlog" || {
+        echo 'store-smoke: no drain completion line in log' >&2
+        cat "$outlog" >&2
+        exit 1
+    }
+}
+
+# sweep submits the reference sweep, polls the job to completion, and
+# prints the job view with the (timing-dependent) elapsed_ms stripped,
+# so cold and warm responses are diffable byte for byte.
+sweep() {
+    id=$(curl -fsS -X POST "http://$addr/v1/sweep" \
+        -d '{"experiment":"fig6","apps":["libquantum"],"records":8000}' | jq -r .id)
+    i=0
+    while [ $i -lt 600 ]; do
+        view=$(curl -fsS "http://$addr/v1/jobs/$id")
+        case $(printf '%s' "$view" | jq -r .status) in
+        done)
+            printf '%s' "$view" | jq 'del(.elapsed_ms)'
+            return 0
+            ;;
+        failed | canceled)
+            echo "store-smoke: sweep failed: $view" >&2
+            exit 1
+            ;;
+        esac
+        sleep 0.1
+        i=$((i + 1))
+    done
+    echo 'store-smoke: sweep did not finish within 60s' >&2
+    exit 1
+}
+
+# metric prints one counter/gauge value from the Prometheus text dump.
+metric() {
+    curl -fsS "http://$addr/metrics" | awk -v n="$1" '$1 == n { print $2 }'
+}
+
+echo '== store-smoke: start siptd with a persistent store'
+start_daemon
+echo "== store-smoke: daemon up at $addr (store: $storedir)"
+
+echo '== store-smoke: ingest a trace file (201 new, 200 duplicate)'
+"$tmpdir/tracegen" -app libquantum -records 4000 -seed 7 -o "$tmpdir/lq.sipt"
+code=$(curl -sS -o "$tmpdir/upload.json" -w '%{http_code}' \
+    --data-binary @"$tmpdir/lq.sipt" "http://$addr/v1/traces")
+if [ "$code" != 201 ]; then
+    echo "store-smoke: first upload returned $code, want 201" >&2
+    cat "$tmpdir/upload.json" >&2
+    exit 1
+fi
+code=$(curl -sS -o /dev/null -w '%{http_code}' \
+    --data-binary @"$tmpdir/lq.sipt" "http://$addr/v1/traces")
+if [ "$code" != 200 ]; then
+    echo "store-smoke: duplicate upload returned $code, want 200" >&2
+    exit 1
+fi
+digest=$(jq -r .digest "$tmpdir/upload.json")
+
+echo '== store-smoke: cold sweep (simulates, persists results)'
+sweep >"$tmpdir/cold.json"
+puts=$(metric store_puts_total)
+if [ "${puts:-0}" -le 0 ]; then
+    echo "store-smoke: store_puts_total=${puts:-?} after cold sweep, want >0" >&2
+    exit 1
+fi
+
+echo '== store-smoke: SIGTERM, then restart over the same store'
+stop_daemon
+start_daemon
+echo "== store-smoke: daemon back up at $addr"
+
+echo '== store-smoke: warm sweep must be served from disk'
+sweep >"$tmpdir/warm.json"
+if ! diff -u "$tmpdir/cold.json" "$tmpdir/warm.json"; then
+    echo 'store-smoke: warm response differs from cold response' >&2
+    exit 1
+fi
+sims=$(metric serve_simulations_total)
+hits=$(metric store_hits_total)
+if [ "${sims:-1}" != 0 ]; then
+    echo "store-smoke: serve_simulations_total=${sims:-?} after warm sweep, want 0" >&2
+    exit 1
+fi
+if [ "${hits:-0}" -le 0 ]; then
+    echo "store-smoke: store_hits_total=${hits:-?} after warm sweep, want >0" >&2
+    exit 1
+fi
+
+echo '== store-smoke: ingested trace survived the restart'
+curl -fsS "http://$addr/v1/traces" |
+    jq -e --arg d "$digest" '.traces | map(.digest) | index($d) != null' >/dev/null || {
+    echo "store-smoke: trace $digest missing from listing after restart" >&2
+    exit 1
+}
+
+stop_daemon
+echo 'store-smoke: OK'

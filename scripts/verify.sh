@@ -33,6 +33,8 @@ echo '== serve smoke (siptd end to end)'
 scripts/serve_smoke.sh
 echo '== fabric smoke (coordinator vs single node)'
 scripts/fabric_smoke.sh
+echo '== store smoke (persistence across restart)'
+scripts/store_smoke.sh
 if command -v govulncheck >/dev/null 2>&1; then
     echo '== govulncheck ./...'
     govulncheck ./...
