@@ -3,15 +3,17 @@
 //
 // Usage:
 //
-//	benchcmp [-threshold pct] old.json new.json
+//	benchcmp [-threshold pct] [-alloc-threshold pct] old.json new.json
 //
 // For every experiment present in both files it prints a delta table —
 // old and new records/sec with the relative change, and old and new
 // allocs/record with the relative change — and exits non-zero if any
-// experiment's records/sec dropped by more than the threshold (default
-// 10%). Allocation-count regressions beyond the threshold are also
-// fatal: allocs/record is deterministic, so unlike wall time it cannot
-// be excused as machine noise.
+// experiment's records/sec dropped by more than -threshold (default
+// 10%). Allocation-count regressions beyond -alloc-threshold (default
+// 10%) are also fatal, and the gate is deliberately separate:
+// allocs/record is deterministic, so unlike wall time it cannot be
+// excused as machine noise, and widening -threshold to ride out a noisy
+// machine must not quietly widen the alloc gate with it.
 package main
 
 import (
@@ -77,16 +79,18 @@ func gateable(old float64) bool {
 }
 
 // compare prints the delta table for every experiment in both files
-// and reports whether any regression beyond threshold percent (or a
-// missing experiment) was found, plus how many experiments were
-// compared. Split from main so the gate logic is testable.
-func compare(old, cur benchFile, threshold float64, stdout, stderr io.Writer) (failed bool, compared int) {
+// and reports whether any throughput regression beyond threshold
+// percent, alloc regression beyond allocThreshold percent, or missing
+// experiment was found, plus how many experiments were compared. Split
+// from main so the gate logic is testable.
+func compare(old, cur benchFile, threshold, allocThreshold float64, stdout, stderr io.Writer) (failed bool, compared int) {
 	newByID := make(map[string]benchResult, len(cur.Experiments))
 	for _, r := range cur.Experiments {
 		newByID[r.ID] = r
 	}
 
 	limit := 1 - threshold/100
+	allocLimit := 1 - allocThreshold/100
 	fmt.Fprintf(stdout, "%-8s %14s %14s %9s %10s %10s %9s\n",
 		"exp", "old rec/s", "new rec/s", "Δrec/s", "old allocs", "new allocs", "Δallocs")
 	for _, o := range old.Experiments {
@@ -105,7 +109,7 @@ func compare(old, cur benchFile, threshold float64, stdout, stderr io.Writer) (f
 		// Relative alloc growth only matters once the absolute rate is
 		// non-trivial: below one allocation per ~10 records the counter
 		// is dominated by per-run setup, not per-record behaviour.
-		if gateable(o.AllocsPerRecord) && n.AllocsPerRecord > o.AllocsPerRecord/limit &&
+		if gateable(o.AllocsPerRecord) && n.AllocsPerRecord > o.AllocsPerRecord/allocLimit &&
 			n.AllocsPerRecord-o.AllocsPerRecord > 0.1 {
 			verdict += "  ALLOC REGRESSION"
 			failed = true
@@ -119,10 +123,11 @@ func compare(old, cur benchFile, threshold float64, stdout, stderr io.Writer) (f
 }
 
 func main() {
-	threshold := flag.Float64("threshold", 10, "regression threshold in percent")
+	threshold := flag.Float64("threshold", 10, "throughput regression threshold in percent")
+	allocThreshold := flag.Float64("alloc-threshold", 10, "allocs/record regression threshold in percent")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchcmp [-threshold pct] old.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-threshold pct] [-alloc-threshold pct] old.json new.json")
 		os.Exit(2)
 	}
 	old, err := load(flag.Arg(0))
@@ -135,13 +140,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchcmp:", err)
 		os.Exit(2)
 	}
-	failed, compared := compare(old, cur, *threshold, os.Stdout, os.Stderr)
+	failed, compared := compare(old, cur, *threshold, *allocThreshold, os.Stdout, os.Stderr)
 	if compared == 0 {
 		fmt.Fprintln(os.Stderr, "benchcmp: no experiments in common")
 		os.Exit(2)
 	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchcmp: FAIL (>%g%% regression)\n", *threshold)
+		fmt.Fprintf(os.Stderr, "benchcmp: FAIL (>%g%% throughput / >%g%% alloc regression)\n", *threshold, *allocThreshold)
 		os.Exit(1)
 	}
 	fmt.Println("benchcmp: PASS")

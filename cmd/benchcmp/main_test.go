@@ -42,26 +42,36 @@ func TestCompareGate(t *testing.T) {
 		}}
 	}
 	cases := []struct {
-		name       string
-		old, cur   benchFile
-		wantFail   bool
-		wantInBody string
+		name           string
+		old, cur       benchFile
+		threshold      float64
+		allocThreshold float64
+		wantFail       bool
+		wantInBody     string
 	}{
-		{"no change", file(1000, 1), file(1000, 1), false, "+0.0%"},
-		{"throughput regression", file(1000, 1), file(500, 1), true, "THROUGHPUT REGRESSION"},
-		{"alloc regression", file(1000, 1), file(1000, 2), true, "ALLOC REGRESSION"},
-		{"within threshold", file(1000, 1), file(950, 1), false, ""},
+		{"no change", file(1000, 1), file(1000, 1), 10, 10, false, "+0.0%"},
+		{"throughput regression", file(1000, 1), file(500, 1), 10, 10, true, "THROUGHPUT REGRESSION"},
+		{"alloc regression", file(1000, 1), file(1000, 2), 10, 10, true, "ALLOC REGRESSION"},
+		{"within threshold", file(1000, 1), file(950, 1), 10, 10, false, ""},
+		// The decoupling bug: widening -threshold to ride out wall-clock
+		// noise used to widen the alloc gate with it. A 25% alloc growth
+		// must still fail under -threshold 50 as long as -alloc-threshold
+		// stays at 10.
+		{"wide threshold keeps alloc gate", file(1000, 1), file(990, 1.25), 50, 10, true, "ALLOC REGRESSION"},
+		{"wide threshold excuses throughput only", file(1000, 1), file(600, 1), 50, 10, false, ""},
+		{"alloc threshold widened deliberately", file(1000, 1), file(1000, 1.25), 10, 30, false, ""},
+		{"tight alloc threshold", file(1000, 2), file(1000, 2.2), 10, 5, true, "ALLOC REGRESSION"},
 		// The satellite bug: a zero-baseline metric (AllocsPerRecord 0)
 		// must print n/a and leave the gate closed even though the new
 		// value is "infinitely" larger.
-		{"zero alloc baseline", file(1000, 0), file(1000, 3), false, "n/a"},
-		{"zero throughput baseline", file(0, 1), file(800, 1), false, "n/a"},
-		{"nan baseline", file(math.NaN(), 1), file(800, 1), false, "n/a"},
-		{"inf baseline", file(math.Inf(1), 1), file(800, 1), false, "n/a"},
+		{"zero alloc baseline", file(1000, 0), file(1000, 3), 10, 10, false, "n/a"},
+		{"zero throughput baseline", file(0, 1), file(800, 1), 10, 10, false, "n/a"},
+		{"nan baseline", file(math.NaN(), 1), file(800, 1), 10, 10, false, "n/a"},
+		{"inf baseline", file(math.Inf(1), 1), file(800, 1), 10, 10, false, "n/a"},
 	}
 	for _, c := range cases {
 		var out, errOut strings.Builder
-		failed, compared := compare(c.old, c.cur, 10, &out, &errOut)
+		failed, compared := compare(c.old, c.cur, c.threshold, c.allocThreshold, &out, &errOut)
 		if failed != c.wantFail {
 			t.Errorf("%s: failed = %v, want %v (stdout:\n%s)", c.name, failed, c.wantFail, out.String())
 		}
@@ -90,7 +100,7 @@ func TestCompareMissingExperiment(t *testing.T) {
 		{ID: "fig6", RecordsPerSec: 1000, AllocsPerRecord: 1},
 	}}
 	var out, errOut strings.Builder
-	failed, compared := compare(old, cur, 10, &out, &errOut)
+	failed, compared := compare(old, cur, 10, 10, &out, &errOut)
 	if !failed {
 		t.Error("missing experiment did not fail the comparison")
 	}

@@ -18,6 +18,7 @@
 //	-list        list experiment ids and exit
 //	-bench       run the fixed benchmark subset, write BENCH_<seed>.json
 //	-benchout P  override the benchmark output path
+//	-count N     bench repetitions per experiment (default 3, best kept)
 //	-cpuprofile P  write a CPU profile to P (view with go tool pprof)
 //	-memprofile P  write an end-of-run heap profile to P
 //
@@ -101,6 +102,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	bench := fs.Bool("bench", false, "run the fixed benchmark subset and write BENCH_<seed>.json")
 	benchOut := fs.String("benchout", "", "benchmark output path (default BENCH_<seed>.json)")
+	count := fs.Int("count", defaultBenchReps, "bench repetitions per experiment; the fastest is recorded")
 	timeout := fs.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := fs.String("memprofile", "", "write an end-of-run heap profile to this path")
@@ -129,7 +131,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if path == "" {
 			path = fmt.Sprintf("BENCH_%d.json", *seed)
 		}
-		if err := runBench(*seed, path); err != nil {
+		if err := runBench(*seed, path, *count); err != nil {
 			fmt.Fprintf(stderr, "siptbench: bench: %v\n", err)
 			return 1
 		}

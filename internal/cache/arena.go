@@ -1,0 +1,74 @@
+package cache
+
+import "sipt/internal/memaddr"
+
+// Arena carves the backing arrays of many caches out of contiguous
+// slabs, one per field kind (tags, LRU stamps, dirty bits, MRU way
+// indices). The fused SoA sweep kernel builds one arena per sweep so
+// every lane's tag+stamp arrays and way-predictor state land adjacent
+// in memory, and the whole sweep costs four allocations instead of
+// four per cache.
+//
+// An arena is single-use: construct it with the exact configurations
+// the sweep will carve (in carve order), then Init each cache once.
+type Arena struct {
+	tags   []uint64
+	stamps []uint32
+	dirty  []bool
+	mru    []int16
+}
+
+// NewArena allocates slabs sized for exactly the given configurations.
+// It panics on an invalid configuration, like New.
+func NewArena(cfgs ...Config) *Arena {
+	var nLines, nSets uint64
+	for _, cfg := range cfgs {
+		if err := cfg.Validate(); err != nil {
+			panic(err)
+		}
+		nSets += cfg.Sets()
+		nLines += cfg.Sets() * uint64(cfg.Ways)
+	}
+	return &Arena{
+		tags:   make([]uint64, nLines),
+		stamps: make([]uint32, nLines),
+		dirty:  make([]bool, nLines),
+		mru:    make([]int16, nSets),
+	}
+}
+
+// Init builds a cache in place over the next carve of the arena's
+// slabs. The result is indistinguishable from *New(cfg); it panics when
+// the arena was sized for different configurations.
+func (a *Arena) Init(c *Cache, cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nSets := cfg.Sets()
+	nLines := nSets * uint64(cfg.Ways)
+	if uint64(len(a.tags)) < nLines || uint64(len(a.mru)) < nSets {
+		panic("cache: arena exhausted (Init calls must match NewArena's configs)")
+	}
+	tags := a.tags[:nLines:nLines]
+	stamps := a.stamps[:nLines:nLines]
+	dirty := a.dirty[:nLines:nLines]
+	mru := a.mru[:nSets:nSets]
+	a.tags = a.tags[nLines:]
+	a.stamps = a.stamps[nLines:]
+	a.dirty = a.dirty[nLines:]
+	a.mru = a.mru[nSets:]
+	for i := range mru {
+		mru[i] = -1
+	}
+	*c = Cache{
+		cfg:      cfg,
+		tags:     tags,
+		stamps:   stamps,
+		dirty:    dirty,
+		ways:     uint64(cfg.Ways),
+		mru:      mru,
+		setMask:  nSets - 1,
+		lineBits: memaddr.Log2(cfg.LineBytes),
+	}
+	return c
+}

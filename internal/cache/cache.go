@@ -58,17 +58,21 @@ func (c Config) SpecBits() uint {
 	return memaddr.Log2(wayBytes) - memaddr.PageShift
 }
 
-// line is one cache line's metadata, packed to 16 bytes: halving the
-// struct halves the zeroing cost of a fresh multi-MiB LLC backing array
-// (paid once per simulation) and doubles how many ways fit in a
-// hardware cache line during the tag scan. When the 32-bit LRU clock
-// wraps, tick() compacts the stamps in place instead of failing.
-type line struct {
-	tag   uint64
-	stamp uint32 // LRU: larger = more recently used
-	valid bool
-	dirty bool
-}
+// Line metadata is stored structure-of-arrays: one slab per field
+// (tags, stamps, dirty bits) instead of an array of 16-byte line
+// structs. The way scan — the hottest loop in the simulator — then
+// touches only the tag slab: 8 bytes per way, so an 8-way set's scan
+// reads one hardware cache line instead of two, and a 16-way LLC set
+// reads two instead of four. Stamps are read only on fills (LRU
+// victim choice) and written on non-memoised hits; dirty bits only on
+// writes and evictions.
+//
+// The valid flag is folded into the tag's high bit (tagValid): a
+// stored tag is realTag|tagValid, an empty slot is 0. Lookups compare
+// against key|tagValid, so invalid slots can never match (real tags
+// are PA>>lineBits < 2^58) and the scan needs no separate valid load.
+// Invalid slots keep stamp 0, preserving the AoS victim-scan order.
+const tagValid = 1 << 63
 
 // Stats accumulates per-level access counters.
 type Stats struct {
@@ -90,11 +94,15 @@ func (s Stats) HitRate() float64 {
 // Cache is one set-associative write-back, write-allocate cache.
 type Cache struct {
 	cfg Config
-	// lines is the flat backing array: set s occupies
-	// lines[s*ways : (s+1)*ways]. One slice instead of a slice of
-	// slices saves the per-access dependent load of a set header.
-	lines []line
-	ways  uint64
+	// tags/stamps/dirty are the flat per-field backing arrays: set s
+	// occupies index range [s*ways, (s+1)*ways) in each. Flat slabs
+	// instead of a slice of slices save the per-access dependent load
+	// of a set header; the per-field split keeps the way scan on the
+	// tag slab only (see the layout comment above tagValid).
+	tags   []uint64 // realTag|tagValid when occupied, 0 when free
+	stamps []uint32 // LRU: larger = more recently used; 0 when free
+	dirty  []bool
+	ways   uint64
 	// mru tracks each set's most-recently-used way incrementally (-1
 	// for an empty set), so the per-access MRU way-predictor probe is
 	// O(1) instead of a scan. The invariant: mru[s] is the valid way of
@@ -124,25 +132,21 @@ func New(cfg Config) *Cache {
 		panic(err)
 	}
 	nSets := cfg.Sets()
+	nLines := nSets * uint64(cfg.Ways)
 	mru := make([]int16, nSets)
 	for i := range mru {
 		mru[i] = -1
 	}
 	return &Cache{
 		cfg:      cfg,
-		lines:    make([]line, nSets*uint64(cfg.Ways)),
+		tags:     make([]uint64, nLines),
+		stamps:   make([]uint32, nLines),
+		dirty:    make([]bool, nLines),
 		ways:     uint64(cfg.Ways),
 		mru:      mru,
 		setMask:  nSets - 1,
 		lineBits: memaddr.Log2(cfg.LineBytes),
 	}
-}
-
-// set returns the ways of set si.
-//
-//sipt:hotpath
-func (c *Cache) set(si uint64) []line {
-	return c.lines[si*c.ways : si*c.ways+c.ways]
 }
 
 // tick advances the LRU clock. On 32-bit wraparound (4 billion touches
@@ -167,26 +171,27 @@ func (c *Cache) tick() uint32 {
 func (c *Cache) compactStamps() uint32 {
 	var maxStamp uint32
 	old := make([]uint32, c.ways)
+	ways := int(c.ways)
 	for si := uint64(0); si <= c.setMask; si++ {
-		set := c.set(si)
-		for i := range set {
-			old[i] = set[i].stamp
-		}
-		for i := range set {
-			if !set[i].valid {
-				set[i].stamp = 0
+		base := si * c.ways
+		tags := c.tags[base : base+c.ways]
+		stamps := c.stamps[base : base+c.ways]
+		copy(old, stamps)
+		for i := 0; i < ways; i++ {
+			if tags[i]&tagValid == 0 {
+				stamps[i] = 0
 				continue
 			}
 			rank := uint32(1)
-			for j := range set {
-				if j == i || !set[j].valid {
+			for j := 0; j < ways; j++ {
+				if j == i || tags[j]&tagValid == 0 {
 					continue
 				}
 				if old[j] < old[i] || (old[j] == old[i] && j < i) {
 					rank++
 				}
 			}
-			set[i].stamp = rank
+			stamps[i] = rank
 			if rank > maxStamp {
 				maxStamp = rank
 			}
@@ -197,6 +202,11 @@ func (c *Cache) compactStamps() uint32 {
 
 // Config returns the cache's configuration.
 func (c *Cache) Config() Config { return c.cfg }
+
+// Latency returns the hit latency in cycles. Hot paths use this
+// instead of Config().LatencyCycles to avoid copying the whole Config
+// (its Name header included) per access.
+func (c *Cache) Latency() int { return c.cfg.LatencyCycles }
 
 // Stats returns a copy of the counters.
 func (c *Cache) Stats() Stats { return c.stats }
@@ -244,20 +254,22 @@ func (c *Cache) Access(pa memaddr.PAddr, write bool) AccessResult {
 		// Repeated hit of the most recent line: it is the MRU way of its
 		// set by construction, so the predictor would have fetched it.
 		if write {
-			c.lines[si*c.ways+uint64(c.lastWay)].dirty = true
+			c.dirty[si*c.ways+uint64(c.lastWay)] = true
 		}
 		c.stats.Hits++
 		return AccessResult{Hit: true, Way: int(c.lastWay), MRUHit: true}
 	}
 	now := c.tick()
-	set := c.set(si)
+	base := si * c.ways
+	tags := c.tags[base : base+c.ways]
+	key := tag | tagValid
 	mru := int(c.mru[si])
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			set[i].stamp = now
+	for i := range tags {
+		if tags[i] == key {
+			c.stamps[base+uint64(i)] = now
 			c.mru[si] = int16(i)
 			if write {
-				set[i].dirty = true
+				c.dirty[base+uint64(i)] = true
 			}
 			c.stats.Hits++
 			c.lastTag, c.lastWay, c.lastHit = tag, int16(i), true
@@ -271,10 +283,10 @@ func (c *Cache) Access(pa memaddr.PAddr, write bool) AccessResult {
 
 // Probe checks for presence without touching LRU, stats, or dirty bits.
 func (c *Cache) Probe(pa memaddr.PAddr) bool {
-	set := c.set(c.SetOf(pa))
-	tag := c.tagOf(pa)
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+	base := c.SetOf(pa) * c.ways
+	key := c.tagOf(pa) | tagValid
+	for _, t := range c.tags[base : base+c.ways] {
+		if t == key {
 			return true
 		}
 	}
@@ -291,28 +303,33 @@ func (c *Cache) Fill(pa memaddr.PAddr, dirty bool) (Victim, bool) {
 	c.stats.Fills++
 	c.lastHit = false
 	si := c.SetOf(pa)
-	set := c.set(si)
+	base := si * c.ways
+	tags := c.tags[base : base+c.ways]
+	stamps := c.stamps[base : base+c.ways]
 	tag := c.tagOf(pa)
+	key := tag | tagValid
 	// One pass decides everything: a present line is refreshed (refill
 	// can happen when an upper level re-fetches after a writeback race);
 	// otherwise the victim is the first invalid way, else the LRU way.
+	// Invalid ways keep stamp 0, so the LRU comparison sees the same
+	// values the AoS zero-valued line struct had.
 	vi, free := 0, -1
-	for i := range set {
-		if !set[i].valid {
+	for i := range tags {
+		if tags[i]&tagValid == 0 {
 			if free < 0 {
 				free = i
 			}
 			continue
 		}
-		if set[i].tag == tag {
-			set[i].stamp = now
+		if tags[i] == key {
+			stamps[i] = now
 			c.mru[si] = int16(i)
 			if dirty {
-				set[i].dirty = true
+				c.dirty[base+uint64(i)] = true
 			}
 			return Victim{}, false
 		}
-		if set[i].stamp < set[vi].stamp {
+		if stamps[i] < stamps[vi] {
 			vi = i
 		}
 	}
@@ -320,14 +337,16 @@ func (c *Cache) Fill(pa memaddr.PAddr, dirty bool) (Victim, bool) {
 		vi = free
 	}
 	var victim Victim
-	evicted := set[vi].valid
+	evicted := tags[vi]&tagValid != 0
 	if evicted {
-		victim = Victim{PA: memaddr.PAddr(set[vi].tag << c.lineBits), Dirty: set[vi].dirty}
+		victim = Victim{PA: memaddr.PAddr((tags[vi] &^ tagValid) << c.lineBits), Dirty: c.dirty[base+uint64(vi)]}
 		if victim.Dirty {
 			c.stats.Writebacks++
 		}
 	}
-	set[vi] = line{tag: tag, stamp: now, valid: true, dirty: dirty}
+	tags[vi] = key
+	stamps[vi] = now
+	c.dirty[base+uint64(vi)] = dirty
 	c.mru[si] = int16(vi)
 	return victim, evicted
 }
@@ -337,15 +356,17 @@ func (c *Cache) Fill(pa memaddr.PAddr, dirty bool) (Victim, bool) {
 func (c *Cache) Invalidate(pa memaddr.PAddr) (dirty, present bool) {
 	c.lastHit = false
 	si := c.SetOf(pa)
-	set := c.set(si)
-	tag := c.tagOf(pa)
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			d := set[i].dirty
-			set[i] = line{}
-			if int(c.mru[si]) == i {
+	base := si * c.ways
+	key := c.tagOf(pa) | tagValid
+	for i := uint64(0); i < c.ways; i++ {
+		if c.tags[base+i] == key {
+			d := c.dirty[base+i]
+			c.tags[base+i] = 0
+			c.stamps[base+i] = 0
+			c.dirty[base+i] = false
+			if uint64(c.mru[si]) == i {
 				// The MRU line vanished; fall back to a scan.
-				c.mru[si] = int16(mruWay(set))
+				c.mru[si] = int16(c.mruWayOf(base))
 			}
 			return d, true
 		}
@@ -360,13 +381,15 @@ func (c *Cache) MRUWay(pa memaddr.PAddr) int {
 	return int(c.mru[c.SetOf(pa)])
 }
 
-func mruWay(set []line) int {
+// mruWayOf rescans the set starting at slab index base for its
+// highest-stamped valid way, or -1 for an empty set.
+func (c *Cache) mruWayOf(base uint64) int {
 	best := -1
 	var bestStamp uint32
-	for i := range set {
-		if set[i].valid && (best == -1 || set[i].stamp > bestStamp) {
-			best = i
-			bestStamp = set[i].stamp
+	for i := uint64(0); i < c.ways; i++ {
+		if c.tags[base+i]&tagValid != 0 && (best == -1 || c.stamps[base+i] > bestStamp) {
+			best = int(i)
+			bestStamp = c.stamps[base+i]
 		}
 	}
 	return best
@@ -375,14 +398,14 @@ func mruWay(set []line) int {
 // CheckNoDuplicates verifies no physical line appears twice (tests).
 func (c *Cache) CheckNoDuplicates() error {
 	seen := make(map[uint64]bool)
-	for i, ln := range c.lines {
-		if !ln.valid {
+	for i, t := range c.tags {
+		if t&tagValid == 0 {
 			continue
 		}
-		if seen[ln.tag] {
-			return fmt.Errorf("cache %s: tag %#x duplicated (set %d)", c.cfg.Name, ln.tag, uint64(i)/c.ways)
+		if seen[t] {
+			return fmt.Errorf("cache %s: tag %#x duplicated (set %d)", c.cfg.Name, t&^uint64(tagValid), uint64(i)/c.ways)
 		}
-		seen[ln.tag] = true
+		seen[t] = true
 	}
 	return nil
 }
@@ -390,8 +413,8 @@ func (c *Cache) CheckNoDuplicates() error {
 // LineCount returns the number of valid lines (tests).
 func (c *Cache) LineCount() int {
 	n := 0
-	for _, ln := range c.lines {
-		if ln.valid {
+	for _, t := range c.tags {
+		if t&tagValid != 0 {
 			n++
 		}
 	}

@@ -90,14 +90,16 @@ func TestCompactStampsDistinct(t *testing.T) {
 	}
 	for si := uint64(0); si <= c.setMask; si++ {
 		seen := make(map[uint32]bool)
-		for _, ln := range c.set(si) {
-			if !ln.valid {
+		base := si * c.ways
+		for i := uint64(0); i < c.ways; i++ {
+			if c.tags[base+i]&tagValid == 0 {
 				continue
 			}
-			if ln.stamp == 0 || ln.stamp > uint32(c.ways) || seen[ln.stamp] {
-				t.Fatalf("set %d: bad compacted stamp %d", si, ln.stamp)
+			stamp := c.stamps[base+i]
+			if stamp == 0 || stamp > uint32(c.ways) || seen[stamp] {
+				t.Fatalf("set %d: bad compacted stamp %d", si, stamp)
 			}
-			seen[ln.stamp] = true
+			seen[stamp] = true
 		}
 	}
 }

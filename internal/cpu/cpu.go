@@ -105,14 +105,15 @@ func (r Result) IPC() float64 {
 	return float64(r.Instructions) / float64(r.Cycles)
 }
 
-// chaseDistMax is the DepDist at or below which a load is treated as
+// ChaseDistMax is the DepDist at or below which a load is treated as
 // part of a pointer chase (its address depends on the previous load of
-// the same PC).
-const chaseDistMax = 3
+// the same PC). Exported for the fused SoA sweep kernel (internal/sim),
+// which replicates the step semantics with lane-indexed state.
+const ChaseDistMax = 3
 
-// stallRing tracks in-order consumer stalls: consumer instruction index
-// -> cycle its operand is ready. Sized above the maximum DepDist.
-const stallRingSize = 256
+// StallRingSize sizes the consumer-stall ring (consumer instruction
+// index -> cycle its operand is ready), above the maximum DepDist.
+const StallRingSize = 256
 
 // Core is a single core's timing state. One Core simulates one trace;
 // create a fresh Core per run.
@@ -134,29 +135,29 @@ type Core struct {
 
 	// chainDense/chainMap map a load PC to its last completion time (OOO
 	// pointer-chase chains). Synthetic traces use a small dense PC range
-	// starting at chainBase, served by a slice; anything else (replayed
+	// starting at ChainBase, served by a slice; anything else (replayed
 	// real traces) falls back to the map.
 	chainDense []uint64
 	chainMap   map[uint64]uint64
 	// stallReady implements the in-order stall-on-use ring.
-	stallReady [stallRingSize]uint64
+	stallReady [StallRingSize]uint64
 
 	res Result
 }
 
-// chainBase is the code region synthetic workloads place memory PCs in
-// (workload.Generator's basePC); PCs in [chainBase, chainBase+4*chainDenseSlots)
+// ChainBase is the code region synthetic workloads place memory PCs in
+// (workload.Generator's basePC); PCs in [ChainBase, ChainBase+4*ChainDenseSlots)
 // take the allocation-free dense path.
 const (
-	chainBase       = 0x400000
-	chainDenseSlots = 1 << 14
+	ChainBase       = 0x400000
+	ChainDenseSlots = 1 << 14
 )
 
 //sipt:hotpath
 func (c *Core) chainGet(pc uint64) uint64 {
-	if idx := (pc - chainBase) >> 2; idx < uint64(len(c.chainDense)) {
+	if idx := (pc - ChainBase) >> 2; idx < uint64(len(c.chainDense)) {
 		return c.chainDense[idx]
-	} else if idx < chainDenseSlots {
+	} else if idx < ChainDenseSlots {
 		return 0
 	}
 	//siptlint:allow hotalloc: cold fallback, reached only by replayed real traces with PCs outside the dense range
@@ -164,8 +165,8 @@ func (c *Core) chainGet(pc uint64) uint64 {
 }
 
 func (c *Core) chainSet(pc, completion uint64) {
-	idx := (pc - chainBase) >> 2
-	if idx < chainDenseSlots {
+	idx := (pc - ChainBase) >> 2
+	if idx < ChainDenseSlots {
 		if idx >= uint64(len(c.chainDense)) {
 			grown := make([]uint64, (idx+1)*2)
 			copy(grown, c.chainDense)
@@ -219,7 +220,7 @@ func (c *Core) dispatchOne() uint64 {
 		c.slotsUsed = 0
 	}
 	if c.stallOn {
-		slot := c.instr % stallRingSize
+		slot := c.instr % StallRingSize
 		if ready := c.stallReady[slot]; ready != 0 {
 			if ready > c.dispatchCycle {
 				c.dispatchCycle = ready
@@ -274,7 +275,7 @@ func (c *Core) gapRun(n uint16) {
 			u = 0
 		}
 		if c.stallOn {
-			slot := ins % stallRingSize
+			slot := ins % StallRingSize
 			if ready := c.stallReady[slot]; ready != 0 {
 				if ready > d {
 					d = ready
@@ -328,7 +329,7 @@ func (c *Core) step(rec *trace.Record) {
 
 	c.res.Loads++
 	issue := at
-	chase := rec.DepDist > 0 && rec.DepDist <= chaseDistMax
+	chase := rec.DepDist > 0 && rec.DepDist <= ChaseDistMax
 	if chase {
 		// Address depends on the previous load of this PC.
 		if ready := c.chainGet(rec.PC); ready > issue {
@@ -362,7 +363,7 @@ func (c *Core) step(rec *trace.Record) {
 		}
 	}
 	if apply {
-		slot := (c.instr + uint64(rec.DepDist)) % stallRingSize
+		slot := (c.instr + uint64(rec.DepDist)) % StallRingSize
 		if stallAt > c.stallReady[slot] {
 			c.stallReady[slot] = stallAt
 		}

@@ -72,6 +72,15 @@ type Options struct {
 	// Like Remote it is fixed at construction and shared by every
 	// derived view; the field in a WithOptions argument is ignored.
 	Store *store.Store
+	// ParallelMix switches quad-core mixes (Tab. III, Fig. 15) to the
+	// decoupled-lanes runner with one goroutine per core. This is a
+	// modeling change, not just a speedup: lanes stop contending for
+	// the shared LLC/DRAM/allocator (see sim.RunMixDecoupled), so mix
+	// results differ from the default coupled interleave — though they
+	// are deterministic, and bit-identical to the sequential execution
+	// of the same decoupled semantics. Off by default; the golden
+	// tables are recorded on the coupled path.
+	ParallelMix bool
 }
 
 // DefaultRecords is the harness trace length per app.
@@ -183,6 +192,24 @@ func (r *Runner) WithContext(ctx context.Context) *Runner {
 func (r *Runner) WithOptions(opts Options) *Runner {
 	r2 := *r
 	r2.opts = opts
+	return &r2
+}
+
+// WithFreshCache returns a view of r with a fresh (empty) memo cache
+// and a fresh simulation counter that still shares r's trace pool,
+// persistent store, and remote. Every Run through the view re-simulates
+// (nothing is memoised yet) while trace materialisation stays paid-once
+// in the shared pool. The benchmark harness is the motivating user: it
+// measures repeated full re-simulations without re-measuring trace
+// synthesis.
+func (r *Runner) WithFreshCache() *Runner {
+	r2 := *r
+	r2.sh = &runnerShared{
+		cache:  memo.New[sim.Stats](r.opts.CacheEntries, 0),
+		traces: r.sh.traces,
+		remote: r.sh.remote,
+		store:  r.sh.store,
+	}
 	return &r2
 }
 

@@ -12,6 +12,17 @@ import (
 	"sipt/internal/workload"
 )
 
+// runMix dispatches one quad-core mix run under the runner's options:
+// the paper-faithful coupled interleave by default, the decoupled
+// one-goroutine-per-lane runner when Options.ParallelMix is set (a
+// documented modeling change — see sim.RunMixDecoupled).
+func (r *Runner) runMix(mix workload.Mix, cfg sim.Config) (sim.MixStats, error) {
+	if r.opts.ParallelMix {
+		return sim.RunMixDecoupled(r.Context(), mix, cfg, vm.ScenarioNormal, r.opts.Seed, r.opts.records(), true)
+	}
+	return sim.RunMix(r.Context(), mix, cfg, vm.ScenarioNormal, r.opts.Seed, r.opts.records())
+}
+
 // Fig15 regenerates Fig. 15: quad-core SIPT+IDB over the Tab. III
 // mixes — sum-of-IPC for the four SIPT geometries, plus extra accesses
 // and energy for the headline 32K/2w configuration, all normalised to
@@ -44,7 +55,7 @@ func Fig15(r *Runner) ([]*report.Table, error) {
 
 			baseCfg := sim.Baseline(cpu.OOO())
 			baseCfg.Cores = 4
-			base, err := sim.RunMix(r.Context(), mix, baseCfg, vm.ScenarioNormal, r.opts.Seed, r.opts.records())
+			base, err := r.runMix(mix, baseCfg)
 			if err != nil {
 				errs[i] = err
 				return
@@ -52,7 +63,7 @@ func Fig15(r *Runner) ([]*report.Table, error) {
 			for gi, g := range geoms {
 				cfg := sim.SIPT(cpu.OOO(), g[0], g[1], core.ModeCombined)
 				cfg.Cores = 4
-				ms, err := sim.RunMix(r.Context(), mix, cfg, vm.ScenarioNormal, r.opts.Seed, r.opts.records())
+				ms, err := r.runMix(mix, cfg)
 				if err != nil {
 					errs[i] = err
 					return

@@ -57,6 +57,29 @@ func testOnly(m map[int]int) int {
 	return n
 }
 
+// MergeLanes reconstructs the merge-barrier hazard from the decoupled
+// quad-core runner: per-lane results keyed by lane id in a map and
+// folded by map iteration, so the fold order — and any order-sensitive
+// reduction riding on it — varies run to run. It is exported, hence
+// reachable simulation API.
+func MergeLanes(res map[int]uint64) uint64 {
+	var total uint64
+	for _, v := range res { // want "range over map"
+		total += v
+	}
+	return total
+}
+
+// MergeLanesFixed is the shipped merge barrier: results live in a slab
+// indexed by lane and are folded in fixed lane order.
+func MergeLanesFixed(res []uint64) uint64 {
+	var total uint64
+	for _, v := range res {
+		total += v
+	}
+	return total
+}
+
 // Sum demonstrates the acknowledgement escape hatch.
 func Sum(m map[int]int) int {
 	n := 0

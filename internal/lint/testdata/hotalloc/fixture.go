@@ -71,6 +71,46 @@ func hotDecodeBad(words []uint64, out []record) []record {
 	return out
 }
 
+// laneState mirrors one fused-sweep lane's slab view: a dense chain
+// slab indexed by a precomputed slot, plus the sparse-PC fallback map.
+type laneState struct {
+	chain    []uint32
+	chainMap map[uint64]uint32
+	acc      uint64
+}
+
+// hotLaneSweepBad reconstructs the allocation-in-lane-loop bug caught
+// while fusing the sweep kernel: the sparse-chain fallback map was
+// built and consulted inside the per-record lane loop, so every record
+// of every lane paid a map probe and the first paid the make.
+//
+//sipt:hotpath
+func hotLaneSweepBad(lanes []laneState, pcs []uint64) {
+	for li := range lanes {
+		l := &lanes[li]
+		for _, pc := range pcs {
+			if l.chainMap == nil {
+				l.chainMap = make(map[uint64]uint32, 1) // want "make"
+			}
+			l.acc += uint64(l.chainMap[pc]) // want "map access"
+		}
+	}
+}
+
+// hotLaneSweepGood is the shipped shape: chains live in the dense slab
+// indexed by a slot computed once outside the hot path, and the lane
+// loop touches nothing but slices.
+//
+//sipt:hotpath
+func hotLaneSweepGood(lanes []laneState, slots []uint32) {
+	for li := range lanes {
+		l := &lanes[li]
+		for _, s := range slots {
+			l.acc += uint64(l.chain[s])
+		}
+	}
+}
+
 // hotAck demonstrates acknowledging an intentional cold branch.
 //
 //sipt:hotpath

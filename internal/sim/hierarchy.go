@@ -37,7 +37,7 @@ func (s *sharedLLC) access(pa memaddr.PAddr, write bool, now uint64) (hit bool, 
 	}
 	s.bankFree[bank] = start + s.bankBusy
 	r := s.cache.Access(pa, write)
-	return r.Hit, int(start-now) + s.cache.Config().LatencyCycles
+	return r.Hit, int(start-now) + s.cache.Latency()
 }
 
 // PathStats breaks a core's memory time down by hierarchy level: how
@@ -163,9 +163,10 @@ func (h *Hierarchy) missPath(pa memaddr.PAddr, store bool, at uint64) int {
 	if h.l2 != nil {
 		h.acct.AddAccesses(energy.L2, 1)
 		l2r := h.l2.Access(pa, false)
-		lat += h.l2.Config().LatencyCycles
+		l2Lat := h.l2.Latency()
+		lat += l2Lat
 		h.path.L2Accesses++
-		h.path.L2Cycles += uint64(h.l2.Config().LatencyCycles)
+		h.path.L2Cycles += uint64(l2Lat)
 		if !l2r.Hit {
 			lat += h.llcFetch(pa, at+uint64(lat))
 			if v, ev := h.l2.Fill(pa, false); ev && v.Dirty {

@@ -1,0 +1,187 @@
+// Decoupled-lanes quad-core mix runner.
+//
+// The default RunMix interleaves its four cores record by record
+// through one shared LLC, DRAM and buddy allocator, which is inherently
+// sequential: the min-cycle rotation makes every step depend on all
+// four lanes' simulated clocks. This file provides the opt-in
+// alternative: lanes share *nothing* — each core gets a private
+// statically-partitioned quarter of the (4x) LLC, a private DRAM
+// channel, a private physical memory, and a private energy accountant —
+// and therefore can run whole-trace, one goroutine per lane, behind a
+// deterministic merge barrier that folds results in fixed lane order.
+//
+// Decoupling changes the modeled semantics (no inter-core LLC/DRAM
+// contention, no allocator coupling, no contention traffic from
+// recycled traces), so it is a distinct mode, not a faster
+// implementation of RunMix: its results differ from RunMix's but are
+// bit-identical between the sequential and parallel executions of
+// itself, which TestMixDecoupledDeterministic gates under -race. The
+// experiment harness keeps mixes on the coupled path unless
+// exp.Options.ParallelMix asks for this one.
+package sim
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"sipt/internal/cpu"
+	"sipt/internal/dram"
+	"sipt/internal/energy"
+	"sipt/internal/replay"
+	"sipt/internal/trace"
+	"sipt/internal/vm"
+	"sipt/internal/workload"
+)
+
+// mixLane is one decoupled lane's machinery plus its outcome.
+type mixLane struct {
+	h        *Hierarchy
+	acct     *energy.Account
+	res      cpu.Result
+	consumed uint64
+	err      error
+}
+
+// run executes one whole-trace pass of src on a private single-core
+// system (no recycling: with nothing shared, a finished lane has no one
+// left to contend with).
+func (l *mixLane) run(ctx context.Context, src trace.Reader, mixName string, li int) {
+	core := cpu.NewCore(l.h.cfg.Core, l.h)
+	res, err := core.Run(ctx, src, 0)
+	if err != nil {
+		l.err = fmt.Errorf("sim: decoupled mix %s core %d: %w", mixName, li, err)
+		return
+	}
+	l.res = res
+	// Every record is exactly one memory access, so the pass length is
+	// the access count (mirrors the coupled loop's per-step counter).
+	l.consumed = res.Loads + res.Stores
+}
+
+// runMixDecoupled wires four private systems over the given per-lane
+// sources and runs them sequentially (parallel=false) or one goroutine
+// per lane (parallel=true); both orders produce bit-identical MixStats
+// because lanes share no state and the merge is in fixed lane order.
+// mkSource builds lane i's record stream and runs inside the lane
+// (construction of a live generator mutates the lane's private physical
+// memory, so it must not run on the caller's goroutine in parallel
+// mode).
+func runMixDecoupled(ctx context.Context, mix workload.Mix, cfg Config,
+	mkSource func(lane int) (trace.Reader, error), seed int64, parallel bool) (MixStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	llcCfg := cfg.llcConfig()
+	llcCfg.SizeBytes /= 4 // static per-core partition of the 4x LLC
+
+	lanes := make([]*mixLane, 4)
+	for i := range lanes {
+		acct := energy.New(cfg.energyParams())
+		llc := newSharedLLC(llcCfg)
+		mem := dram.New(dramConfig())
+		lanes[i] = &mixLane{h: newHierarchy(cfg, seed+int64(i), llc, mem, acct), acct: acct}
+	}
+
+	runLane := func(i int) {
+		l := lanes[i]
+		src, err := mkSource(i)
+		if err != nil {
+			l.err = fmt.Errorf("sim: decoupled mix %s core %d: %w", mix.Name, i, err)
+			return
+		}
+		l.run(ctx, src, mix.Name, i)
+	}
+	if parallel {
+		var wg sync.WaitGroup
+		for i := range lanes {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				runLane(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range lanes {
+			runLane(i)
+		}
+	}
+
+	// Deterministic merge barrier: fold in fixed lane order regardless
+	// of which goroutine finished first.
+	for _, l := range lanes {
+		if l.err != nil {
+			return MixStats{}, l.err
+		}
+	}
+	ms := MixStats{Config: cfg, Mix: mix}
+	total := energy.New(cfg.energyParams())
+	for i, l := range lanes {
+		ms.PerCore[i] = collect(cfg, mix.Apps[i], l.res, l.h, l.acct)
+		ms.Consumed[i] = l.consumed
+		if l.res.Cycles > ms.Cycles {
+			ms.Cycles = l.res.Cycles
+		}
+		total.Merge(l.acct)
+	}
+	ms.Energy = total.Finish(ms.Cycles)
+	for i := range ms.PerCore {
+		ms.PerCore[i].Energy = ms.Energy
+		if err := ms.PerCore[i].L1.CheckInvariants(); err != nil {
+			return ms, err
+		}
+	}
+	return ms, nil
+}
+
+// RunMixDecoupled is the decoupled-lanes counterpart of RunMix: four
+// cores with fully private hierarchies and physical memories, runnable
+// one goroutine per lane (parallel=true) with results bit-identical to
+// the sequential order. See the package comment above for how its
+// semantics differ from the coupled interleave.
+func RunMixDecoupled(ctx context.Context, mix workload.Mix, cfg Config, sc vm.Scenario, seed int64, recordsPerCore uint64, parallel bool) (MixStats, error) {
+	cfg.Cores = 4
+	if err := cfg.Validate(); err != nil {
+		return MixStats{}, err
+	}
+	if recordsPerCore == 0 {
+		recordsPerCore = DefaultRecords
+	}
+	profs := make([]workload.Profile, 4)
+	for i, name := range mix.Apps {
+		p, err := workload.Lookup(name)
+		if err != nil {
+			return MixStats{}, err
+		}
+		profs[i] = p
+	}
+	mkSource := func(lane int) (trace.Reader, error) {
+		// A private physical memory per lane (the coupled path couples
+		// lanes through one shared buddy allocator).
+		sys := NewSystem(sc, seed+int64(lane), profs[lane])
+		return workload.NewGenerator(profs[lane], sys, seed+int64(lane), recordsPerCore)
+	}
+	return runMixDecoupled(ctx, mix, cfg, mkSource, seed, parallel)
+}
+
+// RunMixBuffersDecoupled is the replay-aware RunMixDecoupled: lanes
+// stream one pass each from materialised buffers. Cursors are created
+// inside the lanes, but over shared read-only buffers, which is safe
+// under -race.
+func RunMixBuffersDecoupled(ctx context.Context, mix workload.Mix, cfg Config, bufs [4]*replay.Buffer, seed int64, parallel bool) (MixStats, error) {
+	cfg.Cores = 4
+	if err := cfg.Validate(); err != nil {
+		return MixStats{}, err
+	}
+	for i, b := range bufs {
+		if b == nil {
+			return MixStats{}, fmt.Errorf("sim: decoupled mix %s: nil buffer for lane %d", mix.Name, i)
+		}
+	}
+	mkSource := func(lane int) (trace.Reader, error) {
+		return bufs[lane].Cursor(), nil
+	}
+	return runMixDecoupled(ctx, mix, cfg, mkSource, seed, parallel)
+}

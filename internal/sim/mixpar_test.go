@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sipt/internal/core"
+	"sipt/internal/cpu"
+	"sipt/internal/replay"
+	"sipt/internal/vm"
+	"sipt/internal/workload"
+)
+
+// TestMixDecoupledDeterministic is the parallel-mix determinism gate:
+// the one-goroutine-per-lane execution must reproduce the sequential
+// execution of the same decoupled semantics bit for bit, run after run.
+// Eight repetitions under -race give the scheduler room to interleave
+// lanes differently; any cross-lane sharing would show up either as a
+// race report or as a diverging result.
+func TestMixDecoupledDeterministic(t *testing.T) {
+	mix := workload.Mix{Name: "t-mix", Apps: [4]string{"libquantum", "gcc", "h264ref", "ycsb"}}
+	cfg := SIPT(cpu.OOO(), 32, 2, core.ModeCombined)
+	const recs = 4_000
+
+	seq, err := RunMixDecoupled(context.Background(), mix, cfg, vm.ScenarioNormal, 11, recs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pc := range seq.PerCore {
+		if pc.Core.Instructions == 0 {
+			t.Fatalf("lane %d executed no instructions", i)
+		}
+	}
+	for rep := 0; rep < 8; rep++ {
+		par, err := RunMixDecoupled(context.Background(), mix, cfg, vm.ScenarioNormal, 11, recs, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("rep %d: parallel decoupled mix differs from sequential\nseq: %+v\npar: %+v", rep, seq, par)
+		}
+	}
+}
+
+// TestMixBuffersDecoupledDeterministic covers the replay-backed
+// variant: lanes share read-only buffers, and parallel must still match
+// sequential exactly.
+func TestMixBuffersDecoupledDeterministic(t *testing.T) {
+	mix := workload.Mix{Name: "t-mix-buf", Apps: [4]string{"libquantum", "gcc", "h264ref", "ycsb"}}
+	cfg := SIPT(cpu.OOO(), 32, 2, core.ModeCombined)
+	const recs = 4_000
+
+	var bufs [4]*replay.Buffer
+	for i, name := range mix.Apps {
+		prof := smallProf(t, name, 2)
+		buf, err := Materialize(prof, vm.ScenarioNormal, 11+int64(i), recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bufs[i] = buf
+	}
+	seq, err := RunMixBuffersDecoupled(context.Background(), mix, cfg, bufs, 11, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 8; rep++ {
+		par, err := RunMixBuffersDecoupled(context.Background(), mix, cfg, bufs, 11, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("rep %d: parallel buffered decoupled mix differs from sequential", rep)
+		}
+	}
+}
+
+// TestRunConfigsRandomizedMatchesSolo is the SoA kernel's property
+// test: for randomized config sets — 1..16 lanes drawn with
+// replacement, so duplicates occur — the fused sweep must return,
+// positionally, the byte-for-byte result of a solo RunBuffer replay of
+// each lane.
+func TestRunConfigsRandomizedMatchesSolo(t *testing.T) {
+	prof := smallProf(t, "ycsb", 2)
+	const recs = 8_000
+	buf, err := Materialize(prof, vm.ScenarioNormal, 5, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := []Config{
+		Baseline(cpu.OOO()),
+		Baseline(cpu.InOrder()),
+		SIPT(cpu.OOO(), 32, 2, core.ModeNaive),
+		SIPT(cpu.OOO(), 32, 2, core.ModeIdeal),
+		SIPT(cpu.OOO(), 32, 2, core.ModeBypass),
+		SIPT(cpu.OOO(), 32, 2, core.ModeCombined),
+		SIPT(cpu.OOO(), 64, 4, core.ModeCombined),
+		SIPT(cpu.OOO(), 128, 4, core.ModeCombined),
+		SIPT(cpu.InOrder(), 64, 4, core.ModeNaive),
+	}
+	rng := rand.New(rand.NewSource(99))
+	solo := make(map[int]Stats) // pool index -> stats, computed once
+	for trial := 0; trial < 4; trial++ {
+		n := 1 + rng.Intn(16)
+		cfgs := make([]Config, n)
+		picks := make([]int, n)
+		for i := range cfgs {
+			picks[i] = rng.Intn(len(pool))
+			cfgs[i] = pool[picks[i]]
+		}
+		fused, err := RunConfigs(context.Background(), prof.Name, buf, cfgs, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, pi := range picks {
+			want, ok := solo[pi]
+			if !ok {
+				want, err = RunBuffer(context.Background(), prof.Name, buf, pool[pi], 5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				solo[pi] = want
+			}
+			if fused[i] != want {
+				t.Errorf("trial %d lane %d (%s): fused differs from solo\nfused: %+v\nsolo:  %+v",
+					trial, i, cfgs[i].Label(), fused[i], want)
+			}
+		}
+	}
+}

@@ -2,15 +2,9 @@ package sim
 
 import (
 	"context"
-	"errors"
 	"fmt"
-	"io"
 
-	"sipt/internal/cpu"
-	"sipt/internal/dram"
-	"sipt/internal/energy"
 	"sipt/internal/replay"
-	"sipt/internal/trace"
 	"sipt/internal/vm"
 	"sipt/internal/workload"
 )
@@ -49,24 +43,17 @@ func RunBuffer(ctx context.Context, name string, buf *replay.Buffer, cfg Config,
 	return runReader(ctx, name, buf.Cursor(), cfg, seed, 0)
 }
 
-// cfgState is one configuration's independent machine state inside a
-// fused sweep: its own TLB/cache/predictor hierarchy, LLC, DRAM, energy
-// account, and core — exactly what runReader builds for a solo run.
-type cfgState struct {
-	acct *energy.Account
-	h    *Hierarchy
-	core *cpu.Core
-}
-
-// RunConfigs advances len(cfgs) independent simulated systems through a
-// single pass over one materialised trace: the buffer is decoded once
-// per sweep instead of once per configuration. Each configuration gets
-// the full private machinery of a solo run (per-config LLC and DRAM —
-// these are single-core systems that share nothing), so RunConfigs(buf,
-// cfgs) returns exactly what looping RunBuffer over cfgs would, for a
-// fraction of the decode and none of the re-generation cost.
+// RunConfigs advances len(cfgs) independent simulated systems over one
+// materialised trace through the structure-of-arrays sweep kernel (see
+// soa.go): every lane's machine state is carved from contiguous
+// same-field slabs and each lane makes one register-resident pass over
+// the packed words. Each configuration gets the full private machinery
+// of a solo run (per-config LLC and DRAM — these are single-core
+// systems that share nothing), so RunConfigs(buf, cfgs) returns exactly
+// what looping RunBuffer over cfgs would, for a fraction of the decode
+// and none of the re-generation cost.
 //
-// Context semantics match RunApp: the fused loop polls ctx every
+// Context semantics match RunApp: each lane's pass polls ctx every
 // cpu.CtxCheckInterval records. Results are positional: out[i]
 // corresponds to cfgs[i]. Duplicate configurations are simulated
 // independently (callers that care deduplicate beforehand).
@@ -74,47 +61,15 @@ func RunConfigs(ctx context.Context, name string, buf *replay.Buffer, cfgs []Con
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	states := make([]cfgState, len(cfgs))
-	for i, cfg := range cfgs {
-		// Sweep-scaled: a fused sweep can carry thousands of configs and
-		// hierarchy construction is the expensive part, so cancellation
-		// is polled per config here too.
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		if err := cfg.Validate(); err != nil {
-			return nil, err
-		}
-		acct := energy.New(cfg.energyParams())
-		llc := newSharedLLC(cfg.llcConfig())
-		mem := dram.New(dramConfig())
-		h := newHierarchy(cfg, seed, llc, mem, acct)
-		states[i] = cfgState{acct: acct, h: h, core: cpu.NewCore(cfg.Core, h)}
+	s, err := newSoaSweep(ctx, cfgs, seed)
+	if err != nil {
+		return nil, err
 	}
-
-	cur := buf.Cursor()
-	var rec trace.Record
-	var n uint64
-	for {
-		if n&(cpu.CtxCheckInterval-1) == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("sim: fused run of %s (%d configs): %w", name, len(cfgs), err)
-			}
+	words := buf.Words()
+	for lane := range cfgs {
+		if err := s.runLane(ctx, lane, words); err != nil {
+			return nil, fmt.Errorf("sim: fused run of %s (%d configs): %w", name, len(cfgs), err)
 		}
-		if err := cur.NextInto(&rec); err != nil {
-			if errors.Is(err, io.EOF) {
-				break
-			}
-			return nil, err
-		}
-		// Runs once per record; the enclosing loop polls ctx every
-		// cpu.CtxCheckInterval records, and a per-config check here would
-		// sit on the hot path.
-		//siptlint:allow ctxflow: config-scaled inner loop; the enclosing record loop polls ctx
-		for i := range states {
-			states[i].core.StepPtr(&rec)
-		}
-		n++
 	}
 
 	out := make([]Stats, len(cfgs))
@@ -123,7 +78,7 @@ func RunConfigs(ctx context.Context, name string, buf *replay.Buffer, cfgs []Con
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		st := collect(cfg, name, states[i].core.Result(), states[i].h, states[i].acct)
+		st := collect(cfg, name, s.results[i], &s.hs[i], &s.accts[i])
 		if err := st.CheckInvariants(); err != nil {
 			return nil, fmt.Errorf("sim: fused run of %s on %s: %w", name, cfg.Label(), err)
 		}

@@ -1,0 +1,349 @@
+// Structure-of-arrays fused-sweep kernel.
+//
+// RunConfigs drives N independent single-core systems over one decoded
+// trace. The AoS implementation (one cfgState per lane, each a separate
+// heap of cache/TLB/predictor objects, stepped record-major through
+// cpu.Core.StepPtr) pays, per record, N interface dispatches plus a
+// walk across N unrelated heaps. The kernel below replaces it:
+//
+//   - All lanes' hot state is carved from contiguous same-field slabs
+//     indexed by config lane: cache line metadata and MRU way-predictor
+//     state (cache.Arena), TLB entries (tlb.Arena), perceptron weight
+//     tables ([]predictor.Perceptron), hierarchy/engine/stats headers
+//     ([]Hierarchy, []core.L1, ...), and the core timing rings (one
+//     retire-ring slab, one stall-ring slab, one chase-chain slab with
+//     fixed per-lane strides).
+//   - The sweep runs lane-major: each lane makes one whole-trace pass
+//     with the core's timing scalars (dispatch cycle, retire ring
+//     index, instruction count, ...) held in registers and records
+//     decoded inline from the buffer's packed words — no per-record
+//     reader or MemSystem interface dispatch, and the lane's slab
+//     segment stays hot in the host cache for the entire pass.
+//
+// Lane-major order is bit-identical to the old record-major interleave
+// because fused lanes share nothing: each lane owns its LLC, DRAM and
+// energy account (they model independent single-core systems), so its
+// state evolution depends only on the record stream and its own
+// configuration. internal/exp's fused_test and the golden tables gate
+// this equivalence, as does TestRunConfigsMatchesSoloRuns.
+package sim
+
+import (
+	"context"
+
+	"sipt/internal/cache"
+	"sipt/internal/core"
+	"sipt/internal/cpu"
+	"sipt/internal/dram"
+	"sipt/internal/energy"
+	"sipt/internal/predictor"
+	"sipt/internal/replay"
+	"sipt/internal/tlb"
+	"sipt/internal/trace"
+)
+
+// soaSweep is the slab-backed machine state of one fused sweep. Slices
+// are lane-indexed unless noted; the ring/stall/chain slabs hold every
+// lane's segment back to back.
+type soaSweep struct {
+	cfgs []Config
+
+	hs        []Hierarchy
+	llcs      []sharedLLC
+	l1s       []core.L1
+	tlbs      []tlb.TLB
+	drams     []dram.DRAM
+	accts     []energy.Account
+	l1Caches  []cache.Cache
+	llcCaches []cache.Cache
+	l2s       []cache.Cache // one per three-level lane, in lane order
+
+	// Core timing state, SoA: lane i's retire ring is
+	// ring[ringOff[i]:ringOff[i+1]] (stride = that lane's ROB size); the
+	// stall and chase-chain slabs use fixed strides.
+	ring    []uint64
+	ringOff []int
+	stall   []uint64 // cpu.StallRingSize per lane
+	chain   []uint64 // cpu.ChainDenseSlots per lane
+	results []cpu.Result
+}
+
+// newSoaSweep builds every lane's machinery over shared slabs. It polls
+// ctx per lane (construction is the expensive part of huge sweeps) and
+// validates each config, like the AoS path did.
+func newSoaSweep(ctx context.Context, cfgs []Config, seed int64) (*soaSweep, error) {
+	n := len(cfgs)
+	s := &soaSweep{cfgs: cfgs}
+
+	// First pass: validate, size the slabs.
+	l1Cfgs := make([]core.Config, n)
+	arenaCfgs := make([]cache.Config, 0, 3*n)
+	nL2, nPerc, ringLen := 0, 0, 0
+	for i, cfg := range cfgs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		l1Cfgs[i] = cfg.l1Config(seed)
+		arenaCfgs = append(arenaCfgs, l1Cfgs[i].Cache)
+		if cfg.threeLevel() {
+			arenaCfgs = append(arenaCfgs, l2Config())
+			nL2++
+		}
+		arenaCfgs = append(arenaCfgs, cfg.llcConfig())
+		if core.NeedsBypass(cfg.Mode) {
+			nPerc++
+		}
+		ringLen += cfg.Core.ROB
+	}
+
+	arena := cache.NewArena(arenaCfgs...)
+	tarena := tlb.NewArena(n, tlb.Default())
+	percs := make([]predictor.Perceptron, nPerc)
+	s.hs = make([]Hierarchy, n)
+	s.llcs = make([]sharedLLC, n)
+	s.l1s = make([]core.L1, n)
+	s.tlbs = make([]tlb.TLB, n)
+	s.drams = make([]dram.DRAM, n)
+	s.accts = make([]energy.Account, n)
+	s.l1Caches = make([]cache.Cache, n)
+	s.llcCaches = make([]cache.Cache, n)
+	s.l2s = make([]cache.Cache, nL2)
+	s.ring = make([]uint64, ringLen)
+	s.ringOff = make([]int, n+1)
+	s.stall = make([]uint64, n*cpu.StallRingSize)
+	s.chain = make([]uint64, n*cpu.ChainDenseSlots)
+	s.results = make([]cpu.Result, n)
+
+	// Second pass: carve, in lane order.
+	l2i, pi, ro := 0, 0, 0
+	for i, cfg := range cfgs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		arena.Init(&s.l1Caches[i], l1Cfgs[i].Cache)
+		var l2 *cache.Cache
+		if cfg.threeLevel() {
+			l2 = arena.Init(&s.l2s[l2i], l2Config())
+			l2i++
+		}
+		arena.Init(&s.llcCaches[i], cfg.llcConfig())
+		s.llcs[i] = sharedLLC{cache: &s.llcCaches[i], bankBusy: 4}
+		tarena.Init(&s.tlbs[i])
+
+		var bypass *predictor.Perceptron
+		if core.NeedsBypass(cfg.Mode) {
+			bypass = percs[pi].Init()
+			pi++
+		}
+		var idb *predictor.IDB
+		if specBits := l1Cfgs[i].Cache.SpecBits(); core.NeedsIDB(cfg.Mode, specBits) {
+			idb = predictor.NewIDB(specBits, cfg.NoContig, seed)
+		}
+		s.l1s[i].InitOver(l1Cfgs[i], &s.l1Caches[i], bypass, idb)
+
+		s.drams[i] = *dram.New(dramConfig())
+		s.accts[i] = *energy.New(cfg.energyParams())
+		s.hs[i] = Hierarchy{
+			cfg:    cfg,
+			l1:     &s.l1s[i],
+			tlb:    &s.tlbs[i],
+			l2:     l2,
+			llc:    &s.llcs[i],
+			mem:    &s.drams[i],
+			acct:   &s.accts[i],
+			predOn: core.NeedsBypass(cfg.Mode),
+		}
+		s.ringOff[i] = ro
+		ro += cfg.Core.ROB
+	}
+	s.ringOff[n] = ro
+	return s, nil
+}
+
+// runLane makes one lane's whole-trace pass: cpu.Core's step/gapRun/
+// dispatchOne/retire semantics replicated instruction for instruction,
+// with the timing scalars in locals for the entire pass, the rings in
+// this lane's slab segments, and records decoded inline from the packed
+// words. The memory system is the concrete *Hierarchy — no interface
+// dispatch.
+//
+//sipt:hotpath
+func (s *soaSweep) runLane(ctx context.Context, lane int, words []uint64) error {
+	ccfg := s.cfgs[lane].Core
+	h := &s.hs[lane]
+	ring := s.ring[s.ringOff[lane]:s.ringOff[lane+1]]
+	stall := s.stall[lane*cpu.StallRingSize : (lane+1)*cpu.StallRingSize]
+	chain := s.chain[lane*cpu.ChainDenseSlots : (lane+1)*cpu.ChainDenseSlots]
+	// chainMap is the cold fallback for PCs outside the dense synthetic
+	// window; packed traces rarely reach it (their PCs fit 18 bits).
+	var chainMap map[uint64]uint64
+
+	width, rob := ccfg.Width, ccfg.ROB
+	inOrder, hide, stallCap := ccfg.InOrder, ccfg.HideLatency, ccfg.StallCap
+	stallOn := inOrder || stallCap > 0
+
+	var d, r, ins uint64 // dispatch cycle, last retire cycle, instruction index
+	var u, ri int        // dispatch slots used this cycle, retire-ring index
+	var loads, stores uint64
+	var rec trace.Record
+	var n uint64
+	for w := 0; w+1 < len(words); w += 2 {
+		if n&(cpu.CtxCheckInterval-1) == 0 {
+			// Raw ctx.Err(), wrapped by RunConfigs outside the hot path.
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		n++
+		replay.UnpackRecord(words[w], words[w+1], &rec)
+
+		// Non-memory gap instructions: unit latency (cpu.Core.gapRun).
+		//siptlint:allow ctxflow: gap burst is uint16-bounded; the enclosing record loop polls every CtxCheckInterval
+		for g := uint16(0); g < rec.Gap; g++ {
+			if floor := ring[ri]; floor > d {
+				d = floor
+				u = 0
+			}
+			if stallOn {
+				slot := ins % cpu.StallRingSize
+				if ready := stall[slot]; ready != 0 {
+					if ready > d {
+						d = ready
+						u = 0
+					}
+					stall[slot] = 0
+				}
+			}
+			at := d
+			u++
+			if u >= width {
+				d++
+				u = 0
+			}
+			completion := at + 1
+			if completion < r {
+				completion = r
+			}
+			ring[ri] = completion
+			ri++
+			if ri == rob {
+				ri = 0
+			}
+			r = completion
+			ins++
+		}
+
+		// The memory access itself (cpu.Core.step): dispatch...
+		if floor := ring[ri]; floor > d {
+			d = floor
+			u = 0
+		}
+		if stallOn {
+			slot := ins % cpu.StallRingSize
+			if ready := stall[slot]; ready != 0 {
+				if ready > d {
+					d = ready
+					u = 0
+				}
+				stall[slot] = 0
+			}
+		}
+		at := d
+		u++
+		if u >= width {
+			d++
+			u = 0
+		}
+
+		if rec.IsStore() {
+			// Stores retire from a write buffer: unit latency for the
+			// core; the hierarchy still sees the access now.
+			stores++
+			h.Access(&rec, at)
+			completion := at + 1
+			if completion < r {
+				completion = r
+			}
+			ring[ri] = completion
+			ri++
+			if ri == rob {
+				ri = 0
+			}
+			r = completion
+			ins++
+			continue
+		}
+
+		loads++
+		issue := at
+		chase := rec.DepDist > 0 && rec.DepDist <= cpu.ChaseDistMax
+		if chase {
+			// Address depends on the previous load of this PC.
+			var ready uint64
+			if idx := (rec.PC - cpu.ChainBase) >> 2; idx < cpu.ChainDenseSlots {
+				ready = chain[idx]
+			} else {
+				//siptlint:allow hotalloc: cold fallback, reached only by traces with PCs outside the dense window
+				ready = chainMap[rec.PC]
+			}
+			if ready > issue {
+				issue = ready
+			}
+		}
+		mr := h.Access(&rec, issue)
+		completion := issue + uint64(mr.Latency)
+		if chase {
+			if idx := (rec.PC - cpu.ChainBase) >> 2; idx < cpu.ChainDenseSlots {
+				chain[idx] = completion
+			} else {
+				if chainMap == nil {
+					//siptlint:allow hotalloc: cold fallback, reached only by traces with PCs outside the dense window
+					chainMap = make(map[uint64]uint64)
+				}
+				//siptlint:allow hotalloc: cold fallback, reached only by traces with PCs outside the dense window
+				chainMap[rec.PC] = completion
+			}
+		}
+
+		// Consumer stall (see cpu.Core.step for the policy rationale).
+		stallAt := completion
+		apply := inOrder
+		if !apply && stallCap > 0 {
+			apply = true
+			exposed := mr.Latency
+			if exposed > stallCap {
+				exposed = stallCap
+			}
+			exposed -= hide
+			if exposed <= 0 {
+				apply = false
+			} else {
+				stallAt = issue + uint64(exposed)
+			}
+		}
+		if apply {
+			slot := (ins + uint64(rec.DepDist)) % cpu.StallRingSize
+			if stallAt > stall[slot] {
+				stall[slot] = stallAt
+			}
+		}
+		if completion < r {
+			completion = r
+		}
+		ring[ri] = completion
+		ri++
+		if ri == rob {
+			ri = 0
+		}
+		r = completion
+		ins++
+	}
+
+	// ins counts every retired instruction, exactly like cpu.Core's
+	// res.Instructions; the final retire cycle is the lane's cycle count.
+	s.results[lane] = cpu.Result{Instructions: ins, Cycles: r, Loads: loads, Stores: stores}
+	return nil
+}
