@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race lint vet vuln verify bench fuzz serve-smoke fabric-smoke store-smoke chaos
+.PHONY: all build test race lint vet vuln verify bench fuzz serve-smoke fabric-smoke store-smoke crash-smoke chaos
 
 all: verify
 
@@ -60,6 +60,13 @@ fabric-smoke:
 store-smoke:
 	scripts/store_smoke.sh
 
+# Crash smoke: boot siptd with a job journal, SIGKILL it mid-sweep,
+# restart over the same directories; the revived daemon must resume the
+# sweep from its lane checkpoints and serve a byte-identical report
+# with dense job IDs.
+crash-smoke:
+	scripts/crash_smoke.sh
+
 # Chaos: the fault-injection acceptance suite (internal/fault) under the
 # race detector — seeded panics, evictions, and transient failures
 # against the full serving stack. Short mode keeps it CI-sized.
@@ -78,3 +85,4 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzLoader -fuzztime=$(FUZZTIME) ./internal/lint/
 	$(GO) test -run='^$$' -fuzz=FuzzReadBuffer -fuzztime=$(FUZZTIME) ./internal/tracefile/
 	$(GO) test -run='^$$' -fuzz=FuzzCanonicalRoundTrip -fuzztime=$(FUZZTIME) ./internal/store/
+	$(GO) test -run='^$$' -fuzz=FuzzJournalReplay -fuzztime=$(FUZZTIME) ./internal/journal/

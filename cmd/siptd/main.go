@@ -7,6 +7,7 @@
 //	siptd [-addr :8080] [-workers N] [-queue N] [-records N] [-seed N]
 //	      [-cache N] [-maxjobs N] [-trace-pool-mb N]
 //	      [-store-dir DIR] [-store-mb N] [-trace-store-mb N] [-max-trace-mb N]
+//	      [-journal-dir DIR] [-journal-mb N]
 //	      [-coordinator host1:8080,host2:8080] [-shard-timeout D]
 //	      [-faults spec] [-fault-seed N] [-ready-timeout D]
 //
@@ -16,6 +17,13 @@
 // serves previously computed figures byte-identically without
 // re-simulating. It also enables trace ingestion (POST /v1/traces,
 // stored under DIR/traces) and replay-by-digest runs.
+//
+// -journal-dir enables crash-safe serving (DESIGN.md §15): every
+// admission is journaled before the 202, sweep progress is checkpointed
+// per lane, and a restarted daemon replays the journal — finished jobs
+// are served from the store, interrupted sweeps resume re-running only
+// missing lanes. Requires -store-dir. An unwritable directory or an
+// incompatible journal version is a startup error naming the path.
 //
 // -faults arms the deterministic fault-injection framework (see
 // internal/fault) from a spec like "sched.worker.panic:1/64"; it
@@ -51,6 +59,7 @@ import (
 	"sipt/internal/exp"
 	"sipt/internal/fabric"
 	"sipt/internal/fault"
+	"sipt/internal/journal"
 	"sipt/internal/metrics"
 	"sipt/internal/serve"
 	"sipt/internal/store"
@@ -79,6 +88,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	maxJobs := fs.Int("maxjobs", 0, "retained job records (0 = default)")
 	tracePoolMB := fs.Int("trace-pool-mb", 0, "materialised trace pool budget in MiB (0 = default)")
 	storeDir := fs.String("store-dir", "", "persistent store directory; empty disables persistence and trace ingestion")
+	journalDir := fs.String("journal-dir", "", "write-ahead job journal directory; empty disables crash-safe serving (requires -store-dir)")
+	journalMB := fs.Int("journal-mb", 0, "journal segment rotation threshold in MiB (0 = default 4)")
 	storeMB := fs.Int("store-mb", 0, "result store byte budget in MiB (0 = default 512)")
 	traceStoreMB := fs.Int("trace-store-mb", 0, "ingested trace store byte budget in MiB (0 = default 512)")
 	maxTraceMB := fs.Int("max-trace-mb", 0, "POST /v1/traces upload size cap in MiB (0 = default 64)")
@@ -135,6 +146,20 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "siptd: persistent store at %s\n", *storeDir)
 	}
 
+	var jnl *journal.Journal
+	if *journalDir != "" {
+		if *storeDir == "" {
+			return fmt.Errorf("-journal-dir %s requires -store-dir (checkpoints and results live in the store)", *journalDir)
+		}
+		var err error
+		jnl, err = journal.Open(*journalDir, int64(*journalMB)<<20)
+		if err != nil {
+			return fmt.Errorf("opening journal %s: %w", *journalDir, err)
+		}
+		defer jnl.Close()
+		fmt.Fprintf(stdout, "siptd: job journal at %s\n", *journalDir)
+	}
+
 	runner := exp.NewRunner(exp.Options{
 		Records:      *records,
 		Seed:         *seed,
@@ -153,6 +178,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		DisableShards: *coordinator != "",
 		TraceStore:    traceStore,
 		MaxTraceBytes: int64(*maxTraceMB) << 20,
+		Journal:       jnl,
+		ResultStore:   resultStore,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -143,6 +143,7 @@ type runnerShared struct {
 type Runner struct {
 	opts Options
 	ctx  context.Context // base context for Run calls; nil = Background
+	ckpt func(store.Key) // fired after each successful store Put; nil = off
 	sh   *runnerShared
 }
 
@@ -192,6 +193,18 @@ func (r *Runner) WithContext(ctx context.Context) *Runner {
 func (r *Runner) WithOptions(opts Options) *Runner {
 	r2 := *r
 	r2.opts = opts
+	return &r2
+}
+
+// WithCheckpoint returns a view of r that calls fn with each result key
+// the view persists to the store. The siptd durability layer is the
+// user: fn journals the key as a sweep checkpoint, so after a crash
+// RunConfigs' store pre-partition serves every checkpointed lane from
+// disk and only unrecorded lanes re-simulate. A nil fn disables the
+// hook, so callers can pass their maybe-nil callback unconditionally.
+func (r *Runner) WithCheckpoint(fn func(store.Key)) *Runner {
+	r2 := *r
+	r2.ckpt = fn
 	return &r2
 }
 

@@ -71,7 +71,9 @@ func (r *Runner) storeGet(key store.Key) (sim.Stats, bool) {
 }
 
 // storePut persists one result, best-effort: a full disk or an
-// over-budget blob degrades persistence, never the run.
+// over-budget blob degrades persistence, never the run. A successful
+// Put fires the view's checkpoint hook (WithCheckpoint) — only then,
+// because a checkpoint promises the blob is readable after a restart.
 func (r *Runner) storePut(key store.Key, st sim.Stats) {
 	if r.sh.store == nil {
 		return
@@ -80,7 +82,9 @@ func (r *Runner) storePut(key store.Key, st sim.Stats) {
 	if err != nil {
 		return
 	}
-	_ = r.sh.store.Put(key, blob)
+	if r.sh.store.Put(key, blob) == nil && r.ckpt != nil {
+		r.ckpt(key)
+	}
 }
 
 // storedTraceKey addresses a materialised trace blob in the store. All

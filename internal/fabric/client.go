@@ -4,9 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 
 	"sipt/internal/fault"
@@ -77,6 +80,17 @@ func (c *Client) RunShard(ctx context.Context, req ShardRequest) ([]sim.Stats, e
 		d := retryBaseDelay << n
 		if d > retryMaxDelay {
 			d = retryMaxDelay
+		}
+		// A 429 carrying Retry-After is the worker pricing its own
+		// backpressure: honour it over the blind ladder, but never wait
+		// longer than the ladder's cap — the coordinator would rather
+		// re-route than idle behind one slow worker.
+		var hint *retryAfterHint
+		if errors.As(err, &hint) {
+			d = hint.delay
+			if d > retryMaxDelay {
+				d = retryMaxDelay
+			}
 		}
 		sleep(d)
 		if c.OnRetry != nil {
@@ -186,9 +200,37 @@ func (c *Client) statusErr(op string, resp *http.Response) error {
 	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 	err := fmt.Errorf("fabric: worker %s %s: HTTP %d: %s", c.base, op, resp.StatusCode, bytes.TrimSpace(msg))
 	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500 {
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if d, ok := parseRetryAfter(resp.Header.Get("Retry-After")); ok {
+				err = &retryAfterHint{err: err, delay: d}
+			}
+		}
 		return fault.Transient(err)
 	}
 	return fault.Permanent(err)
+}
+
+// retryAfterHint threads a 429's Retry-After value through the
+// transient error chain so RunShard's backoff loop can pace the next
+// attempt by the server's own estimate. It wraps the underlying status
+// error, so fault.IsTransient and message formatting are unchanged.
+type retryAfterHint struct {
+	err   error
+	delay time.Duration
+}
+
+func (e *retryAfterHint) Error() string { return e.err.Error() }
+func (e *retryAfterHint) Unwrap() error { return e.err }
+
+// parseRetryAfter accepts the delta-seconds form of Retry-After
+// (RFC 9110 §10.2.3). The HTTP-date form, garbage, and non-positive
+// values are ignored — the caller falls back to the ladder.
+func parseRetryAfter(h string) (time.Duration, bool) {
+	secs, err := strconv.Atoi(strings.TrimSpace(h))
+	if err != nil || secs <= 0 {
+		return 0, false
+	}
+	return time.Duration(secs) * time.Second, true
 }
 
 // drain consumes and closes a response body so the connection can be

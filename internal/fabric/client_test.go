@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -53,6 +54,9 @@ type fakeWorker struct {
 	// submitCode, when non-zero for the n-th submit (1-based), answers
 	// that HTTP status instead of accepting the shard.
 	submitCode func(n int) int
+	// retryAfter, when set, stamps its value as the Retry-After header
+	// on the n-th induced submit failure ("" leaves it off).
+	retryAfter func(n int) string
 	// terminal, when set, overrides the done view for a request.
 	terminal func(req ShardRequest, id string) ShardView
 }
@@ -81,6 +85,11 @@ func (w *fakeWorker) handleSubmit(rw http.ResponseWriter, r *http.Request) {
 	w.submits++
 	if w.submitCode != nil {
 		if code := w.submitCode(w.submits); code != 0 {
+			if w.retryAfter != nil {
+				if v := w.retryAfter(w.submits); v != "" {
+					rw.Header().Set("Retry-After", v)
+				}
+			}
 			http.Error(rw, "induced failure", code)
 			return
 		}
@@ -172,6 +181,82 @@ func TestClientBackoffSchedule(t *testing.T) {
 		if (*delays)[i] != d {
 			t.Errorf("backoff[%d] = %v, want %v", i, (*delays)[i], d)
 		}
+	}
+}
+
+// TestClientRetryAfter: a 429 carrying Retry-After overrides the
+// backoff ladder with the server's own estimate, clamped to the
+// ladder's 250ms cap; absent, malformed, or non-positive headers —
+// and non-429 transients — fall back to the ladder unchanged.
+func TestClientRetryAfter(t *testing.T) {
+	ladder := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond}
+	cases := []struct {
+		name       string
+		code       int
+		retryAfter string
+		want       []time.Duration
+	}{
+		{
+			name: "delta seconds clamped to ladder max",
+			code: http.StatusTooManyRequests, retryAfter: "1",
+			want: []time.Duration{retryMaxDelay, retryMaxDelay, retryMaxDelay},
+		},
+		{
+			name: "huge value still clamped",
+			code: http.StatusTooManyRequests, retryAfter: "3600",
+			want: []time.Duration{retryMaxDelay, retryMaxDelay, retryMaxDelay},
+		},
+		{
+			name: "429 without header uses ladder",
+			code: http.StatusTooManyRequests, retryAfter: "",
+			want: ladder,
+		},
+		{
+			name: "http-date form ignored",
+			code: http.StatusTooManyRequests, retryAfter: "Fri, 07 Aug 2026 00:00:00 GMT",
+			want: ladder,
+		},
+		{
+			name: "zero seconds ignored",
+			code: http.StatusTooManyRequests, retryAfter: "0",
+			want: ladder,
+		},
+		{
+			name: "negative seconds ignored",
+			code: http.StatusTooManyRequests, retryAfter: "-5",
+			want: ladder,
+		},
+		{
+			name: "503 ignores the header",
+			code: http.StatusServiceUnavailable, retryAfter: "2",
+			want: ladder,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			delays := captureSleep(t)
+			w := newFakeWorker(t, "w0")
+			w.submitCode = func(n int) int {
+				if n <= 3 {
+					return tc.code
+				}
+				return 0
+			}
+			w.retryAfter = func(int) string { return tc.retryAfter }
+			c := NewClient(w.base(), nil, 0)
+
+			if _, err := c.RunShard(context.Background(), shardReq("mcf")); err != nil {
+				t.Fatal(err)
+			}
+			if len(*delays) != len(tc.want) {
+				t.Fatalf("backoff sleeps = %v, want %v", *delays, tc.want)
+			}
+			for i, d := range tc.want {
+				if (*delays)[i] != d {
+					t.Errorf("backoff[%d] = %v, want %v", i, (*delays)[i], d)
+				}
+			}
+		})
 	}
 }
 
@@ -359,6 +444,135 @@ func TestCoordinatorEjectAndReroute(t *testing.T) {
 		"fabric_worker_failures_total 2",
 		"fabric_workers_ejected_total 1",
 		"fabric_workers_live 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// stepClock replaces the fabric health clock with a manually stepped
+// one and returns the step function.
+func stepClock(t *testing.T) func(time.Duration) {
+	t.Helper()
+	var (
+		mu  sync.Mutex
+		at  = time.Unix(1_700_000_000, 0)
+		old = now
+	)
+	now = func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return at
+	}
+	t.Cleanup(func() { now = old })
+	return func(d time.Duration) {
+		mu.Lock()
+		at = at.Add(d)
+		mu.Unlock()
+	}
+}
+
+// TestCoordinatorHalfOpenProbe: an ejected worker earns a single probe
+// dispatch after the cooldown — a failed probe re-ejects it instantly,
+// a successful one re-admits it with its trace affinity intact.
+func TestCoordinatorHalfOpenProbe(t *testing.T) {
+	captureSleep(t)
+	advance := stepClock(t)
+	reg := metrics.NewRegistry()
+	good, flaky := newFakeWorker(t, "good"), newFakeWorker(t, "flaky")
+	var healed atomic.Bool
+	flaky.submitCode = func(int) int {
+		if healed.Load() {
+			return 0
+		}
+		return http.StatusInternalServerError
+	}
+	c := coordinatorOver(reg, 1, good, flaky) // default ProbeAfter: 30s
+
+	// A key owned by the flaky worker, so every phase below starts its
+	// routing there whenever the worker is in the ring.
+	ring := NewRing([]string{good.base(), flaky.base()}, 0)
+	var key TraceKey
+	for _, k := range gridKeys() {
+		if ring.Lookup(k) == flaky.base() {
+			key = k
+			break
+		}
+	}
+	if key.App == "" {
+		t.Fatal("grid gave no key owned by the flaky worker")
+	}
+	dispatch := func() string {
+		t.Helper()
+		sc, err := vm.ParseScenario(key.Scenario)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := c.RunConfigs(context.Background(), key.App, sc, key.Seed, key.Records,
+			[]sim.Config{sim.Baseline(cpu.OOO())})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats[0].App
+	}
+
+	// Phase 1: the owner fails its dispatch and is ejected (EjectAfter
+	// 1); the survivor serves the shard.
+	if by := dispatch(); by != "good" {
+		t.Fatalf("phase 1 served by %q, want the survivor", by)
+	}
+	if live := c.Live(); len(live) != 1 || live[0] != good.base() {
+		t.Fatalf("phase 1 Live = %v, want just the survivor", live)
+	}
+	before := flaky.submitCount()
+
+	// Phase 2: inside the cooldown no probe is granted — the ejected
+	// worker sees no traffic at all.
+	advance(29 * time.Second)
+	if by := dispatch(); by != "good" {
+		t.Fatalf("phase 2 served by %q, want the survivor", by)
+	}
+	if got := flaky.submitCount(); got != before {
+		t.Errorf("phase 2: ejected worker saw %d submits during cooldown, want %d", got, before)
+	}
+
+	// Phase 3: cooldown over but the worker is still broken — the probe
+	// dispatch fails once and re-ejects it; the shard still succeeds.
+	advance(2 * time.Second)
+	if by := dispatch(); by != "good" {
+		t.Fatalf("phase 3 served by %q, want the survivor", by)
+	}
+	if got := flaky.submitCount(); got != before+1+clientRetries {
+		t.Errorf("phase 3: probe cost %d submits, want %d (one dispatch)", got-before, 1+clientRetries)
+	}
+	if live := c.Live(); len(live) != 1 || live[0] != good.base() {
+		t.Fatalf("phase 3 Live = %v, want the failed probe re-ejected", live)
+	}
+
+	// Phase 4: the worker heals; after another cooldown its probe
+	// succeeds, it rejoins for good, and — affinity restored — it is
+	// again the one serving its own key.
+	healed.Store(true)
+	advance(31 * time.Second)
+	if by := dispatch(); by != "flaky" {
+		t.Fatalf("phase 4 served by %q, want the healed owner", by)
+	}
+	if live := c.Live(); len(live) != 2 {
+		t.Fatalf("phase 4 Live = %v, want both workers", live)
+	}
+
+	// Phase 5: membership is sticky — no further cooldown needed.
+	if by := dispatch(); by != "flaky" {
+		t.Fatalf("phase 5 served by %q, want the re-admitted owner", by)
+	}
+
+	out := renderMetrics(t, reg)
+	for _, want := range []string{
+		"fabric_workers_probed_total 2",
+		"fabric_workers_revived_total 1",
+		"fabric_workers_ejected_total 2",
+		"fabric_workers_live 2",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("metrics missing %q:\n%s", want, out)

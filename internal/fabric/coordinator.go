@@ -33,6 +33,13 @@ type Config struct {
 	// count as one dispatch: a worker is only charged when a whole
 	// dispatch, retries included, fails.
 	EjectAfter int
+	// ProbeAfter is the cooldown after which an ejected worker earns a
+	// half-open probe: it rejoins the ring with one failure of credit,
+	// so the next dispatch routed to it is the probe — success restores
+	// a clean slate (and its trace affinity, since its ring points come
+	// back), a single failure re-ejects it for another cooldown.
+	// 0 = 30s; negative disables probing, making ejection permanent.
+	ProbeAfter time.Duration
 	// ShardTimeout bounds one shard dispatch, submit through collect
 	// (0 = 5m). A dispatch that exceeds it is treated like a transient
 	// failure: charged to the worker and re-routed.
@@ -44,13 +51,18 @@ type Config struct {
 }
 
 // Coordinator routes shards to a fleet of workers by trace affinity,
-// tracks worker health, and ejects workers that keep failing. It
+// tracks worker health, and ejects workers that keep failing; ejected
+// workers earn a half-open probe after a cooldown, so a healed worker
+// rejoins with its trace affinity intact rather than staying ejected
+// forever. It
 // implements exp.Remote, so an exp.Runner built with Options.Remote
 // delegates every simulation batch to the fleet while keeping all
 // merging local. Safe for concurrent use.
 type Coordinator struct {
 	ejectAfter   int
+	probeAfter   time.Duration
 	shardTimeout time.Duration
+	names        []string // all configured workers, sorted; never shrinks
 
 	mu     sync.Mutex
 	ring   *Ring
@@ -63,14 +75,25 @@ type Coordinator struct {
 	shardsInflight *metrics.Gauge
 	workerFailures *metrics.Counter
 	workersEjected *metrics.Counter
+	workersProbed  *metrics.Counter
+	workersRevived *metrics.Counter
 	workersLive    *metrics.Gauge
 }
 
 type workerState struct {
-	client  *Client
-	fails   int // consecutive failed dispatches
-	ejected bool
+	client    *Client
+	fails     int // consecutive failed dispatches
+	ejected   bool
+	probing   bool      // in the half-open window: re-admitted, unproven
+	ejectedAt time.Time // when the last ejection happened
 }
+
+// now is the coordinator's health clock: it times the ejection
+// cooldown, never simulation state, and tests swap it to step the
+// half-open window without sleeping.
+//
+//siptlint:allow detrand: worker-health cooldown timing, never feeds simulation results
+var now = time.Now
 
 // NewCoordinator builds a coordinator over cfg.Workers.
 func NewCoordinator(cfg Config) *Coordinator {
@@ -85,12 +108,17 @@ func NewCoordinator(cfg Config) *Coordinator {
 	if ejectAfter <= 0 {
 		ejectAfter = 3
 	}
+	probeAfter := cfg.ProbeAfter
+	if probeAfter == 0 {
+		probeAfter = 30 * time.Second
+	}
 	shardTimeout := cfg.ShardTimeout
 	if shardTimeout <= 0 {
 		shardTimeout = 5 * time.Minute
 	}
 	c := &Coordinator{
 		ejectAfter:   ejectAfter,
+		probeAfter:   probeAfter,
 		shardTimeout: shardTimeout,
 		ring:         NewRing(cfg.Workers, cfg.Replicas),
 		byName:       make(map[string]*workerState, len(cfg.Workers)),
@@ -102,9 +130,12 @@ func NewCoordinator(cfg Config) *Coordinator {
 		shardsInflight: reg.Gauge("fabric_shards_inflight", "shards currently dispatched"),
 		workerFailures: reg.Counter("fabric_worker_failures_total", "failed dispatches charged to workers"),
 		workersEjected: reg.Counter("fabric_workers_ejected_total", "workers ejected from the ring"),
+		workersProbed:  reg.Counter("fabric_workers_probed_total", "half-open probes granted to ejected workers after cooldown"),
+		workersRevived: reg.Counter("fabric_workers_revived_total", "ejected workers re-admitted after a successful probe"),
 		workersLive:    reg.Gauge("fabric_workers_live", "workers currently in the ring"),
 	}
-	for _, w := range c.ring.Workers() {
+	c.names = append(c.names, c.ring.Workers()...)
+	for _, w := range c.names {
 		c.byName[w] = &workerState{client: NewClient(w, cfg.HTTP, cfg.Poll)}
 		c.byName[w].client.OnRetry = c.shardsRetried.Inc
 	}
@@ -196,6 +227,7 @@ func reroutable(err error) bool {
 func (c *Coordinator) pick(key TraceKey, avoid map[string]bool) (*workerState, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.maybeRevive()
 	if c.ring.Len() == 0 {
 		// Permanent is transparent (message and errors.Is(.., ErrNoWorkers)
 		// unchanged): an empty ring cannot heal within this sweep.
@@ -211,11 +243,41 @@ func (c *Coordinator) pick(key TraceKey, avoid map[string]bool) (*workerState, e
 	return c.byName[seq[0]], nil
 }
 
-// noteOK resets a worker's consecutive-failure count.
+// maybeRevive grants a half-open probe to every ejected worker whose
+// cooldown has passed: it rejoins the ring carrying ejectAfter-1
+// failures, so one failed dispatch re-ejects it immediately while a
+// success (noteOK) wipes the slate. Re-adding restores the worker's
+// original ring points, so its old keys route back to it — affinity
+// survives the outage. Called under c.mu.
+func (c *Coordinator) maybeRevive() {
+	if c.probeAfter < 0 {
+		return
+	}
+	t := now()
+	for _, name := range c.names {
+		w := c.byName[name]
+		if !w.ejected || t.Sub(w.ejectedAt) < c.probeAfter {
+			continue
+		}
+		w.ejected = false
+		w.probing = true
+		w.fails = c.ejectAfter - 1
+		c.ring.Add(name)
+		c.workersProbed.Inc()
+		c.workersLive.Set(int64(c.ring.Len()))
+	}
+}
+
+// noteOK resets a worker's consecutive-failure count; a worker on a
+// half-open probe graduates back to full membership.
 func (c *Coordinator) noteOK(name string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if w := c.byName[name]; w != nil {
+		if w.probing {
+			w.probing = false
+			c.workersRevived.Inc()
+		}
 		w.fails = 0
 	}
 }
@@ -235,6 +297,8 @@ func (c *Coordinator) noteFail(name string) {
 	w.fails++
 	if w.fails >= c.ejectAfter {
 		w.ejected = true
+		w.probing = false
+		w.ejectedAt = now()
 		c.ring.Remove(name)
 		c.workersEjected.Inc()
 		c.workersLive.Set(int64(c.ring.Len()))

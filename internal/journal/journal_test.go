@@ -1,0 +1,396 @@
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sipt/internal/fault"
+)
+
+// frameOver wraps an arbitrary payload in a valid length+CRC frame.
+func frameOver(payload []byte) []byte {
+	fr := make([]byte, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(fr, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(fr[4:], crc32.Checksum(payload, castagnoli))
+	copy(fr[frameHeaderSize:], payload)
+	return fr
+}
+
+// mustOpen opens a journal and fails the test on error.
+func mustOpen(t *testing.T, dir string, segBytes int64) *Journal {
+	t.Helper()
+	j, err := Open(dir, segBytes)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return j
+}
+
+// append1 appends one record and fails the test on error.
+func append1(t *testing.T, j *Journal, rec Record, sync bool) {
+	t.Helper()
+	if err := j.Append(rec, sync); err != nil {
+		t.Fatalf("Append(%+v): %v", rec, err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, 0)
+	req := json.RawMessage(`{"experiments":["fig6"]}`)
+	append1(t, j, Record{Type: TypeAdmitted, ID: "job-1", Seq: 1, Kind: "sweep", Request: req}, true)
+	append1(t, j, Record{Type: TypeStarted, ID: "job-1"}, false)
+	append1(t, j, Record{Type: TypeLane, ID: "job-1", Digest: "aaaa"}, false)
+	append1(t, j, Record{Type: TypeLane, ID: "job-1", Digest: "bbbb"}, false)
+	append1(t, j, Record{Type: TypeAdmitted, ID: "job-2", Seq: 2, Kind: "run", Request: req}, true)
+	append1(t, j, Record{Type: TypeFinished, ID: "job-2", Status: "done", Digest: "cccc"}, true)
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	j2 := mustOpen(t, dir, 0)
+	defer j2.Close()
+	jobs := j2.Jobs()
+	if len(jobs) != 2 {
+		t.Fatalf("recovered %d jobs, want 2: %+v", len(jobs), jobs)
+	}
+	j1 := jobs[0]
+	if j1.ID != "job-1" || j1.Seq != 1 || j1.Kind != "sweep" || !j1.Started || j1.Settled() {
+		t.Errorf("job-1 state wrong: %+v", j1)
+	}
+	if !reflect.DeepEqual(j1.Lanes, []string{"aaaa", "bbbb"}) {
+		t.Errorf("job-1 lanes = %v, want [aaaa bbbb]", j1.Lanes)
+	}
+	if string(j1.Request) != string(req) {
+		t.Errorf("job-1 request = %s, want %s", j1.Request, req)
+	}
+	jd := jobs[1]
+	if jd.ID != "job-2" || jd.Status != "done" || jd.Digest != "cccc" || !jd.Settled() {
+		t.Errorf("job-2 state wrong: %+v", jd)
+	}
+	if got := j2.MaxSeq(); got != 2 {
+		t.Errorf("MaxSeq = %d, want 2", got)
+	}
+	if st := j2.Stats(); st.Replayed != 6 || st.Truncations != 0 {
+		t.Errorf("stats = %+v, want 6 replayed, 0 truncations", st)
+	}
+}
+
+func TestLaneDigestDeduplicated(t *testing.T) {
+	j := mustOpen(t, t.TempDir(), 0)
+	defer j.Close()
+	append1(t, j, Record{Type: TypeAdmitted, ID: "job-1", Seq: 1}, true)
+	append1(t, j, Record{Type: TypeLane, ID: "job-1", Digest: "aaaa"}, false)
+	append1(t, j, Record{Type: TypeLane, ID: "job-1", Digest: "aaaa"}, false)
+	if lanes := j.Jobs()[0].Lanes; len(lanes) != 1 {
+		t.Errorf("lanes = %v, want one entry", lanes)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, 0)
+	append1(t, j, Record{Type: TypeAdmitted, ID: "job-1", Seq: 1, Kind: "run"}, true)
+	append1(t, j, Record{Type: TypeFinished, ID: "job-1", Status: "done"}, true)
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	path := segPath(dir, 1)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodLen := fi.Size()
+
+	for name, garbage := range map[string][]byte{
+		"random bytes":  []byte("\x99\x12torn tail garbage"),
+		"frame header":  {0x10, 0, 0, 0, 1, 2, 3, 4}, // claims 16 bytes, has none
+		"huge length":   {0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0},
+		"short header":  {0x03},
+		"zero length":   {0, 0, 0, 0, 0, 0, 0, 0},
+		"crc mismatch":  {0x02, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef, '{', '}'},
+		"bad json body": frameOver([]byte(`{"`)), // CRC passes, payload undecodable
+	} {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(raw[:goodLen:goodLen], garbage...), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j2 := mustOpen(t, dir, 0)
+		jobs := j2.Jobs()
+		if len(jobs) != 1 || jobs[0].Status != "done" {
+			t.Errorf("%s: recovered %+v, want job-1 done", name, jobs)
+		}
+		if st := j2.Stats(); st.Truncations != 1 {
+			t.Errorf("%s: truncations = %d, want 1", name, st.Truncations)
+		}
+		if err := j2.Close(); err != nil {
+			t.Fatalf("%s: Close: %v", name, err)
+		}
+		if fi, err := os.Stat(path); err != nil || fi.Size() != goodLen {
+			t.Errorf("%s: segment is %d bytes after reopen, want %d", name, fi.Size(), goodLen)
+		}
+	}
+}
+
+func TestTornHeaderRewritten(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(segPath(dir, 1), []byte("SJ"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j := mustOpen(t, dir, 0)
+	defer j.Close()
+	if st := j.Stats(); st.Truncations != 1 || len(j.Jobs()) != 0 {
+		t.Errorf("stats = %+v, jobs = %v; want one truncation, no jobs", st, j.Jobs())
+	}
+	append1(t, j, Record{Type: TypeAdmitted, ID: "job-1", Seq: 1}, true)
+	jobs, _, err := Replay(dir)
+	if err != nil || len(jobs) != 1 {
+		t.Errorf("Replay after header rewrite: jobs=%v err=%v", jobs, err)
+	}
+}
+
+func TestDuplicateAdmittedResets(t *testing.T) {
+	j := mustOpen(t, t.TempDir(), 0)
+	defer j.Close()
+	append1(t, j, Record{Type: TypeAdmitted, ID: "job-1", Seq: 1, Kind: "sweep"}, true)
+	append1(t, j, Record{Type: TypeStarted, ID: "job-1"}, false)
+	append1(t, j, Record{Type: TypeLane, ID: "job-1", Digest: "aaaa"}, false)
+	append1(t, j, Record{Type: TypeAdmitted, ID: "job-1", Seq: 1, Kind: "sweep"}, true)
+	js := j.Jobs()[0]
+	if js.Started || len(js.Lanes) != 0 {
+		t.Errorf("re-admission did not reset: %+v", js)
+	}
+}
+
+func TestUnknownIDRecordsIgnored(t *testing.T) {
+	j := mustOpen(t, t.TempDir(), 0)
+	defer j.Close()
+	append1(t, j, Record{Type: TypeStarted, ID: "ghost"}, false)
+	append1(t, j, Record{Type: TypeLane, ID: "ghost", Digest: "aaaa"}, false)
+	append1(t, j, Record{Type: TypeFinished, ID: "ghost", Status: "done"}, false)
+	if jobs := j.Jobs(); len(jobs) != 0 {
+		t.Errorf("ghost records materialised jobs: %+v", jobs)
+	}
+}
+
+func TestCancelPreventsResurrection(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, 0)
+	append1(t, j, Record{Type: TypeAdmitted, ID: "job-1", Seq: 1, Kind: "sweep"}, true)
+	append1(t, j, Record{Type: TypeCanceled, ID: "job-1"}, true)
+	j.Close()
+
+	jobs, _, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !jobs[0].Settled() || !jobs[0].Canceled || jobs[0].Status != "canceled" {
+		t.Errorf("canceled job not settled on replay: %+v", jobs[0])
+	}
+
+	// The finish record still wins if the job settled before the cancel
+	// took effect.
+	j2 := mustOpen(t, dir, 0)
+	defer j2.Close()
+	append1(t, j2, Record{Type: TypeFinished, ID: "job-1", Status: "done", Digest: "dddd"}, true)
+	if js := j2.Jobs()[0]; js.Status != "done" || !js.Canceled {
+		t.Errorf("finish after cancel: %+v", js)
+	}
+}
+
+func TestRotationCompacts(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, 512) // tiny budget so appends rotate
+	req := json.RawMessage(`{"app":"mcf"}`)
+	append1(t, j, Record{Type: TypeAdmitted, ID: "job-1", Seq: 1, Kind: "sweep", Request: req}, true)
+	append1(t, j, Record{Type: TypeStarted, ID: "job-1"}, false)
+	append1(t, j, Record{Type: TypeLane, ID: "job-1", Digest: "aaaa"}, false)
+	for i := 2; i <= 12; i++ {
+		id := "job-" + string(rune('0'+i/10)) + string(rune('0'+i%10))
+		append1(t, j, Record{Type: TypeAdmitted, ID: id, Seq: uint64(i), Kind: "run", Request: req}, true)
+		append1(t, j, Record{Type: TypeFinished, ID: id, Status: "done", Digest: "dddd"}, true)
+	}
+	st := j.Stats()
+	if st.Rotations == 0 {
+		t.Fatalf("no rotation after %d bytes of records: %+v", st.ActiveBytes, st)
+	}
+	if st.Dropped == 0 {
+		t.Errorf("compaction dropped no settled jobs: %+v", st)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Errorf("found %d segments after compaction, want 1", len(segs))
+	}
+
+	// The live sweep survives with its checkpoints; the watermark keeps
+	// the allocator above every ID ever issued, dropped or not.
+	j2 := mustOpen(t, dir, 512)
+	defer j2.Close()
+	var live *JobState
+	for _, js := range j2.Jobs() {
+		if js.ID == "job-1" {
+			cp := js
+			live = &cp
+		}
+	}
+	if live == nil {
+		t.Fatalf("live sweep lost by compaction: %+v", j2.Jobs())
+	}
+	if !live.Started || !reflect.DeepEqual(live.Lanes, []string{"aaaa"}) || string(live.Request) != string(req) {
+		t.Errorf("live sweep state mangled: %+v", live)
+	}
+	if got := j2.MaxSeq(); got != 12 {
+		t.Errorf("MaxSeq = %d after compaction, want 12", got)
+	}
+}
+
+func TestIncompatibleSegmentFatal(t *testing.T) {
+	for name, header := range map[string][]byte{
+		"bad magic":   []byte("NOPE\x01\x00\x00\x00"),
+		"bad version": []byte("SJNL\x63\x00\x00\x00"),
+	} {
+		dir := t.TempDir()
+		path := segPath(dir, 1)
+		if err := os.WriteFile(path, header, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(dir, 0); !errors.Is(err, ErrIncompatible) {
+			t.Errorf("%s: Open err = %v, want ErrIncompatible", name, err)
+		} else if !strings.Contains(err.Error(), path) {
+			t.Errorf("%s: error %q does not name the segment path", name, err)
+		}
+		if _, _, err := Replay(dir); !errors.Is(err, ErrIncompatible) {
+			t.Errorf("%s: Replay err = %v, want ErrIncompatible", name, err)
+		}
+	}
+}
+
+func TestUnwritableDirFails(t *testing.T) {
+	// A path through a regular file is unwritable for any uid — unlike
+	// permission bits, which root ignores.
+	base := t.TempDir()
+	blocker := filepath.Join(base, "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(blocker, "journal")
+	if _, err := Open(dir, 0); err == nil {
+		t.Fatal("Open through a regular file succeeded")
+	} else if !strings.Contains(err.Error(), "journal") {
+		t.Errorf("error %q does not identify the journal", err)
+	}
+}
+
+func TestForeignFilesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"notes.txt", "0000001.wal", "000000001.wal", "x2345678.wal"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j := mustOpen(t, dir, 0)
+	defer j.Close()
+	if len(j.Jobs()) != 0 {
+		t.Errorf("foreign files produced jobs: %+v", j.Jobs())
+	}
+	for _, name := range []string{"notes.txt", "0000001.wal"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("foreign file %s disturbed: %v", name, err)
+		}
+	}
+}
+
+func TestTornAppendFaultAndRepair(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, 0)
+	append1(t, j, Record{Type: TypeAdmitted, ID: "job-1", Seq: 1}, true)
+
+	spec, err := fault.ParseSpec("journal.append.torn:1/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.Arm(spec, 1); err != nil {
+		t.Fatal(err)
+	}
+	tornErr := j.Append(Record{Type: TypeAdmitted, ID: "job-2", Seq: 2}, true)
+	fault.Disarm()
+	if tornErr == nil {
+		t.Fatal("torn append reported success")
+	}
+	if !fault.IsTransient(tornErr) {
+		t.Errorf("torn append error not transient: %v", tornErr)
+	}
+
+	// A killed process would leave the half frame for Open to truncate;
+	// check via read-only replay that the torn record is invisible.
+	if jobs, _, err := Replay(dir); err != nil || len(jobs) != 1 {
+		t.Errorf("Replay over torn tail: jobs=%v err=%v", jobs, err)
+	}
+
+	// A surviving process repairs the tail before its next append.
+	append1(t, j, Record{Type: TypeAdmitted, ID: "job-3", Seq: 3}, true)
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	j2 := mustOpen(t, dir, 0)
+	defer j2.Close()
+	jobs := j2.Jobs()
+	if len(jobs) != 2 || jobs[0].ID != "job-1" || jobs[1].ID != "job-3" {
+		t.Errorf("after repair, recovered %+v; want job-1 and job-3", jobs)
+	}
+	if st := j2.Stats(); st.Truncations != 0 {
+		t.Errorf("reopen still truncated (%d): repair did not land", st.Truncations)
+	}
+}
+
+func TestFsyncFault(t *testing.T) {
+	j := mustOpen(t, t.TempDir(), 0)
+	defer j.Close()
+	spec, err := fault.ParseSpec("journal.fsync.err:1/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.Arm(spec, 1); err != nil {
+		t.Fatal(err)
+	}
+	syncErr := j.Append(Record{Type: TypeAdmitted, ID: "job-1", Seq: 1}, true)
+	fault.Disarm()
+	if syncErr == nil {
+		t.Fatal("fsync fault reported success")
+	}
+	if !fault.IsTransient(syncErr) {
+		t.Errorf("fsync fault error not transient: %v", syncErr)
+	}
+	// The record was written (only the barrier failed): the live fold
+	// has it, and an unsynced append does not fail later ones.
+	if len(j.Jobs()) != 1 {
+		t.Errorf("jobs after fsync fault: %+v", j.Jobs())
+	}
+	append1(t, j, Record{Type: TypeFinished, ID: "job-1", Status: "done"}, true)
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	j := mustOpen(t, t.TempDir(), 0)
+	j.Close()
+	if err := j.Append(Record{Type: TypeAdmitted, ID: "job-1"}, false); err == nil {
+		t.Fatal("append after Close succeeded")
+	}
+}

@@ -33,6 +33,7 @@ deliberately not flagged.`,
 // fileClosePkgs is the analyzer's scope: the packages that own raw file
 // handles. Everything else goes through their APIs.
 var fileClosePkgs = map[string]bool{
+	"sipt/internal/journal":   true,
 	"sipt/internal/store":     true,
 	"sipt/internal/tracefile": true,
 }

@@ -58,6 +58,24 @@ type Job struct {
 	finishedNS  int64
 }
 
+// newTerminalJob builds an already-settled job record: journal recovery
+// re-registers finished work with it so GET /v1/jobs/{id} keeps
+// answering across a restart. done starts closed and cancel is a no-op
+// — there is nothing left to wait for or stop.
+func newTerminalJob(id, kind string, st Status, res jobResult, errMsg string) *Job {
+	j := &Job{
+		id:     id,
+		kind:   kind,
+		cancel: func() {},
+		done:   make(chan struct{}),
+		status: st,
+		result: res,
+		errMsg: errMsg,
+	}
+	close(j.done)
+	return j
+}
+
 // ID returns the job's identifier ("job-1", "job-2", ... in admission
 // order — deterministic, so tests and logs are stable).
 func (j *Job) ID() string { return j.id }

@@ -126,8 +126,8 @@ func TestReadyzWedgedPool(t *testing.T) {
 // failed counters — never the done ones.
 func TestPanickedJobFailsNotCompleted(t *testing.T) {
 	s, ts := testServer(t, Config{Workers: 1})
-	j, err := s.submit("run", sched.Interactive, 0,
-		func(context.Context) (jobResult, error) { panic("kaboom") })
+	j, err := s.submit("run", sched.Interactive, 0, nil,
+		func(context.Context, string) (jobResult, error) { panic("kaboom") })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,8 +166,8 @@ func TestTransientRetrySucceeds(t *testing.T) {
 	delays := swapSleep(t)
 	s, _ := testServer(t, Config{Workers: 1})
 	var attempts atomic.Int32
-	j, err := s.submit("run", sched.Interactive, 0,
-		func(context.Context) (jobResult, error) {
+	j, err := s.submit("run", sched.Interactive, 0, nil,
+		func(context.Context, string) (jobResult, error) {
 			if attempts.Add(1) <= 2 {
 				return jobResult{}, fault.Transient(errors.New("flaky backend"))
 			}
@@ -204,8 +204,8 @@ func TestTransientRetryExhausted(t *testing.T) {
 	delays := swapSleep(t)
 	s, _ := testServer(t, Config{Workers: 1})
 	var attempts atomic.Int32
-	j, err := s.submit("run", sched.Interactive, 0,
-		func(context.Context) (jobResult, error) {
+	j, err := s.submit("run", sched.Interactive, 0, nil,
+		func(context.Context, string) (jobResult, error) {
 			attempts.Add(1)
 			return jobResult{}, fault.Transient(errors.New("always flaky"))
 		})
@@ -234,8 +234,8 @@ func TestPermanentErrorNotRetried(t *testing.T) {
 	delays := swapSleep(t)
 	s, _ := testServer(t, Config{Workers: 1})
 	var attempts atomic.Int32
-	j, err := s.submit("run", sched.Interactive, 0,
-		func(context.Context) (jobResult, error) {
+	j, err := s.submit("run", sched.Interactive, 0, nil,
+		func(context.Context, string) (jobResult, error) {
 			attempts.Add(1)
 			return jobResult{}, errors.New("hard failure")
 		})

@@ -40,12 +40,17 @@ import (
 
 	"sipt/internal/exp"
 	"sipt/internal/fault"
+	"sipt/internal/journal"
 	"sipt/internal/metrics"
 	"sipt/internal/report"
 	"sipt/internal/sched"
 	"sipt/internal/sim"
 	"sipt/internal/store"
 )
+
+// runFunc is a job's executable body. The job ID is passed in so sweep
+// bodies can journal per-lane checkpoints under their own identity.
+type runFunc func(ctx context.Context, id string) (jobResult, error)
 
 // decodeSlow is the API layer's injection point: armed (e.g.
 // "serve.decode.slow:1/8"), a seeded fraction of request-body decodes
@@ -85,6 +90,20 @@ type Config struct {
 	// daemon sets it: it delegates simulation to its fleet, so serving
 	// shards itself would recurse.
 	DisableShards bool
+	// Journal, when non-nil, makes serving crash-safe (DESIGN.md §15):
+	// every admission is journaled (fsync) before the 202 is written,
+	// sweep progress is checkpointed per lane, and New replays the
+	// journal to rebuild the job table — finished jobs served from
+	// ResultStore, interrupted ones resubmitted under their original
+	// IDs. The server owns appends but not the journal's lifetime;
+	// cmd/siptd closes it after the drain.
+	Journal *journal.Journal
+	// ResultStore persists finished jobs' rendered results (tables or
+	// shard stats) content-addressed by blob digest; the journal's
+	// finished records carry only the digest. Normally the same store
+	// the Runner uses. With a Journal but no ResultStore, finished jobs
+	// recover by deterministic recompute instead of a blob read.
+	ResultStore *store.Store
 }
 
 // Server is the siptd HTTP handler plus its job machinery. Construct
@@ -101,6 +120,8 @@ type Server struct {
 	traces        *traceIndex
 	readyTimeout  time.Duration
 	disableShards bool
+	jnl           *journal.Journal
+	resultStore   *store.Store
 
 	// baseCtx is the server lifecycle context every job context derives
 	// from: Close cancels it, so a forced (non-drain) shutdown stops
@@ -143,6 +164,19 @@ type Server struct {
 	traceHits    *metrics.Gauge
 	traceMisses  *metrics.Gauge
 	traceEvicted *metrics.Gauge
+
+	journalReplayed *metrics.Counter
+	sweepsResumed   *metrics.Counter
+	journalErrs     *metrics.Counter
+	jnlSegments     *metrics.Gauge
+	jnlActiveBytes  *metrics.Gauge
+	jnlAppends      *metrics.Gauge
+	jnlSyncs        *metrics.Gauge
+	jnlRotations    *metrics.Gauge
+	jnlTruncations  *metrics.Gauge
+	jnlReplayedRecs *metrics.Gauge
+	jnlDropped      *metrics.Gauge
+	jnlLiveJobs     *metrics.Gauge
 
 	tracesIngested *metrics.Counter
 	simsTotal      *metrics.Gauge
@@ -191,6 +225,8 @@ func New(cfg Config) *Server {
 		traces:        newTraceIndex(cfg.TraceStore),
 		readyTimeout:  readyTimeout,
 		disableShards: cfg.DisableShards,
+		jnl:           cfg.Journal,
+		resultStore:   cfg.ResultStore,
 
 		requests:     reg.Counter("serve_http_requests_total", "HTTP requests received"),
 		jobsCreated:  reg.Counter("serve_jobs_created_total", "jobs admitted"),
@@ -212,6 +248,19 @@ func New(cfg Config) *Server {
 		traceHits:    reg.Gauge("serve_trace_pool_hits", "trace pool hits"),
 		traceMisses:  reg.Gauge("serve_trace_pool_misses", "trace pool misses"),
 		traceEvicted: reg.Gauge("serve_trace_pool_evictions", "trace buffers evicted for the byte budget"),
+
+		journalReplayed: reg.Counter("serve_journal_replayed_total", "jobs rebuilt from the journal at startup"),
+		sweepsResumed:   reg.Counter("serve_sweeps_resumed_total", "interrupted sweeps resubmitted from their last checkpoint"),
+		journalErrs:     reg.Counter("serve_journal_errors_total", "journal appends that failed (durability degraded)"),
+		jnlSegments:     reg.Gauge("journal_segments", "journal segment files resident"),
+		jnlActiveBytes:  reg.Gauge("journal_active_bytes", "bytes in the active journal segment"),
+		jnlAppends:      reg.Gauge("journal_appends_total", "journal records appended this process"),
+		jnlSyncs:        reg.Gauge("journal_syncs_total", "journal durability barriers (fsync)"),
+		jnlRotations:    reg.Gauge("journal_rotations_total", "journal segment rotations (compactions)"),
+		jnlTruncations:  reg.Gauge("journal_truncations_total", "torn journal tails truncated at open"),
+		jnlReplayedRecs: reg.Gauge("journal_records_replayed_total", "journal records decoded at open"),
+		jnlDropped:      reg.Gauge("journal_jobs_dropped_total", "settled jobs dropped by journal compaction"),
+		jnlLiveJobs:     reg.Gauge("journal_live_jobs", "unsettled jobs resident in the journal"),
 
 		tracesIngested: reg.Counter("serve_traces_ingested_total", "trace files ingested via POST /v1/traces"),
 		simsTotal:      reg.Gauge("serve_simulations_total", "simulations actually executed (memo and store misses)"),
@@ -241,6 +290,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.jnl != nil {
+		s.recoverJournal()
+	}
 	return s
 }
 
@@ -312,12 +364,19 @@ type submitResponse struct {
 	Status Status `json:"status"`
 }
 
-// submit admits a job: allocates its ID, hands it to the scheduler, and
-// registers it — all under the admission lock, so IDs are dense, in
-// admission order, and a job is either fully admitted (it will run and
-// its record is visible) or fully rejected.
+// errNotDurable marks admissions rejected because the journal append
+// failed: the server refuses to ack work it cannot promise to survive.
+var errNotDurable = errors.New("admission not durable")
+
+// submit admits a job: allocates its ID, hands it to the scheduler,
+// journals the admission, and registers it — all under the admission
+// lock, so IDs are dense, in admission order, and a job is either fully
+// admitted (it will run, its record is visible, and its admission is on
+// disk) or fully rejected. req is the decoded request body; it is
+// re-marshalled into the admitted record so recovery can rebuild the
+// job's closure from the journal alone.
 func (s *Server) submit(kind string, pri sched.Priority, timeout time.Duration,
-	run func(ctx context.Context) (jobResult, error)) (*Job, error) {
+	req any, run runFunc) (*Job, error) {
 
 	// Jobs derive from the server lifecycle context, not Background:
 	// Close cancels them all, so a forced shutdown cannot leave
@@ -345,21 +404,24 @@ func (s *Server) submit(kind string, pri sched.Priority, timeout time.Duration,
 		status:      StatusQueued,
 		submittedNS: nowNS(),
 	}
-	// The panic observer settles jobs whose function (or the worker's
-	// injected fault) panicked: runJob's own bookkeeping never ran to
-	// completion, so the job would otherwise hang in queued/running
-	// forever. finish is idempotent, so the normal path and this path
-	// cannot double-settle.
-	onPanic := func(v any, stack []byte) {
-		j.cancel()
-		lat, settled := j.finish(StatusFailed, jobResult{}, fmt.Sprintf("panic: %v\n\n%s", v, stack), nowNS())
-		if settled {
-			s.jobsFailed.Inc()
-			s.observeLatency(lat / 1e6)
-		}
-	}
-	err := s.pool.SubmitObserved(base, pri, func(ctx context.Context) { s.runJob(j, ctx, run) }, onPanic)
+	err := s.pool.SubmitObserved(base, pri, func(ctx context.Context) { s.runJob(j, ctx, run) }, s.panicObserver(j))
 	if err == nil {
+		// Journal before acking, still under the admission lock: the
+		// fsync serialises admissions, but in exchange the on-disk
+		// sequence matches the ID sequence exactly, which is what makes
+		// "job IDs are dense" checkable after a crash. A failed append
+		// settles the already-scheduled job as failed (its body will
+		// see the cancelled context and exit) and rejects the request:
+		// work the server cannot promise to survive is not acked.
+		if jerr := s.journalAdmit(j, id, kind, req); jerr != nil {
+			s.nextID = id // the ID is burned; recovery tolerates the hole
+			s.admitMu.Unlock()
+			j.cancel()
+			if _, settled := j.finish(StatusFailed, jobResult{}, jerr.Error(), nowNS()); settled {
+				s.jobsFailed.Inc()
+			}
+			return nil, fmt.Errorf("%w: %v", errNotDurable, jerr)
+		}
 		s.nextID = id
 		s.jobs.add(j)
 		s.jobsCreated.Inc()
@@ -370,6 +432,23 @@ func (s *Server) submit(kind string, pri sched.Priority, timeout time.Duration,
 		return nil, err
 	}
 	return j, nil
+}
+
+// panicObserver settles jobs whose function (or the worker's injected
+// fault) panicked: runJob's own bookkeeping never ran to completion, so
+// the job would otherwise hang in queued/running forever. finish is
+// idempotent, so the normal path and this path cannot double-settle.
+// Shared by submit and journal recovery's resubmission path.
+func (s *Server) panicObserver(j *Job) func(v any, stack []byte) {
+	return func(v any, stack []byte) {
+		j.cancel()
+		lat, settled := j.finish(StatusFailed, jobResult{}, fmt.Sprintf("panic: %v\n\n%s", v, stack), nowNS())
+		if settled {
+			s.jobsFailed.Inc()
+			s.observeLatency(lat / 1e6)
+			s.journalFinish(j, jobResult{})
+		}
+	}
 }
 
 // Retry policy for transient job failures (DESIGN.md §10): bounded
@@ -386,12 +465,11 @@ const (
 // its terminal state and metrics. Transient failures (fault.Transient)
 // are retried with exponential backoff while the job's context is
 // still live.
-func (s *Server) runJob(j *Job, ctx context.Context,
-	run func(ctx context.Context) (jobResult, error)) {
-
+func (s *Server) runJob(j *Job, ctx context.Context, run runFunc) {
 	defer j.cancel() // release the timeout timer, if any
 	j.setRunning(nowNS())
-	res, err := run(ctx)
+	s.journalStart(j)
+	res, err := run(ctx, j.id)
 	for attempt := 0; err != nil && fault.IsTransient(err) &&
 		ctx.Err() == nil && attempt < maxRetries; attempt++ {
 		d := retryBaseDelay << attempt
@@ -400,7 +478,7 @@ func (s *Server) runJob(j *Job, ctx context.Context,
 		}
 		sleep(d)
 		s.jobRetries.Inc()
-		res, err = run(ctx)
+		res, err = run(ctx, j.id)
 	}
 	var latNS int64
 	var settled bool
@@ -417,6 +495,7 @@ func (s *Server) runJob(j *Job, ctx context.Context,
 	}
 	if settled {
 		s.observeLatency(latNS / 1e6)
+		s.journalFinish(j, res)
 	}
 }
 
@@ -488,6 +567,8 @@ func (s *Server) rejectSubmit(w http.ResponseWriter, err error) {
 		}
 	case errors.Is(err, sched.ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, "server draining")
+	case errors.Is(err, errNotDurable):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
 	default:
 		writeError(w, http.StatusInternalServerError, "%v", err)
 	}
@@ -514,18 +595,18 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	var run func(ctx context.Context) (jobResult, error)
+	var run runFunc
 	var err error
 	if req.Trace != "" {
 		run, err = s.buildTraceRun(req)
 	} else {
-		run, err = buildRun(s.runner, req)
+		run, err = s.buildRun(req)
 	}
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	j, err := s.submit("run", sched.Interactive, time.Duration(req.Timeout)*time.Millisecond, run)
+	j, err := s.submit("run", sched.Interactive, time.Duration(req.Timeout)*time.Millisecond, req, run)
 	if err != nil {
 		s.rejectSubmit(w, err)
 		return
@@ -548,29 +629,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	e, err := exp.Lookup(req.Experiment)
+	run, err := s.buildSweep(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	base := s.runner.Options()
-	opts := exp.Options{
-		Records: req.Records,
-		Seed:    req.Seed,
-		Apps:    req.Apps,
-		Workers: base.Workers,
-	}
-	if opts.Records == 0 {
-		opts.Records = base.Records
-	}
-	if opts.Seed == 0 {
-		opts.Seed = base.Seed
-	}
-	run := func(ctx context.Context) (jobResult, error) {
-		tables, err := e.Run(s.runner.WithOptions(opts).WithContext(ctx))
-		return jobResult{tables: tables}, err
-	}
-	j, err := s.submit("sweep", sched.Bulk, time.Duration(req.Timeout)*time.Millisecond, run)
+	j, err := s.submit("sweep", sched.Bulk, time.Duration(req.Timeout)*time.Millisecond, req, run)
 	if err != nil {
 		s.rejectSubmit(w, err)
 		return
@@ -592,6 +656,12 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
 		return
+	}
+	// Journal the cancellation before signalling it: if the daemon dies
+	// between the client's DELETE and the worker observing the cancelled
+	// context, replay must not resurrect work the user already stopped.
+	if !j.Status().Terminal() {
+		s.journalCancel(j)
 	}
 	j.Cancel()
 	writeJSON(w, http.StatusOK, j.View())
@@ -666,6 +736,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		s.tstoreEntries.Set(int64(tst.Entries))
 		s.tstoreBytes.Set(tst.Bytes)
 	}
+	if s.jnl != nil {
+		jst := s.jnl.Stats()
+		s.jnlSegments.Set(int64(jst.Segments))
+		s.jnlActiveBytes.Set(jst.ActiveBytes)
+		s.jnlAppends.Set(int64(jst.Appends))
+		s.jnlSyncs.Set(int64(jst.Syncs))
+		s.jnlRotations.Set(int64(jst.Rotations))
+		s.jnlTruncations.Set(int64(jst.Truncations))
+		s.jnlReplayedRecs.Set(int64(jst.Replayed))
+		s.jnlDropped.Set(int64(jst.Dropped))
+		s.jnlLiveJobs.Set(int64(jst.LiveJobs))
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.reg.WriteTo(w) //nolint:errcheck // client gone; nothing to do
 }
@@ -685,7 +767,7 @@ func decodeBody(r *http.Request, v any) error {
 
 // buildRun validates a RunRequest and returns the closure that executes
 // it through the runner's shared memo cache.
-func buildRun(runner *exp.Runner, req RunRequest) (func(ctx context.Context) (jobResult, error), error) {
+func (s *Server) buildRun(req RunRequest) (runFunc, error) {
 	if req.App == "" {
 		return nil, errors.New("missing app")
 	}
@@ -693,7 +775,7 @@ func buildRun(runner *exp.Runner, req RunRequest) (func(ctx context.Context) (jo
 	if err != nil {
 		return nil, err
 	}
-	base := runner.Options()
+	base := s.runner.Options()
 	opts := exp.Options{Records: req.Records, Seed: req.Seed, Workers: base.Workers}
 	if opts.Records == 0 {
 		opts.Records = base.Records
@@ -702,13 +784,43 @@ func buildRun(runner *exp.Runner, req RunRequest) (func(ctx context.Context) (jo
 		opts.Seed = base.Seed
 	}
 	app := req.App
-	return func(ctx context.Context) (jobResult, error) {
-		st, err := runner.WithOptions(opts).WithContext(ctx).Run(app, cfg, sc)
+	return func(ctx context.Context, id string) (jobResult, error) {
+		r := s.runner.WithOptions(opts).WithContext(ctx).WithCheckpoint(s.laneCheckpoint(id))
+		st, err := r.Run(app, cfg, sc)
 		if err != nil {
 			return jobResult{}, err
 		}
 		note := fmt.Sprintf("%s on %s, scenario %s", app, label, sc)
 		return jobResult{tables: []*report.Table{summaryTable(st, note)}}, nil
+	}, nil
+}
+
+// buildSweep validates a SweepRequest and returns the closure that runs
+// the experiment; each lane persisted to the result store is journaled
+// as a checkpoint under the job's ID, so a restart re-runs only the
+// lanes with no digest on record.
+func (s *Server) buildSweep(req SweepRequest) (runFunc, error) {
+	e, err := exp.Lookup(req.Experiment)
+	if err != nil {
+		return nil, err
+	}
+	base := s.runner.Options()
+	opts := exp.Options{
+		Records: req.Records,
+		Seed:    req.Seed,
+		Apps:    req.Apps,
+		Workers: base.Workers,
+	}
+	if opts.Records == 0 {
+		opts.Records = base.Records
+	}
+	if opts.Seed == 0 {
+		opts.Seed = base.Seed
+	}
+	return func(ctx context.Context, id string) (jobResult, error) {
+		r := s.runner.WithOptions(opts).WithContext(ctx).WithCheckpoint(s.laneCheckpoint(id))
+		tables, err := e.Run(r)
+		return jobResult{tables: tables}, err
 	}, nil
 }
 

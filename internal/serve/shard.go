@@ -2,6 +2,8 @@ package serve
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"net/http"
 	"time"
 
@@ -30,30 +32,44 @@ func (s *Server) handleShardSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if req.App == "" {
-		writeError(w, http.StatusBadRequest, "missing app")
-		return
-	}
-	if _, err := workload.Lookup(req.App); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	sc, err := vm.ParseScenario(req.Scenario)
+	run, err := s.buildShard(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if len(req.Configs) == 0 {
-		writeError(w, http.StatusBadRequest, "empty config batch")
+	j, err := s.submit("shard", sched.Bulk, time.Duration(req.Timeout)*time.Millisecond, req, run)
+	if err != nil {
+		s.rejectSubmit(w, err)
 		return
+	}
+	s.shardJobs.Inc()
+	writeJSON(w, http.StatusAccepted, submitResponse{ID: j.ID(), Status: j.Status()})
+}
+
+// buildShard validates a ShardRequest and returns the closure that runs
+// the batch through the runner's fused RunConfigs. Each config lane the
+// runner persists is journaled as a checkpoint under the job's ID, so a
+// worker restart re-simulates only the lanes with no digest on record —
+// RunConfigs' store pre-partition serves the rest from disk.
+func (s *Server) buildShard(req fabric.ShardRequest) (runFunc, error) {
+	if req.App == "" {
+		return nil, errors.New("missing app")
+	}
+	if _, err := workload.Lookup(req.App); err != nil {
+		return nil, err
+	}
+	sc, err := vm.ParseScenario(req.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	if len(req.Configs) == 0 {
+		return nil, errors.New("empty config batch")
 	}
 	for i, cfg := range req.Configs {
 		if err := cfg.Validate(); err != nil {
-			writeError(w, http.StatusBadRequest, "config %d: %v", i, err)
-			return
+			return nil, fmt.Errorf("config %d: %v", i, err)
 		}
 	}
-
 	base := s.runner.Options()
 	opts := exp.Options{
 		Records: req.Records,
@@ -67,17 +83,11 @@ func (s *Server) handleShardSubmit(w http.ResponseWriter, r *http.Request) {
 		opts.Seed = base.Seed
 	}
 	cfgs := req.Configs
-	run := func(ctx context.Context) (jobResult, error) {
-		stats, err := s.runner.WithOptions(opts).WithContext(ctx).RunConfigs(req.App, cfgs, sc)
+	return func(ctx context.Context, id string) (jobResult, error) {
+		r := s.runner.WithOptions(opts).WithContext(ctx).WithCheckpoint(s.laneCheckpoint(id))
+		stats, err := r.RunConfigs(req.App, cfgs, sc)
 		return jobResult{stats: stats}, err
-	}
-	j, err := s.submit("shard", sched.Bulk, time.Duration(req.Timeout)*time.Millisecond, run)
-	if err != nil {
-		s.rejectSubmit(w, err)
-		return
-	}
-	s.shardJobs.Inc()
-	writeJSON(w, http.StatusAccepted, submitResponse{ID: j.ID(), Status: j.Status()})
+	}, nil
 }
 
 // handleShardGet reports one shard job (GET /v1/shards/{id}) in the

@@ -202,8 +202,8 @@ func TestRetryAfterRecoversAfterSpike(t *testing.T) {
 func TestCloseCancelsInflight(t *testing.T) {
 	s, _ := testServer(t, Config{Workers: 1})
 	started := make(chan struct{})
-	j, err := s.submit("run", sched.Interactive, 0,
-		func(ctx context.Context) (jobResult, error) {
+	j, err := s.submit("run", sched.Interactive, 0, nil,
+		func(ctx context.Context, _ string) (jobResult, error) {
 			close(started)
 			<-ctx.Done() // a job that only ends when its context does
 			return jobResult{}, ctx.Err()
@@ -228,8 +228,8 @@ func TestCloseCancelsInflight(t *testing.T) {
 		t.Errorf("job after Close = %s, want canceled", st)
 	}
 	// Admission is shut too.
-	if _, err := s.submit("run", sched.Interactive, 0,
-		func(context.Context) (jobResult, error) { return jobResult{}, nil }); err == nil {
+	if _, err := s.submit("run", sched.Interactive, 0, nil,
+		func(context.Context, string) (jobResult, error) { return jobResult{}, nil }); err == nil {
 		t.Error("submit after Close succeeded, want rejection")
 	}
 	// Idempotent.
@@ -242,8 +242,8 @@ func TestDrainDoesNotCancel(t *testing.T) {
 	s, _ := testServer(t, Config{Workers: 1})
 	release := make(chan struct{})
 	started := make(chan struct{})
-	j, err := s.submit("run", sched.Interactive, 0,
-		func(ctx context.Context) (jobResult, error) {
+	j, err := s.submit("run", sched.Interactive, 0, nil,
+		func(ctx context.Context, _ string) (jobResult, error) {
 			close(started)
 			select {
 			case <-release:

@@ -196,7 +196,7 @@ func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
 // buildTraceRun validates a replay-an-ingested-trace RunRequest and
 // returns its job closure. The trace's embedded metadata supplies the
 // workload identity and scenario, so the request must not name them.
-func (s *Server) buildTraceRun(req RunRequest) (func(ctx context.Context) (jobResult, error), error) {
+func (s *Server) buildTraceRun(req RunRequest) (runFunc, error) {
 	if s.traceStore == nil {
 		return nil, errors.New("trace replay disabled (start siptd with -store-dir)")
 	}
@@ -222,7 +222,7 @@ func (s *Server) buildTraceRun(req RunRequest) (func(ctx context.Context) (jobRe
 	if opts.Seed == 0 {
 		opts.Seed = base.Seed
 	}
-	return func(ctx context.Context) (jobResult, error) {
+	return func(ctx context.Context, id string) (jobResult, error) {
 		// The blob is fetched inside the job, not at admission: a trace
 		// evicted between submit and run fails that one job cleanly.
 		blob, err := s.traceStore.Get(key)
@@ -235,7 +235,8 @@ func (s *Server) buildTraceRun(req RunRequest) (func(ctx context.Context) (jobRe
 		}
 		cfg := cfg
 		cfg.NoContig = meta.Scenario == vm.ScenarioNoContig
-		st, err := s.runner.WithOptions(opts).WithContext(ctx).RunTrace(key.String(), meta.App, buf, cfg)
+		r := s.runner.WithOptions(opts).WithContext(ctx).WithCheckpoint(s.laneCheckpoint(id))
+		st, err := r.RunTrace(key.String(), meta.App, buf, cfg)
 		if err != nil {
 			return jobResult{}, err
 		}

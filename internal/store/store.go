@@ -277,13 +277,20 @@ func (s *Store) Get(key Key) ([]byte, error) {
 		}
 	}
 	// Torn, rotted, or missing: drop the entry so the store converges.
+	// Exactly one of any racing Gets wins the index removal and owns the
+	// file delete and the corruption count; the losers just report the
+	// miss — without the gate a loser could delete a blob a concurrent
+	// Put had already re-written under the same key.
 	s.mu.Lock()
-	if el, ok := s.items[key]; ok {
+	el, owned := s.items[key]
+	if owned {
 		s.removeLocked(el)
 	}
 	s.mu.Unlock()
-	os.Remove(s.path(key))
-	s.corrupt.Add(1)
+	if owned {
+		os.Remove(s.path(key))
+		s.corrupt.Add(1)
+	}
 	s.misses.Add(1)
 	return nil, ErrNotFound
 }

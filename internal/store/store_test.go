@@ -132,6 +132,62 @@ func TestCorruptEntryFallsBackToRecompute(t *testing.T) {
 	}
 }
 
+// TestConcurrentCorruptionRecovery races several Gets of the same
+// truncated blob: every caller sees ErrNotFound, but exactly one owns
+// the self-heal — one file delete, one corruption count — so a
+// concurrent Put repairing the key can never have its fresh blob
+// deleted by a straggling loser.
+func TestConcurrentCorruptionRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, 1<<20)
+	key := store.KeyOf("k")
+	if err := s.Put(key, []byte("soon to be torn")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key.String())
+	if err := os.Truncate(path, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	const readers = 8
+	start := make(chan struct{})
+	errs := make([]error, readers)
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			_, errs[i] = s.Get(key)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	for i, err := range errs {
+		if !errors.Is(err, store.ErrNotFound) {
+			t.Errorf("reader %d: err = %v, want ErrNotFound", i, err)
+		}
+	}
+	st := s.Stats()
+	if st.Corrupt != 1 {
+		t.Errorf("Corrupt = %d, want exactly 1 (one owner of the self-heal)", st.Corrupt)
+	}
+	if st.Entries != 0 {
+		t.Errorf("Entries = %d, want 0", st.Entries)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("torn entry file not deleted")
+	}
+	// Re-Put repairs the key for everyone.
+	if err := s.Put(key, []byte("healed")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.Get(key); err != nil || string(got) != "healed" {
+		t.Fatalf("after repair: %q, %v", got, err)
+	}
+}
+
 // TestLRUJanitor asserts the byte budget evicts least-recently-used
 // entries first and refuses blobs beyond the whole budget.
 func TestLRUJanitor(t *testing.T) {

@@ -35,6 +35,8 @@ echo '== fabric smoke (coordinator vs single node)'
 scripts/fabric_smoke.sh
 echo '== store smoke (persistence across restart)'
 scripts/store_smoke.sh
+echo '== crash smoke (kill -9 recovery from the journal)'
+scripts/crash_smoke.sh
 if command -v govulncheck >/dev/null 2>&1; then
     echo '== govulncheck ./...'
     govulncheck ./...
